@@ -1,0 +1,101 @@
+"""Ablation: the thermal-aware floorplan's weight function and its cost.
+
+Compares peak temperature across placements (identity, thermal-aware with
+the paper's inverse-Hamming weights, thermal-aware with uniform weights)
+and quantifies the wiring cost the floorplan pays."""
+
+from repro.core.floorplanning import (
+    Floorplan,
+    identity_floorplan,
+    thermal_aware_floorplan,
+)
+from repro.core.topological import SprintTopology, sprint_order
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.floorplan import sprint_tile_powers
+from repro.thermal.grid import ThermalGrid
+from repro.util.directions import MESH_DIRECTIONS
+from repro.util.geometry import euclidean, node_to_coord
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+
+def uniform_weight_floorplan(width=4, height=4, master=0) -> Floorplan:
+    """Algorithm 3 with w_ij = 1 (ignores logical proximity)."""
+    n = width * height
+    order = sprint_order(width, height, master)
+    rank = {node: i for i, node in enumerate(order)}
+
+    def neighbors(node):
+        coord = node_to_coord(node, width)
+        result = []
+        for d in MESH_DIRECTIONS:
+            c = coord + d.offset
+            if 0 <= c.x < width and 0 <= c.y < height:
+                result.append(c.y * width + c.x)
+        return sorted(result, key=lambda m: rank[m])
+
+    position = {master: master}
+    placed = [master]
+    free = [s for s in range(n) if s != master]
+    queued = {master}
+    queue = list(neighbors(master))
+    queued.update(queue)
+    while queue:
+        node = queue.pop(0)
+        best, best_sum = free[0], -1.0
+        for slot in free:
+            total = sum(
+                euclidean(node_to_coord(slot, width), node_to_coord(position[j], width))
+                for j in placed
+            )
+            if total > best_sum:
+                best, best_sum = slot, total
+        position[node] = best
+        free.remove(best)
+        placed.append(node)
+        for m in neighbors(node):
+            if m not in queued:
+                queue.append(m)
+                queued.add(m)
+    return Floorplan(width, height, tuple(position[k] for k in range(n)))
+
+
+def compare():
+    grid = ThermalGrid(4, 4, 4)
+    chip = ChipPowerModel(16)
+    plans = {
+        "identity": identity_floorplan(4, 4),
+        "inverse-Hamming (paper)": thermal_aware_floorplan(4, 4),
+        "uniform weights": uniform_weight_floorplan(),
+    }
+    rows = []
+    for name, fp in plans.items():
+        peaks = []
+        for level in (2, 4, 8):
+            topo = SprintTopology.for_level(4, 4, level)
+            peaks.append(grid.peak_temperature(sprint_tile_powers(topo, chip, fp)))
+        rows.append((name, *peaks, fp.total_wire_length()))
+    return rows
+
+
+def test_ablation_floorplan_weights(benchmark):
+    rows = once(benchmark, compare)
+    body = format_table(
+        ["placement", "peak@2 (K)", "peak@4 (K)", "peak@8 (K)", "total wire (pitches)"],
+        [list(r) for r in rows],
+        float_format="{:.2f}",
+    )
+    report("Ablation: floorplan weight function", body)
+
+    by_name = {r[0]: r for r in rows}
+    identity = by_name["identity"]
+    paper = by_name["inverse-Hamming (paper)"]
+    # the paper's floorplan is cooler than identity at every sprint level...
+    assert all(paper[i] < identity[i] for i in (1, 2, 3))
+    # ...at the cost of longer wires
+    assert paper[4] > identity[4]
+    # inverse-Hamming weighting beats weight-free spreading at the levels
+    # that actually sprint together (it optimizes for them specifically)
+    uniform = by_name["uniform weights"]
+    assert paper[2] <= uniform[2] + 0.5  # level 4, the headline case

@@ -1,0 +1,49 @@
+"""Ablation: Euclidean vs Hamming activation ordering in Algorithm 1.
+
+The paper argues Euclidean ordering yields better *inter-node* proximity:
+at 4-core sprinting, Hamming may pick node 2 (three hops from node 5's
+corner) where Euclidean picks the diagonal node 5, closing the 2x2 square.
+"""
+
+from repro.core.topological import SprintTopology, sprint_region
+from repro.util.geometry import average_pairwise_manhattan
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+
+def compare_orderings():
+    rows = []
+    for level in range(2, 17):
+        rows.append(
+            (
+                level,
+                average_pairwise_manhattan(
+                    SprintTopology.for_level(4, 4, level, metric="euclidean").coords
+                ),
+                average_pairwise_manhattan(
+                    SprintTopology.for_level(4, 4, level, metric="hamming").coords
+                ),
+            )
+        )
+    return rows
+
+
+def test_ablation_euclidean_vs_hamming(benchmark):
+    rows = benchmark(compare_orderings)
+    table = [[lvl, eu, ham, ham - eu] for lvl, eu, ham in rows]
+    body = format_table(
+        ["level", "Euclidean avg hops", "Hamming avg hops", "delta"], table
+    )
+    report("Ablation: Algorithm 1 distance metric", body)
+
+    # the paper's 4-core example: Euclidean strictly tighter
+    four = dict((lvl, (eu, ham)) for lvl, eu, ham in rows)[4]
+    assert four[0] < four[1]
+    assert sprint_region(4, 4, 4, metric="euclidean") == [0, 1, 4, 5]
+    assert 2 in sprint_region(4, 4, 4, metric="hamming")
+
+    # Euclidean never has worse average inter-node distance
+    assert all(eu <= ham + 1e-9 for _, eu, ham in rows)
+    # and is strictly better somewhere
+    assert any(eu < ham - 1e-9 for _, eu, ham in rows)

@@ -1,0 +1,67 @@
+"""Extension: dim-silicon sprinting (DVFS x sprint-level planning).
+
+The paper's intro frames dark silicon as "dark or dim"; its evaluation
+sprints only at (1 V, 2 GHz).  This extension sweeps a chip power budget
+and compares the paper's nominal-only fine-grained sprinting against a
+planner that may also *dim* (more cores at a lower V/f corner)."""
+
+from repro.cmp.workloads import get_profile
+from repro.power.dvfs import DvfsPlanner
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+BUDGETS_W = (25.0, 30.0, 40.0, 60.0, 100.0, 180.0)
+
+
+def sweep(benchmark: str):
+    planner = DvfsPlanner()
+    profile = get_profile(benchmark)
+    rows = []
+    for budget in BUDGETS_W:
+        dim = planner.best_configuration(profile, budget)
+        nominal = planner.nominal_only_best(profile, budget)
+        rows.append((budget, nominal, dim))
+    return rows
+
+
+def _render(rows):
+    def cell(config):
+        if config is None:
+            return "infeasible"
+        tag = config.point.name
+        return f"{config.level}c @ {tag}: {config.speedup:.2f}x"
+
+    return format_table(
+        ["budget (W)", "nominal-only (paper)", "with dim sprinting"],
+        [[budget, cell(nominal), cell(dim)] for budget, nominal, dim in rows],
+        float_format="{:.0f}",
+    )
+
+
+def test_extension_dim_sprinting_scalable(benchmark):
+    rows = benchmark(sweep, "blackscholes")
+    report("Extension: dim sprinting, scalable workload (blackscholes)", _render(rows))
+    # under tight budgets the dim planner strictly beats nominal-only...
+    tight = [r for r in rows if r[0] <= 40.0 and r[1] is not None and r[2] is not None]
+    assert any(dim.speedup > nominal.speedup * 1.05 for _, nominal, dim in tight)
+    # ...and with a generous budget both settle on the nominal optimum
+    _, nominal, dim = rows[-1]
+    assert dim.point.name == "nominal"
+    assert dim.level == nominal.level == 16
+
+
+def test_extension_dim_sprinting_serial(benchmark):
+    rows = benchmark(sweep, "freqmine")
+    report("Extension: dim sprinting, serial workload (freqmine)", _render(rows))
+    for budget, nominal, dim in rows:
+        if nominal is not None:
+            # whenever nominal single-core fits the budget, dimming a
+            # serial workload only loses frequency: the planner stays put
+            assert dim.point.name == "nominal"
+            assert dim.level == 1
+        elif dim is not None:
+            # below the nominal single-core power, dimming is the only way
+            # to fit at all -- the dim planner still finds a configuration
+            assert dim.is_dim
+            assert dim.level == 1

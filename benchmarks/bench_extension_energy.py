@@ -1,0 +1,56 @@
+"""Extension: burst energy and energy-delay across sprinting schemes.
+
+Combines Figure 7 (time) with Figure 8/10 (power) into the efficiency
+metrics the paper implies but never tabulates: per-burst chip energy, EDP
+and ED2P."""
+
+from repro.cmp.workloads import all_profiles
+from repro.power.energy import energy_comparison
+from repro.util.charts import bar_chart
+from repro.util.tables import format_table
+
+from benchmarks.common import report, shared_system
+
+
+def sweep():
+    system = shared_system()
+    rows = []
+    for profile in all_profiles():
+        reports = energy_comparison(system, profile)
+        rows.append((profile.name, reports))
+    return rows
+
+
+def test_extension_energy_metrics(benchmark):
+    rows = benchmark(sweep)
+    table = []
+    for name, reports in rows:
+        non = reports["non_sprinting"]
+        full = reports["full_sprinting"]
+        noc = reports["noc_sprinting"]
+        table.append([name, non.energy_j, full.energy_j, noc.energy_j,
+                      noc.edp_js, full.edp_js])
+    body = format_table(
+        ["benchmark", "E(non) J", "E(full) J", "E(noc) J",
+         "EDP(noc) Js", "EDP(full) Js"],
+        table,
+        float_format="{:.1f}",
+    )
+    total_full = sum(r[2] for r in table)
+    total_noc = sum(r[3] for r in table)
+    body += (
+        f"\nsuite energy: NoC-sprinting {total_noc:.0f} J vs "
+        f"full-sprinting {total_full:.0f} J "
+        f"({100 * (1 - total_noc / total_full):.1f} % saving)\n\n"
+    )
+    body += bar_chart(
+        {name: reports["noc_sprinting"].energy_j for name, reports in rows},
+        title="per-burst energy under NoC-sprinting (J)",
+    )
+    report("Extension: energy and energy-delay by scheme", body)
+
+    # NoC-sprinting more than halves suite energy vs full-sprinting
+    assert total_noc < 0.5 * total_full
+    # and wins EDP on every benchmark (never slower AND never hungrier)
+    for name, reports in rows:
+        assert reports["noc_sprinting"].edp_js <= reports["full_sprinting"].edp_js + 1e-9, name

@@ -1,0 +1,88 @@
+"""Extension: multicore scaling to an 8x8 (64-core) mesh.
+
+The paper's motivation is generational: dark silicon grows each node, and
+Figure 3 already extrapolates chip power to 32 cores.  This extension runs
+the NoC-sprinting machinery on a 64-core chip: NoC power share, Algorithm-1
+convexity and CDOR deadlock freedom at scale, and the latency/power benefit
+of an 8-core sprint on the bigger mesh."""
+
+from repro.config import NoCConfig
+from repro.core.cdor import CdorRouter
+from repro.core.deadlock import check_deadlock_freedom
+from repro.core.topological import SprintTopology
+from repro.noc.sim import run_simulation
+from repro.noc.traffic import TrafficGenerator
+from repro.power.activity import network_power
+from repro.power.chip_power import ChipPowerModel
+from repro.util.rng import stream
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+CFG_8X8 = NoCConfig(mesh_width=8, mesh_height=8)
+
+
+def structure_checks():
+    rows = []
+    for level in (4, 9, 16, 25, 37, 50, 64):
+        topo = SprintTopology.for_level(8, 8, level)
+        deadlock = check_deadlock_freedom(CdorRouter(topo))
+        rows.append(
+            (
+                level,
+                topo.is_orthogonally_convex(),
+                topo.is_connected(),
+                deadlock.acyclic,
+                deadlock.channel_count,
+            )
+        )
+    return rows
+
+
+def network_benefit(level=8, rate=0.15):
+    region = SprintTopology.for_level(8, 8, level)
+    traffic = TrafficGenerator(list(region.active_nodes), rate,
+                               CFG_8X8.packet_length_flits, seed=5)
+    noc = run_simulation(region, traffic, CFG_8X8, routing="cdor",
+                         warmup_cycles=300, measure_cycles=900)
+    noc_power = network_power(noc, region, CFG_8X8)
+
+    full = SprintTopology.for_level(8, 8, 64)
+    endpoints = stream(1, "mesh64-mapping").sample(range(64), level)
+    traffic2 = TrafficGenerator(endpoints, rate, CFG_8X8.packet_length_flits, seed=6)
+    scattered = run_simulation(full, traffic2, CFG_8X8, routing="xy",
+                               warmup_cycles=300, measure_cycles=900)
+    full_power = network_power(scattered, full, CFG_8X8)
+    return noc, noc_power, scattered, full_power
+
+
+def test_extension_64core_structure(benchmark):
+    rows = once(benchmark, structure_checks)
+    body = format_table(
+        ["level", "orthogonally convex", "connected", "deadlock-free", "channels"],
+        [list(r) for r in rows],
+    )
+    share = ChipPowerModel(64).nominal_breakdown().share("noc")
+    body += f"\n64-core nominal NoC power share: {100 * share:.1f} % (Fig. 3 trend continues)"
+    report("Extension: Algorithm 1 + CDOR on an 8x8 mesh", body)
+
+    assert all(convex and connected and acyclic for _, convex, connected, acyclic, _ in rows)
+    # the dark-silicon trend continues past the paper's 32-core point
+    assert share > ChipPowerModel(32).nominal_breakdown().share("noc")
+
+
+def test_extension_64core_network_benefit(benchmark):
+    noc, noc_power, scattered, full_power = once(benchmark, network_benefit)
+    body = (
+        f"8-core sprint on 64-node mesh, uniform 0.15 flits/cycle\n"
+        f"NoC-sprinting: {noc.avg_latency:.1f} cycles, {noc_power.total * 1e3:.1f} mW "
+        f"({noc_power.powered_router_count} routers)\n"
+        f"random mapping: {scattered.avg_latency:.1f} cycles, "
+        f"{full_power.total * 1e3:.1f} mW ({full_power.powered_router_count} routers)"
+    )
+    report("Extension: 64-core sprint network benefit", body)
+
+    # scattering 8 cores over a 64-node mesh is far worse than on 16 nodes:
+    # both the latency and the power gaps widen with mesh size
+    assert noc.avg_latency < 0.7 * scattered.avg_latency
+    assert noc_power.total < 0.25 * full_power.total

@@ -1,0 +1,47 @@
+"""Extension: run-time parallelism monitoring.
+
+The paper assumes optimal levels are "learnt in advance or monitored
+during run-time execution".  This bench runs the online doubling monitor
+against every PARSEC profile with noisy throughput observations and
+reports agreement with off-line profiling plus the trial-epoch cost."""
+
+from repro.cmp.monitor import OnlineParallelismMonitor, noisy_profile_measure
+from repro.cmp.workloads import all_profiles
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+NOISE = 0.03
+SEEDS = (3, 17, 42)
+
+
+def sweep():
+    rows = []
+    for profile in all_profiles():
+        offline = profile.optimal_level()
+        agreements = 0
+        epochs = 0
+        for seed in SEEDS:
+            monitor = OnlineParallelismMonitor(samples_per_level=3)
+            result = monitor.calibrate(noisy_profile_measure(profile, NOISE, seed))
+            agreements += result.level == offline
+            epochs += result.epochs
+        rows.append((profile.name, offline, agreements, epochs / len(SEEDS)))
+    return rows
+
+
+def test_extension_online_monitoring(benchmark):
+    rows = benchmark(sweep)
+    body = format_table(
+        ["benchmark", "off-line level", f"agreement (of {len(SEEDS)})", "mean epochs"],
+        [list(r) for r in rows],
+        float_format="{:.1f}",
+    )
+    agreement_rate = sum(r[2] for r in rows) / (len(rows) * len(SEEDS))
+    body += f"\noverall agreement with off-line profiling: {100 * agreement_rate:.1f} %"
+    report("Extension: online parallelism monitor vs off-line profiles", body)
+
+    assert agreement_rate >= 0.9
+    # serial workloads are decided cheaply: freqmine needs only 2 levels
+    freqmine = next(r for r in rows if r[0] == "freqmine")
+    assert freqmine[3] <= 2 * 3  # two levels x three samples

@@ -1,0 +1,57 @@
+"""Extension: multi-burst sprint scheduling.
+
+The paper evaluates single bursts; interactive workloads issue sequences
+whose sprints share one PCM budget.  This bench plays an interactive mix
+under all three schemes and reports makespan, total completion time and
+how often each scheme falls back to nominal mid-burst."""
+
+from repro.cmp.workloads import get_profile
+from repro.core.scheduler import Burst, SprintScheduler
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+
+def interactive_mix():
+    return [
+        Burst(get_profile("dedup"), arrival_s=0.0, work_s=3.0),
+        Burst(get_profile("canneal"), arrival_s=0.5, work_s=3.0),
+        Burst(get_profile("blackscholes"), arrival_s=1.0, work_s=4.0),
+        Burst(get_profile("vips"), arrival_s=2.0, work_s=3.0),
+        Burst(get_profile("streamcluster"), arrival_s=4.0, work_s=3.0),
+        Burst(get_profile("x264"), arrival_s=10.0, work_s=2.0),
+    ]
+
+
+def run_comparison():
+    return SprintScheduler().compare_schemes(interactive_mix())
+
+
+def test_extension_burst_scheduling(benchmark):
+    results = once(benchmark, run_comparison)
+    rows = [
+        [
+            scheme,
+            result.makespan_s,
+            result.total_completion_s,
+            result.fallback_count,
+        ]
+        for scheme, result in results.items()
+    ]
+    report(
+        "Extension: interactive burst sequence under one PCM budget",
+        format_table(
+            ["scheme", "makespan (s)", "sum completion (s)", "nominal fallbacks"],
+            rows,
+            float_format="{:.2f}",
+        ),
+    )
+
+    noc = results["noc_sprinting"]
+    full = results["full_sprinting"]
+    non = results["non_sprinting"]
+    # NoC-sprinting wins both aggregate metrics
+    assert noc.total_completion_s < full.total_completion_s < non.total_completion_s
+    assert noc.makespan_s < non.makespan_s
+    # full-sprinting exhausts the budget and limps home more often
+    assert full.fallback_count > noc.fallback_count

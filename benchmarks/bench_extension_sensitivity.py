@@ -1,0 +1,75 @@
+"""Extension: sensitivity of the headline network results to the router
+microarchitecture.
+
+The paper evaluates one router configuration (Table 1).  This bench sweeps
+VC count, buffer depth and packet length and checks that Figure 11's
+4-core latency/power advantages survive every variation -- i.e. the
+conclusions are properties of NoC-sprinting, not of one design point."""
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.sim import run_simulation
+from repro.noc.traffic import TrafficGenerator
+from repro.power.activity import network_power
+from repro.util.rng import stream
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+RATE = 0.2
+LEVEL = 4
+
+VARIATIONS = (
+    ("Table 1 (4 VC x 4, 5 flits)", NoCConfig()),
+    ("2 VCs", NoCConfig(vcs_per_port=2)),
+    ("8 VCs", NoCConfig(vcs_per_port=8)),
+    ("depth 2", NoCConfig(buffers_per_vc=2)),
+    ("depth 8", NoCConfig(buffers_per_vc=8)),
+    ("1-flit packets", NoCConfig(packet_length_flits=1)),
+    ("9-flit packets", NoCConfig(packet_length_flits=9)),
+)
+
+
+def run_pair(cfg: NoCConfig):
+    region = SprintTopology.for_level(4, 4, LEVEL)
+    traffic = TrafficGenerator(list(region.active_nodes), RATE,
+                               cfg.packet_length_flits, seed=3)
+    noc = run_simulation(region, traffic, cfg, routing="cdor",
+                         warmup_cycles=300, measure_cycles=900)
+    noc_power = network_power(noc, region, cfg)
+
+    full = SprintTopology.for_level(4, 4, 16)
+    endpoints = stream(2, "sens-mapping").sample(range(16), LEVEL)
+    traffic2 = TrafficGenerator(endpoints, RATE, cfg.packet_length_flits, seed=4)
+    scattered = run_simulation(full, traffic2, cfg, routing="xy",
+                               warmup_cycles=300, measure_cycles=900)
+    full_power = network_power(scattered, full, cfg)
+    return (
+        noc.avg_latency, scattered.avg_latency,
+        noc_power.total, full_power.total,
+    )
+
+
+def sweep():
+    rows = []
+    for name, cfg in VARIATIONS:
+        noc_lat, full_lat, noc_p, full_p = run_pair(cfg)
+        rows.append((name, noc_lat, full_lat,
+                     100 * (1 - noc_lat / full_lat),
+                     100 * (1 - noc_p / full_p)))
+    return rows
+
+
+def test_extension_sensitivity(benchmark):
+    rows = once(benchmark, sweep)
+    body = format_table(
+        ["router variation", "noc lat", "full lat", "lat saving %", "pow saving %"],
+        [list(r) for r in rows],
+        float_format="{:.1f}",
+    )
+    report("Extension: microarchitecture sensitivity (4-core sprint, 0.2 load)", body)
+
+    # the sign and rough magnitude of the advantage survive every variation
+    for name, noc_lat, full_lat, lat_saving, pow_saving in rows:
+        assert lat_saving > 10.0, name
+        assert pow_saving > 45.0, name

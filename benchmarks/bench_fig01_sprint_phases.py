@@ -1,0 +1,45 @@
+"""Figure 1: the sprint timeline -- nominal operation, three sprint phases
+(heat to T_melt, melt plateau, heat to T_max), forced single-core fallback.
+"""
+
+import math
+
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.pcm import DEFAULT_PCM, sprint_phases, temperature_timeline
+from repro.util.charts import line_plot
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+
+def full_sprint_timeline():
+    full_power = ChipPowerModel(16).sprint_chip_power(16, "full").total
+    phases = sprint_phases(full_power)
+    samples = temperature_timeline(full_power, points_per_phase=8, cooldown_s=2.0)
+    return full_power, phases, samples
+
+
+def test_fig01_sprint_phases(benchmark):
+    full_power, phases, samples = once(benchmark, full_sprint_timeline)
+    rows = [[f"{t:.3f}", f"{k:.1f}"] for t, k in samples[:: max(1, len(samples) // 16)]]
+    body = format_table(["time (s)", "temperature (K)"], rows)
+    body += (
+        f"\nphase 1 (heat to melt): {phases.heat_to_melt_s * 1e3:.1f} ms"
+        f"\nphase 2 (melting):      {phases.melting_s * 1e3:.1f} ms"
+        f"\nphase 3 (melt to max):  {phases.melt_to_max_s * 1e3:.1f} ms"
+        f"\ntotal sprint:           {phases.total_s:.3f} s at {full_power:.1f} W\n\n"
+    )
+    body += line_plot(
+        {"temperature": samples}, width=56, height=12,
+        title="die temperature over the sprint (K vs s)",
+    )
+    report("Figure 1: sprint phases (full 16-core sprint)", body)
+
+    # shape: ~1 s worst-case full sprint, dominated by the melt plateau
+    assert math.isclose(phases.total_s, 1.0, rel_tol=0.15)
+    assert phases.melting_s > 0.5 * phases.total_s
+    temps = [k for _, k in samples]
+    assert temps[0] == DEFAULT_PCM.start_temperature_k
+    assert max(temps) == DEFAULT_PCM.max_temperature_k
+    # plateau exists: many consecutive samples at exactly T_melt
+    assert sum(1 for k in temps if k == DEFAULT_PCM.melt_temperature_k) >= 8

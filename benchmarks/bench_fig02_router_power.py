@@ -1,0 +1,50 @@
+"""Figure 2: router power breakdown (dynamic vs leakage) while scaling the
+operating voltage and frequency at 45 nm, 0.4 flits/cycle injection."""
+
+from repro.config import NoCConfig
+from repro.power.router_power import RouterPowerModel
+from repro.power.technology import FIG2_OPERATING_POINTS
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+FIG2_CFG = NoCConfig(vcs_per_port=2)  # the paper's Fig. 2 router: 2 VCs x 4
+INJECTION = 0.4
+
+
+def sweep():
+    rows = []
+    for vdd, freq in FIG2_OPERATING_POINTS:
+        model = RouterPowerModel(FIG2_CFG, vdd=vdd, frequency_hz=freq)
+        b = model.breakdown_at_injection(INJECTION)
+        rows.append((vdd, freq, b))
+    return rows
+
+
+def test_fig02_router_power_breakdown(benchmark):
+    rows = benchmark(sweep)
+    table = [
+        [
+            f"{vdd:.2f}V / {freq / 1e9:.1f}GHz",
+            b.dynamic * 1e3,
+            b.leakage * 1e3,
+            100 * b.leakage_fraction,
+        ]
+        for vdd, freq, b in rows
+    ]
+    report(
+        "Figure 2: router power breakdown vs V/f (45 nm, 0.4 flits/cycle)",
+        format_table(
+            ["operating point", "dynamic (mW)", "leakage (mW)", "leakage share (%)"],
+            table,
+        ),
+    )
+
+    shares = [b.leakage_fraction for _, _, b in rows]
+    # leakage is significant at nominal, its share grows monotonically as
+    # V/f scale down, and it overtakes dynamic power at the lowest corner
+    assert shares[0] > 0.25
+    assert shares == sorted(shares)
+    assert shares[-1] > 0.5
+    totals = [b.total for _, _, b in rows]
+    assert totals == sorted(totals, reverse=True)

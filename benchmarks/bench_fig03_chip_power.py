@@ -1,0 +1,48 @@
+"""Figure 3: chip power breakdown during nominal operation (one active
+core) for 4/8/16/32-core sprinting-based CMPs."""
+
+import pytest
+
+from repro.power.chip_power import ChipPowerModel
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+PAPER_NOC_SHARES = {4: 18, 8: 26, 16: 35, 32: 42}
+
+
+def sweep():
+    return {n: ChipPowerModel(n).nominal_breakdown() for n in (4, 8, 16, 32)}
+
+
+def test_fig03_chip_power_breakdown(benchmark):
+    reports = benchmark(sweep)
+    rows = []
+    for n, r in reports.items():
+        rows.append(
+            [
+                f"{n}-core",
+                r.total,
+                100 * r.share("cores"),
+                100 * r.share("l2"),
+                100 * r.share("noc"),
+                100 * r.share("memory_controllers"),
+                100 * r.share("others"),
+            ]
+        )
+    report(
+        "Figure 3: nominal-mode chip power breakdown (single active core)",
+        format_table(
+            ["chip", "total (W)", "core %", "L2 %", "NoC %", "MC %", "others %"],
+            rows,
+            float_format="{:.1f}",
+        ),
+    )
+
+    for n, paper in PAPER_NOC_SHARES.items():
+        assert 100 * reports[n].share("noc") == pytest.approx(paper, abs=3.0)
+    # the NoC share grows and the core share shrinks as dark silicon grows
+    noc_shares = [reports[n].share("noc") for n in (4, 8, 16, 32)]
+    core_shares = [reports[n].share("cores") for n in (4, 8, 16, 32)]
+    assert noc_shares == sorted(noc_shares)
+    assert core_shares == sorted(core_shares, reverse=True)

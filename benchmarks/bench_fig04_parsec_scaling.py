@@ -1,0 +1,46 @@
+"""Figure 4: PARSEC execution time while increasing the available cores --
+the workload-dependence that motivates fine-grained sprinting."""
+
+from repro.cmp.perf_model import SPRINT_LEVELS
+from repro.cmp.workloads import (
+    FLAT_BENCHMARKS,
+    PEAKING_BENCHMARKS,
+    SCALABLE_BENCHMARKS,
+    all_profiles,
+)
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+
+def scaling_table():
+    return {p.name: [p.scaling[n] for n in SPRINT_LEVELS] for p in all_profiles()}
+
+
+def test_fig04_parsec_scaling(benchmark):
+    table = benchmark(scaling_table)
+    rows = [[name] + times for name, times in table.items()]
+    report(
+        "Figure 4: PARSEC relative execution time vs core count",
+        format_table(["benchmark", "1", "2", "4", "8", "16"], rows),
+    )
+
+    # scalable class: monotone improvement to 16 cores
+    for name in SCALABLE_BENCHMARKS:
+        times = table[name]
+        assert times == sorted(times, reverse=True), name
+        assert times[-1] < 0.15  # substantial speedup
+
+    # flat class: nearly identical across configurations
+    for name in FLAT_BENCHMARKS:
+        times = table[name]
+        assert max(times) / min(times) < 1.15, name
+
+    # peaking class: a clear dip followed by degradation; the worst cases
+    # (vips, swaptions) end slower than single-core
+    for name in PEAKING_BENCHMARKS:
+        times = table[name]
+        assert min(times) < 0.65, name
+        assert times[-1] > min(times), name
+    assert table["vips"][-1] > 1.0
+    assert table["swaptions"][-1] > 1.0

@@ -1,0 +1,55 @@
+"""Figure 5: topology, routing and floorplan for fine-grained sprinting --
+the 8-core convex region, a CDOR path with its NE turn, and the physical
+allocation of the thermal-aware floorplan."""
+
+from repro.core.cdor import CdorRouter
+from repro.core.deadlock import check_deadlock_freedom
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.util.directions import Direction
+
+from benchmarks.common import report
+
+
+def build_figure():
+    topo8 = SprintTopology.for_level(4, 4, 8)
+    router = CdorRouter(topo8)
+    path = router.walk(9, 2)
+    turns = router.turns(9, 2)
+    floorplan = thermal_aware_floorplan(4, 4)
+    deadlock = check_deadlock_freedom(router)
+    return topo8, path, turns, floorplan, deadlock
+
+
+def render_region(topo):
+    lines = []
+    for y in range(topo.height):
+        row = []
+        for x in range(topo.width):
+            node = y * topo.width + x
+            row.append(f"[{node:2d}]" if topo.is_active(node) else f" {node:2d} ")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def test_fig05_topology_routing_floorplan(benchmark):
+    topo8, path, turns, floorplan, deadlock = benchmark(build_figure)
+    body = (
+        "8-core sprint region (Algorithm 1, [..] = active):\n"
+        + render_region(topo8)
+        + f"\n\nCDOR route 9 -> 2: {' -> '.join(map(str, path))}"
+        + f"\nturns: {[(n, i.value, o.value) for n, i, o in turns]}"
+        + f"\ndeadlock-free: {deadlock.acyclic} "
+        + f"({deadlock.channel_count} channels, {deadlock.dependency_count} deps)"
+        + "\n\nthermal-aware floorplan Pos(logical)=physical slot:\n"
+        + str(list(floorplan.position))
+    )
+    report("Figure 5: topology, routing, floorplan", body)
+
+    # the paper's 8-core region and NE-turn example
+    assert set(topo8.active_nodes) == {0, 1, 2, 4, 5, 6, 8, 9}
+    assert path == [9, 5, 6, 2]
+    assert (5, Direction.NORTH, Direction.EAST) in turns
+    assert deadlock.acyclic
+    # 4-core sprint maps to the four die corners
+    assert {floorplan.position[n] for n in (0, 1, 4, 5)} == {0, 3, 12, 15}

@@ -1,0 +1,33 @@
+"""Figure 6 / Section 3.2: CDOR routing-logic cost -- the paper's synthesis
+shows < 2 % switch-area overhead over conventional DOR."""
+
+from repro.config import NoCConfig
+from repro.core.cdor_area import cdor_area_overhead, router_area
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+
+def area_comparison():
+    cfg = NoCConfig()
+    return cfg, router_area(cfg, "dor"), router_area(cfg, "cdor"), cdor_area_overhead(cfg)
+
+
+def test_fig06_cdor_area_overhead(benchmark):
+    cfg, dor, cdor, overhead = benchmark(area_comparison)
+    rows = [
+        ["buffers", dor.buffers, cdor.buffers],
+        ["crossbar", dor.crossbar, cdor.crossbar],
+        ["VC allocator", dor.vc_allocator, cdor.vc_allocator],
+        ["switch allocator", dor.switch_allocator, cdor.switch_allocator],
+        ["routing logic", dor.routing_logic, cdor.routing_logic],
+        ["TOTAL", dor.total, cdor.total],
+    ]
+    body = format_table(
+        ["component", "DOR (NAND2-eq)", "CDOR (NAND2-eq)"], rows, float_format="{:.0f}"
+    )
+    body += f"\nCDOR switch-area overhead: {100 * overhead:.3f} % (paper: < 2 %)"
+    report("Figure 6: CDOR routing logic area", body)
+
+    assert cdor.routing_logic > dor.routing_logic
+    assert 0 < overhead < 0.02

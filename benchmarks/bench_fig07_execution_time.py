@@ -1,0 +1,60 @@
+"""Figure 7: execution time with different sprinting mechanisms.
+
+Paper: NoC-sprinting achieves 3.6x average speedup over non-sprinting;
+full-sprinting only 1.9x because over-provisioned parallelism hurts the
+peaking workloads."""
+
+import pytest
+
+from repro.cmp.workloads import all_profiles
+from repro.util.charts import bar_chart
+from repro.util.tables import format_table
+
+from benchmarks.common import report, shared_system
+
+
+def sweep():
+    system = shared_system()
+    rows = []
+    for profile in all_profiles():
+        rows.append(
+            (
+                profile.name,
+                system.scheme_level(profile, "noc_sprinting"),
+                system.execution_time(profile, "non_sprinting"),
+                system.execution_time(profile, "full_sprinting"),
+                system.execution_time(profile, "noc_sprinting"),
+            )
+        )
+    return rows
+
+
+def test_fig07_execution_time(benchmark):
+    rows = benchmark(sweep)
+    table = [
+        [name, level, non, full, noc, 1 / full, 1 / noc]
+        for name, level, non, full, noc in rows
+    ]
+    noc_mean = sum(1 / noc for *_, noc in rows) / len(rows)
+    full_mean = sum(1 / full for _, _, _, full, _ in rows) / len(rows)
+    body = format_table(
+        ["benchmark", "level", "T(non)", "T(full)", "T(noc)", "S(full)", "S(noc)"],
+        table,
+    )
+    body += (
+        f"\nmean speedup: NoC-sprinting {noc_mean:.2f}x (paper 3.6x), "
+        f"full-sprinting {full_mean:.2f}x (paper 1.9x)\n\n"
+    )
+    body += bar_chart(
+        {f"{name} (noc)": 1 / noc for name, *_, noc in rows},
+        title="speedup over non-sprinting (NoC-sprinting)",
+    )
+    report("Figure 7: execution time by sprinting scheme", body)
+
+    assert noc_mean == pytest.approx(3.6, abs=0.25)
+    assert full_mean == pytest.approx(1.9, abs=0.25)
+    # NoC-sprinting substantially beats full-sprinting on average and never loses
+    assert noc_mean > 1.5 * full_mean
+    for name, _, non, full, noc in rows:
+        assert noc <= full + 1e-9, name
+        assert noc <= non + 1e-9, name

@@ -1,0 +1,54 @@
+"""Figure 8: core power dissipation with different sprinting schemes.
+
+Paper: fine-grained sprinting without gating saves 25.5 % vs full-sprint;
+NoC-sprinting (with gating) saves 69.1 % on average; blackscholes and
+bodytrack leave no gating headroom because their optimum is full sprint."""
+
+import pytest
+
+from repro.cmp.workloads import all_profiles
+from repro.util.tables import format_table
+
+from benchmarks.common import report, shared_system
+
+
+def sweep():
+    system = shared_system()
+    rows = []
+    for profile in all_profiles():
+        rows.append(
+            (
+                profile.name,
+                system.scheme_level(profile, "noc_sprinting"),
+                system.core_power(profile, "full_sprinting"),
+                system.core_power(profile, "naive_fine_grained"),
+                system.core_power(profile, "noc_sprinting"),
+            )
+        )
+    return rows
+
+
+def test_fig08_core_power(benchmark):
+    rows = benchmark(sweep)
+    table = [list(r) for r in rows]
+    naive_saving = 100 * (1 - sum(r[3] for r in rows) / sum(r[2] for r in rows))
+    noc_saving = 100 * (1 - sum(r[4] for r in rows) / sum(r[2] for r in rows))
+    body = format_table(
+        ["benchmark", "level", "full (W)", "fine-grained no gating (W)", "NoC-sprinting (W)"],
+        table,
+        float_format="{:.1f}",
+    )
+    body += (
+        f"\nmean saving vs full-sprinting: fine-grained (idle) {naive_saving:.1f} % "
+        f"(paper 25.5 %), NoC-sprinting {noc_saving:.1f} % (paper 69.1 %)"
+    )
+    report("Figure 8: core power dissipation", body)
+
+    assert naive_saving == pytest.approx(25.5, abs=3.0)
+    assert noc_saving == pytest.approx(69.1, abs=3.0)
+    for name, level, full, naive, noc in rows:
+        if level == 16:
+            # no gating headroom for the fully-scalable benchmarks
+            assert noc == pytest.approx(full)
+        else:
+            assert noc < naive < full, name

@@ -1,0 +1,50 @@
+"""Figure 9: average network latency running PARSEC, full-sprinting vs
+NoC-sprinting.  Paper: 24.5 % average latency reduction."""
+
+from repro.cmp.workloads import all_profiles
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report, shared_system
+
+WARMUP = 300
+MEASURE = 1200
+
+
+def sweep():
+    system = shared_system()
+    rows = []
+    for profile in all_profiles():
+        level = system.scheme_level(profile, "noc_sprinting")
+        if level < 2:
+            continue  # a level-1 workload has no network traffic to compare
+        noc = system.evaluate_network(
+            profile, "noc_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
+        )
+        full = system.evaluate_network(
+            profile, "full_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
+        )
+        rows.append((profile.name, level, full.avg_latency, noc.avg_latency))
+    return rows
+
+
+def test_fig09_network_latency(benchmark):
+    rows = once(benchmark, sweep)
+    table = [
+        [name, level, full, noc, 100 * (1 - noc / full)]
+        for name, level, full, noc in rows
+    ]
+    mean_reduction = sum(r[-1] for r in table) / len(table)
+    body = format_table(
+        ["benchmark", "level", "full-sprint (cycles)", "NoC-sprint (cycles)", "reduction %"],
+        table,
+        float_format="{:.1f}",
+    )
+    body += f"\nmean latency reduction: {mean_reduction:.1f} % (paper 24.5 %)"
+    report("Figure 9: average network latency on PARSEC", body)
+
+    assert 15.0 < mean_reduction < 40.0
+    for name, level, full, noc in rows:
+        if level == 16:
+            assert abs(full - noc) < 1e-9  # identical networks
+        else:
+            assert noc < full, name

@@ -1,0 +1,54 @@
+"""Figure 10: total network power during the sprint phase of PARSEC.
+
+Paper: NoC-sprinting saves 71.9 % network power vs full-sprinting by
+powering only the sprint region and gating the rest."""
+
+from repro.cmp.workloads import all_profiles
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report, shared_system
+
+WARMUP = 300
+MEASURE = 1200
+
+
+def sweep():
+    system = shared_system()
+    rows = []
+    for profile in all_profiles():
+        level = system.scheme_level(profile, "noc_sprinting")
+        if level < 2:
+            continue
+        noc = system.evaluate_network(
+            profile, "noc_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
+        )
+        full = system.evaluate_network(
+            profile, "full_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
+        )
+        rows.append((profile.name, level, full.total_power_w, noc.total_power_w))
+    return rows
+
+
+def test_fig10_network_power(benchmark):
+    rows = once(benchmark, sweep)
+    table = [
+        [name, level, full * 1e3, noc * 1e3, 100 * (1 - noc / full)]
+        for name, level, full, noc in rows
+    ]
+    mean_saving = sum(r[-1] for r in table) / len(table)
+    body = format_table(
+        ["benchmark", "level", "full-sprint (mW)", "NoC-sprint (mW)", "saving %"],
+        table,
+        float_format="{:.1f}",
+    )
+    body += f"\nmean network power saving: {mean_saving:.1f} % (paper 71.9 %)"
+    report("Figure 10: total network power on PARSEC", body)
+
+    assert 55.0 < mean_saving < 85.0
+    # the lower the sprint level, the bigger the saving
+    by_level = {}
+    for name, level, full, noc in rows:
+        by_level.setdefault(level, []).append(1 - noc / full)
+    means = {lvl: sum(v) / len(v) for lvl, v in by_level.items()}
+    levels = sorted(means)
+    assert all(means[a] >= means[b] for a, b in zip(levels, levels[1:]))

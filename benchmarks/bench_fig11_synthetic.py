@@ -1,0 +1,152 @@
+"""Figure 11: synthetic uniform-random traffic, 4-core and 8-core sprinting
+on a 16-core system.
+
+Paper observations reproduced here:
+(1) NoC-sprinting cuts pre-saturation flit latency (45.1 % at 4-core,
+    16.1 % at 8-core -- the benefit shrinks at higher levels);
+(2) it cuts network power (62.1 % / 25.9 %);
+(3) it saturates earlier, but PARSEC loads (< 0.3) never get there.
+"""
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.sim import run_simulation
+from repro.noc.traffic import TrafficGenerator
+from repro.power.activity import network_power
+from repro.util.charts import line_plot
+from repro.util.rng import stream
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+CFG = NoCConfig()
+FULL = SprintTopology.for_level(4, 4, 16)
+RATES = (0.05, 0.15, 0.25, 0.35, 0.45)
+HIGH_RATES = (0.7, 0.9)
+MAPPING_SAMPLES = 4  # paper averages over ten random mappings; 4 keeps CI fast
+WARMUP, MEASURE, DRAIN = (300, 1000, 4000)
+
+
+def run_noc(level, rate):
+    topo = SprintTopology.for_level(4, 4, level)
+    traffic = TrafficGenerator(
+        list(topo.active_nodes), rate, CFG.packet_length_flits, "uniform", seed=7
+    )
+    result = run_simulation(topo, traffic, CFG, routing="cdor",
+                            warmup_cycles=WARMUP, measure_cycles=MEASURE,
+                            drain_cycles=DRAIN)
+    return result, network_power(result, topo, CFG)
+
+
+def run_full(level, rate):
+    latencies, powers, saturated = [], [], 0
+    for sample in range(MAPPING_SAMPLES):
+        endpoints = stream(sample, "fig11-mapping").sample(range(16), level)
+        traffic = TrafficGenerator(endpoints, rate, CFG.packet_length_flits,
+                                   "uniform", seed=7 + sample)
+        result = run_simulation(FULL, traffic, CFG, routing="xy",
+                                warmup_cycles=WARMUP, measure_cycles=MEASURE,
+                                drain_cycles=DRAIN)
+        latencies.append(result.avg_latency)
+        powers.append(network_power(result, FULL, CFG).total)
+        saturated += result.saturated
+    n = MAPPING_SAMPLES
+    return sum(latencies) / n, sum(powers) / n, saturated
+
+
+def sweep(level):
+    rows = []
+    for rate in RATES:
+        noc_res, noc_pow = run_noc(level, rate)
+        full_lat, full_pow, _ = run_full(level, rate)
+        rows.append((rate, noc_res.avg_latency, full_lat,
+                     noc_pow.total, full_pow, noc_res.saturated))
+    return rows
+
+
+def saturation_probe(level):
+    probes = []
+    for rate in HIGH_RATES:
+        noc_res, _ = run_noc(level, rate)
+        full_lat, _, full_sat = run_full(level, rate)
+        probes.append((rate, noc_res.avg_latency, full_lat))
+    return probes
+
+
+def _report_level(level, rows, probes):
+    table = [
+        [rate, noc_lat, full_lat, 100 * (1 - noc_lat / full_lat),
+         noc_p * 1e3, full_p * 1e3, 100 * (1 - noc_p / full_p)]
+        for rate, noc_lat, full_lat, noc_p, full_p, _ in rows
+    ]
+    lat_red = sum(r[3] for r in table) / len(table)
+    pow_red = sum(r[6] for r in table) / len(table)
+    body = format_table(
+        ["inj rate", "noc lat", "full lat", "lat red %", "noc mW", "full mW", "pow red %"],
+        table,
+        float_format="{:.1f}",
+    )
+    body += "".join(
+        f"\nhigh-load probe rate={rate:.2f}: noc {noc:.1f} vs full {full:.1f} cycles"
+        for rate, noc, full in probes
+    )
+    body += f"\npre-saturation means: latency -{lat_red:.1f} %, power -{pow_red:.1f} %\n\n"
+    body += line_plot(
+        {
+            "NoC-sprinting": [(rate, noc_lat) for rate, noc_lat, *_ in rows],
+            "full-sprinting": [(rate, full_lat) for rate, _, full_lat, *_ in rows],
+        },
+        width=48,
+        height=10,
+        title="average flit latency vs injection rate",
+    )
+    report(f"Figure 11: {level}-core sprinting, uniform-random traffic", body)
+    return lat_red, pow_red
+
+
+def test_fig11_four_core(benchmark):
+    rows, probes = once(benchmark, lambda: (sweep(4), saturation_probe(4)))
+    lat_red, pow_red = _report_level(4, rows, probes)
+    # paper: -45.1 % latency, -62.1 % power; our zero-load pipeline gives a
+    # slightly smaller latency gap but the same ordering and scale
+    assert 20.0 < lat_red < 55.0
+    assert 50.0 < pow_red < 85.0
+    assert all(not sat for *_, sat in rows)  # pre-saturation region
+
+
+def test_fig11_eight_core(benchmark):
+    rows, probes = once(benchmark, lambda: (sweep(8), saturation_probe(8)))
+    lat_red, pow_red = _report_level(8, rows, probes)
+    # paper: -16.1 % latency, -25.9 % power
+    assert 8.0 < lat_red < 30.0
+    assert 25.0 < pow_red < 60.0
+    # the benefit shrinks when sprinting to a higher level
+    rows4, _ = (sweep(4), None)
+    lat4 = sum(100 * (1 - r[1] / r[2]) for r in rows4) / len(rows4)
+    assert lat4 > lat_red
+
+
+def test_fig11_earlier_saturation(benchmark):
+    """NoC-sprinting's region saturates before the full network: at light
+    load the compact region wins, but as the load climbs its latency curve
+    crosses over and blows up first (the paper's stated downside, harmless
+    because PARSEC never exceeds 0.3 flits/cycle)."""
+    def probe():
+        points = []
+        for rate in (0.05, 0.9):
+            noc_res, _ = run_noc(8, rate)
+            full_lat, _, _ = run_full(8, rate)
+            points.append((rate, noc_res.avg_latency, full_lat))
+        return points
+
+    points = once(benchmark, probe)
+    body = "\n".join(
+        f"rate={rate:.2f}: NoC-sprinting {noc:.1f} vs full-sprinting {full:.1f} cycles"
+        for rate, noc, full in points
+    )
+    report("Figure 11 (saturation crossover): 8-core sprint", body)
+    (light_rate, light_noc, light_full), (heavy_rate, heavy_noc, heavy_full) = points
+    assert light_noc < light_full  # compact region wins pre-saturation
+    assert heavy_noc > heavy_full  # ...and hits its saturation wall first
+    # the blow-up is dramatic relative to the light-load latency
+    assert heavy_noc > 5 * light_noc

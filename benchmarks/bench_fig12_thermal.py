@@ -1,0 +1,60 @@
+"""Figure 12: steady-state heat maps for dedup (optimal level 4).
+
+Paper peaks: full-sprinting 358.3 K (centre hotspot), 4-core NoC-sprinting
+347.79 K, NoC-sprinting + thermal-aware floorplanning 343.81 K."""
+
+import numpy as np
+import pytest
+
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.floorplan import sprint_tile_powers
+from repro.thermal.grid import ThermalGrid
+from repro.util.tables import render_heatmap
+
+from benchmarks.common import once, report
+
+PAPER = {"full": 358.3, "cluster": 347.79, "floorplanned": 343.81}
+
+
+def heat_maps():
+    grid = ThermalGrid(4, 4, 4)
+    chip = ChipPowerModel(16)
+    full_topo = SprintTopology.for_level(4, 4, 16)
+    topo4 = SprintTopology.for_level(4, 4, 4)  # dedup's optimal level
+    fp = thermal_aware_floorplan(4, 4)
+    scenarios = {
+        "full": sprint_tile_powers(full_topo, chip),
+        "cluster": sprint_tile_powers(topo4, chip),
+        "floorplanned": sprint_tile_powers(topo4, chip, fp),
+    }
+    return {
+        name: grid.tile_temperatures(powers) for name, powers in scenarios.items()
+    }, {name: grid.peak_temperature(powers) for name, powers in scenarios.items()}
+
+
+def test_fig12_heat_maps(benchmark):
+    maps, peaks = once(benchmark, heat_maps)
+    body = ""
+    for name in ("full", "cluster", "floorplanned"):
+        body += (
+            f"\n(12{'abc'[list(PAPER).index(name)]}) {name}: "
+            f"peak {peaks[name]:.2f} K (paper {PAPER[name]} K)\n"
+            + render_heatmap(maps[name])
+            + "\n"
+        )
+    report("Figure 12: heat maps, dedup at sprint level 4", body)
+
+    for name, paper_peak in PAPER.items():
+        assert peaks[name] == pytest.approx(paper_peak, abs=1.5), name
+    assert peaks["full"] > peaks["cluster"] > peaks["floorplanned"]
+
+    # full-sprint hotspot sits in the die centre (Figure 12a)
+    full_map = maps["full"]
+    peak_tile = np.unravel_index(full_map.argmax(), full_map.shape)
+    assert peak_tile[0] in (1, 2) and peak_tile[1] in (1, 2)
+
+    # clustered sprint heats the master corner (Figure 12b)
+    cluster_map = maps["cluster"]
+    assert cluster_map[0, 0] == cluster_map.max()

@@ -1,0 +1,99 @@
+"""Section 3.4: LLC architecture vs network power gating.
+
+The paper: gating "works perfectly" for private / centralized / NUCA LLCs;
+tile-interleaved shared LLCs send accesses to dark banks, so either the
+network stays fully powered (no gating benefit) or bypass paths [4] front
+the dark banks.  This bench measures all three options during a 4-core
+sprint."""
+
+from repro.cmp.llc import LlcAccessStream, LlcArchitecture
+from repro.config import NoCConfig
+from repro.core.bypass import BYPASS_ENERGY_PER_FLIT_J, plan_bypass
+from repro.core.topological import SprintTopology
+from repro.noc.llc_sim import run_llc_simulation
+from repro.power.activity import network_power
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+CFG = NoCConfig()
+ACCESS_RATE = 0.05
+WARMUP, MEASURE = 300, 1200
+
+
+def sweep():
+    region = SprintTopology.for_level(4, 4, 4)
+    full = SprintTopology.for_level(4, 4, 16)
+    cores = list(region.active_nodes)
+    rows = []
+
+    def power_of(result, topology):
+        net = network_power(result, topology, CFG).total
+        bypass_w = (
+            result.bypass_flits * BYPASS_ENERGY_PER_FLIT_J
+            / (result.measure_cycles / 2.0e9)
+        )
+        return net + bypass_w
+
+    # centralized shared LLC on the gated region (gating "works perfectly")
+    central = run_llc_simulation(
+        region,
+        LlcAccessStream(cores, LlcArchitecture.CENTRALIZED, ACCESS_RATE, seed=1),
+        CFG, "cdor", warmup_cycles=WARMUP, measure_cycles=MEASURE,
+    )
+    rows.append(("centralized, gated", central, power_of(central, region), 4))
+
+    # tiled LLC with bypass paths on the gated region (the paper's choice)
+    tiled_bypass = run_llc_simulation(
+        region,
+        LlcAccessStream(cores, LlcArchitecture.TILED, ACCESS_RATE, seed=1),
+        CFG, "cdor", bypass=plan_bypass(region),
+        warmup_cycles=WARMUP, measure_cycles=MEASURE,
+    )
+    rows.append(("tiled + bypass, gated", tiled_bypass, power_of(tiled_bypass, region), 4))
+
+    # tiled LLC without bypass: the network cannot be gated at all
+    tiled_full = run_llc_simulation(
+        full,
+        LlcAccessStream(cores, LlcArchitecture.TILED, ACCESS_RATE, seed=1),
+        CFG, "xy", warmup_cycles=WARMUP, measure_cycles=MEASURE,
+    )
+    rows.append(("tiled, network fully on", tiled_full, power_of(tiled_full, full), 16))
+    return rows
+
+
+def test_llc_architectures(benchmark):
+    rows = once(benchmark, sweep)
+    table = [
+        [
+            name,
+            routers,
+            result.avg_round_trip,
+            result.p95_round_trip,
+            100 * result.dark_access_fraction,
+            power * 1e3,
+        ]
+        for name, result, power, routers in rows
+    ]
+    report(
+        "Section 3.4: LLC architecture vs gating (4-core sprint)",
+        format_table(
+            ["configuration", "routers on", "round-trip (cyc)", "p95",
+             "dark accesses %", "net power (mW)"],
+            table,
+            float_format="{:.1f}",
+        ),
+    )
+
+    by_name = {name: (result, power) for name, result, power, _ in rows}
+    bypass_result, bypass_power = by_name["tiled + bypass, gated"]
+    full_result, full_power = by_name["tiled, network fully on"]
+    central_result, central_power = by_name["centralized, gated"]
+
+    # bypass preserves the gating benefit: a fraction of the full-network power
+    assert bypass_power < 0.5 * full_power
+    # ...while still reaching every bank (nothing saturates, everything completes)
+    assert not bypass_result.saturated
+    assert bypass_result.dark_access_fraction > 0.5
+    # the gated configurations burn similar power (both power 4 routers)
+    assert abs(bypass_power - central_power) < 0.5 * central_power

@@ -1,0 +1,18 @@
+"""Table 1: system and interconnect configuration."""
+
+from repro.config import default_config, table1_rows
+from repro.util.tables import format_table
+
+from benchmarks.common import report
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    report(
+        "Table 1: System and Interconnect configuration",
+        format_table(["parameter", "value", "parameter", "value"], rows),
+    )
+    cfg = default_config()
+    assert cfg.core_count == 16
+    assert cfg.noc.node_count == 16
+    assert len(rows) == 6

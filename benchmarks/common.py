@@ -1,0 +1,30 @@
+"""Shared helpers for the figure/table benchmark harness.
+
+Every bench prints the rows/series the corresponding paper figure reports
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+asserts the *shape* of the result -- who wins, by roughly what factor,
+where crossovers fall -- not the authors' absolute numbers.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.system import NoCSprintingSystem
+
+
+def report(title: str, body: str) -> None:
+    """Print a figure reproduction block."""
+    bar = "=" * max(len(title), 40)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@functools.lru_cache(maxsize=1)
+def shared_system() -> NoCSprintingSystem:
+    """One system instance shared across bench modules."""
+    return NoCSprintingSystem()

@@ -1,0 +1,58 @@
+"""Spatial co-scheduling: two workloads sprinting at once.
+
+Run:  python examples/co_scheduling.py [benchA] [benchB]
+
+Grows disjoint convex regions from opposite corners for two workloads,
+verifies per-region CDOR deadlock freedom, and compares finishing both
+bursts spatially (simultaneously) vs temporally (one sprint at a time).
+"""
+
+import sys
+
+from repro.cmp import get_profile
+from repro.core import CdorRouter, check_deadlock_freedom
+from repro.core.coschedule import plan_co_sprint
+from repro.core.scheduler import Burst, SprintScheduler
+
+WORK_S = 3.0
+
+
+def render_regions(sprints, width=4, height=4) -> str:
+    owner = {}
+    for index, (_, sprint) in enumerate(sprints):
+        for node in sprint.topology.active_nodes:
+            owner[node] = chr(ord("A") + index)
+    lines = []
+    for y in range(height):
+        row = []
+        for x in range(width):
+            node = y * width + x
+            row.append(f"[{owner[node]}]" if node in owner else " . ")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    name_a = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+    name_b = sys.argv[2] if len(sys.argv) > 2 else "streamcluster"
+    a, b = get_profile(name_a), get_profile(name_b)
+
+    pairs = plan_co_sprint(4, 4, [(a, 0), (b, 15)])
+    print("co-scheduled regions (A = %s, B = %s):" % (name_a, name_b))
+    print(render_regions(pairs))
+    for profile, sprint in pairs:
+        report = check_deadlock_freedom(CdorRouter(sprint.topology))
+        print(f"  {profile.name:14s} level {sprint.level} from master "
+              f"{sprint.master}: deadlock-free={report.acyclic}")
+
+    spatial = max(WORK_S * p.relative_time(s.level) for p, s in pairs)
+    temporal = SprintScheduler().run(
+        [Burst(a, 0.0, WORK_S), Burst(b, 0.0, WORK_S)], "noc_sprinting"
+    )
+    print(f"\nspatial makespan:  {spatial:.2f} s (both sprint simultaneously)")
+    print(f"temporal makespan: {temporal.makespan_s:.2f} s (one sprint at a time)")
+    print(f"co-scheduling wins by {temporal.makespan_s - spatial:.2f} s on this pair")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Custom workloads and the sprint controller state machine.
+
+Run:  python examples/custom_workload.py
+
+Defines a new workload profile from scratch (the format off-line profiling
+or a run-time monitor would produce), plans a sprint for it, then drives
+the controller through sprint -> thermal exhaustion -> cooldown -> sprint,
+printing the mode transitions and remaining PCM headroom.
+"""
+
+from repro.cmp import BenchmarkProfile
+from repro.core import SprintController, SprintMode
+
+
+def main() -> None:
+    # an imaginary streaming workload: scales well to 8 cores, then chokes
+    # on synchronization; talks to the network a lot
+    workload = BenchmarkProfile(
+        name="my-streaming-app",
+        scaling={1: 1.0, 2: 0.54, 4: 0.30, 8: 0.21, 16: 0.55},
+        comm_sensitivity=0.35,
+        injection_rate=0.2,
+        traffic_pattern="neighbor",
+    )
+    controller = SprintController()
+    plan = controller.plan(workload)
+    print(f"optimal level for {workload.name}: {plan.level}")
+    print(f"sprint region: {list(plan.active_cores)}")
+    print(f"expected speedup: {plan.expected_speedup:.2f}x")
+    print(f"sprint power: {plan.sprint_power_w:.1f} W, "
+          f"thermal budget: {controller.max_sprint_duration(plan):.2f} s\n")
+
+    print("driving the sprint state machine in 0.5 s steps:")
+    controller.begin_sprint(workload)
+    for step in range(12):
+        sustained = controller.advance(0.5)
+        print(f"  t={0.5 * (step + 1):4.1f}s mode={controller.mode.value:9s} "
+              f"sustained={sustained:4.2f}s headroom={controller.thermal_headroom:5.1%}")
+        if controller.mode is SprintMode.NOMINAL:
+            break
+
+    if controller.mode is SprintMode.NOMINAL:
+        print("\nPCM re-solidified; sprinting again:")
+        plan = controller.begin_sprint(workload)
+        sustained = controller.advance(1.0)
+        print(f"  second sprint sustained {sustained:.2f}s, "
+              f"mode={controller.mode.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""PARSEC sweep: reproduce the paper's evaluation tables in one run.
+
+Run:  python examples/parsec_sweep.py
+
+For all 13 PARSEC 2.1 workloads, compares non-sprinting, full-sprinting
+and NoC-sprinting on execution time (Fig. 7), core power (Fig. 8), and --
+with the cycle simulator -- network latency (Fig. 9) and power (Fig. 10).
+"""
+
+from repro import NoCSprintingSystem
+from repro.cmp import all_profiles
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    system = NoCSprintingSystem()
+    rows = []
+    lat_reductions = []
+    pow_reductions = []
+    for profile in all_profiles():
+        level = system.scheme_level(profile, "noc_sprinting")
+        s_full = system.speedup(profile, "full_sprinting")
+        s_noc = system.speedup(profile, "noc_sprinting")
+        p_full = system.core_power(profile, "full_sprinting")
+        p_noc = system.core_power(profile, "noc_sprinting")
+        if level >= 2:
+            noc = system.evaluate_network(profile, "noc_sprinting",
+                                          warmup_cycles=300, measure_cycles=1000)
+            full = system.evaluate_network(profile, "full_sprinting",
+                                           warmup_cycles=300, measure_cycles=1000)
+            lat = 100 * (1 - noc.avg_latency / full.avg_latency)
+            pw = 100 * (1 - noc.total_power_w / full.total_power_w)
+            lat_reductions.append(lat)
+            pow_reductions.append(pw)
+            net = f"{lat:5.1f}%/{pw:5.1f}%"
+        else:
+            net = "    (serial)"
+        rows.append([profile.name, level, s_full, s_noc, p_full, p_noc, net])
+
+    print(format_table(
+        ["benchmark", "level", "S(full)", "S(noc)",
+         "coreP full (W)", "coreP noc (W)", "net lat/pow saving"],
+        rows,
+        title="NoC-Sprinting vs full-sprinting across PARSEC 2.1",
+        float_format="{:.2f}",
+    ))
+    n = len(all_profiles())
+    print(f"mean speedup:          full {sum(r[2] for r in rows) / n:.2f}x, "
+          f"NoC-sprinting {sum(r[3] for r in rows) / n:.2f}x (paper: 1.9x / 3.6x)")
+    print(f"mean core power saving: "
+          f"{100 * (1 - sum(r[5] for r in rows) / sum(r[4] for r in rows)):.1f} % (paper: 69.1 %)")
+    print(f"mean net latency saving: {sum(lat_reductions) / len(lat_reductions):.1f} % (paper: 24.5 %)")
+    print(f"mean net power saving:   {sum(pow_reductions) / len(pow_reductions):.1f} % (paper: 71.9 %)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: plan and evaluate one fine-grained sprint.
+
+Run:  python examples/quickstart.py [benchmark]
+
+Picks the workload's optimal sprint level (off-line profiling), builds the
+convex sprint topology with CDOR routing, then reports the paper's four
+axes for it: speedup, core power, network latency/power, and thermals.
+"""
+
+import sys
+
+from repro import NoCSprintingSystem, SprintController
+from repro.cmp import get_profile
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+    profile = get_profile(benchmark)
+
+    controller = SprintController()
+    plan = controller.plan(profile)
+    print(f"workload:            {profile.name}")
+    print(f"optimal sprint level: {plan.level} of 16 cores")
+    print(f"active nodes:        {list(plan.active_cores)}")
+    print(f"gated routers:       {len(plan.gating.gated)}")
+    print(f"sprint chip power:   {plan.sprint_power_w:.1f} W")
+    print(f"thermal budget:      {controller.max_sprint_duration(plan):.2f} s")
+    print()
+
+    system = NoCSprintingSystem()
+    for scheme in ("non_sprinting", "full_sprinting", "noc_sprinting"):
+        row = system.evaluate(profile, scheme, simulate_network=True, thermal=True)
+        net = row.network
+        print(
+            f"{scheme:18s} level={row.level:2d} speedup={row.speedup:5.2f}x "
+            f"core={row.core_power_w:6.1f}W "
+            f"net_lat={net.avg_latency:5.1f}cyc net_pow={net.total_power_w * 1e3:6.1f}mW "
+            f"peak={row.peak_temperature_k:6.1f}K"
+        )
+
+    gain = system.sprint_duration_gain(profile)
+    print(f"\nsprint duration gain vs full-sprinting: {100 * (gain - 1):+.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Thermal analysis: heat maps and the sprint timeline (Figs. 1 and 12).
+
+Run:  python examples/thermal_analysis.py [benchmark]
+
+Shows the steady-state per-tile heat maps for full-sprinting, NoC-sprinting
+and NoC-sprinting + thermal-aware floorplanning, then the PCM sprint-phase
+timeline for each scheme's chip power.
+"""
+
+import sys
+
+from repro.cmp import get_profile, profile_workload
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.power import ChipPowerModel
+from repro.thermal import (
+    ThermalGrid,
+    sprint_phases,
+    sprint_tile_powers,
+)
+from repro.util.tables import render_heatmap
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+    profile = get_profile(benchmark)
+    level = profile_workload(profile).level
+    print(f"{profile.name}: optimal sprint level {level}\n")
+
+    grid = ThermalGrid(4, 4, 4)
+    chip = ChipPowerModel(16)
+    full_topo = SprintTopology.for_level(4, 4, 16)
+    topo = SprintTopology.for_level(4, 4, level)
+    fp = thermal_aware_floorplan(4, 4)
+
+    scenarios = [
+        ("full-sprinting (uniform power)", sprint_tile_powers(full_topo, chip)),
+        (f"NoC-sprinting, level {level} (clustered)", sprint_tile_powers(topo, chip)),
+        (f"NoC-sprinting + floorplanning", sprint_tile_powers(topo, chip, fp)),
+    ]
+    for name, powers in scenarios:
+        tiles = grid.tile_temperatures(powers)
+        print(f"--- {name}: total {sum(powers):.1f} W, "
+              f"peak {grid.peak_temperature(powers):.2f} K ---")
+        print(render_heatmap(tiles))
+        print()
+
+    print("PCM sprint phases (heat-to-melt / melting / melt-to-max):")
+    for scheme, label in (("full", "full-sprinting"), ("noc_sprinting", "NoC-sprinting")):
+        power = chip.sprint_chip_power(level if scheme != "full" else 16, scheme).total
+        phases = sprint_phases(power)
+        if phases.total_s == float("inf"):
+            print(f"  {label:14s} {power:6.1f} W -> below sustainable TDP: unconstrained sprint")
+        else:
+            print(f"  {label:14s} {power:6.1f} W -> "
+                  f"{phases.heat_to_melt_s * 1e3:6.1f} ms / "
+                  f"{phases.melting_s * 1e3:7.1f} ms / "
+                  f"{phases.melt_to_max_s * 1e3:6.1f} ms "
+                  f"= {phases.total_s:.3f} s total")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro -- a full reproduction of *NoC-Sprinting: Interconnect for
+Fine-Grained Sprinting in the Dark Silicon Era* (Zhan, Xie, Sun; DAC 2014).
+
+The package provides:
+
+- :mod:`repro.core` -- the paper's contribution: topological sprinting
+  (Algorithm 1), CDOR routing (Algorithm 2), thermal-aware floorplanning
+  (Algorithms 3-4), sprint-aware network power gating, the sprint
+  controller, and the end-to-end :class:`~repro.core.NoCSprintingSystem`.
+- :mod:`repro.noc` -- a cycle-level wormhole VC network simulator
+  (booksim/Garnet substitute).
+- :mod:`repro.power` -- router/link energy (DSENT substitute) and chip
+  power (McPAT substitute) models.
+- :mod:`repro.thermal` -- an RC thermal grid (HotSpot substitute) and the
+  phase-change-material sprint-duration model.
+- :mod:`repro.cmp` -- PARSEC 2.1 workload profiles and the CMP
+  execution-time model (gem5 substitute).
+
+Quick start::
+
+    from repro import NoCSprintingSystem
+
+    system = NoCSprintingSystem()
+    row = system.evaluate("dedup", "noc_sprinting", simulate_network=True)
+    print(row.level, row.speedup, row.network.avg_latency)
+"""
+
+from repro.config import NoCConfig, SystemConfig, default_config
+from repro.core import (
+    CdorRouter,
+    NoCSprintingSystem,
+    SprintController,
+    SprintPlan,
+    SprintTopology,
+    check_deadlock_freedom,
+    sprint_order,
+    thermal_aware_floorplan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NoCConfig",
+    "SystemConfig",
+    "default_config",
+    "CdorRouter",
+    "NoCSprintingSystem",
+    "SprintController",
+    "SprintPlan",
+    "SprintTopology",
+    "check_deadlock_freedom",
+    "sprint_order",
+    "thermal_aware_floorplan",
+    "__version__",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map onto the paper's evaluation axes:
+
+- ``table1``                 print the Table 1 configuration
+- ``sprint <benchmark>``     plan + evaluate one workload across schemes
+- ``sweep``                  the full PARSEC evaluation (Figs. 7-10 axes)
+- ``network``                injection-rate sweep on a sprint region (Fig. 11)
+- ``thermal [benchmark]``    heat maps and PCM phases (Figs. 1, 12)
+- ``duration``               per-benchmark sprint-duration gains (Sec. 4.4)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.cmp.workloads import PARSEC_PROFILES, all_profiles, get_profile
+from repro.config import table1_rows
+from repro.core.system import NoCSprintingSystem
+from repro.thermal.pcm import sprint_phases
+from repro.util.tables import format_table, render_heatmap
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table(["parameter", "value", "parameter", "value"], table1_rows(),
+                       title="Table 1: system and interconnect configuration"))
+    return 0
+
+
+def _cmd_sprint(args: argparse.Namespace) -> int:
+    system = NoCSprintingSystem()
+    profile = get_profile(args.benchmark)
+    rows = []
+    for scheme in ("non_sprinting", "full_sprinting", "noc_sprinting"):
+        row = system.evaluate(profile, scheme,
+                              simulate_network=not args.no_network,
+                              thermal=not args.no_thermal)
+        rows.append([
+            scheme,
+            row.level,
+            row.speedup,
+            row.core_power_w,
+            row.network.avg_latency if row.network else float("nan"),
+            row.network.total_power_w * 1e3 if row.network else float("nan"),
+            row.peak_temperature_k if row.peak_temperature_k else float("nan"),
+        ])
+    print(format_table(
+        ["scheme", "level", "speedup", "core W", "net lat (cyc)", "net mW", "peak K"],
+        rows,
+        title=f"{profile.name}: sprinting-scheme comparison",
+        float_format="{:.2f}",
+    ))
+    gain = system.sprint_duration_gain(profile)
+    print(f"sprint duration gain vs full-sprinting: {100 * (gain - 1):+.1f} %")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    system = NoCSprintingSystem()
+    rows = []
+    for profile in all_profiles():
+        rows.append([
+            profile.name,
+            system.scheme_level(profile, "noc_sprinting"),
+            system.speedup(profile, "full_sprinting"),
+            system.speedup(profile, "noc_sprinting"),
+            system.core_power(profile, "full_sprinting"),
+            system.core_power(profile, "noc_sprinting"),
+            system.sprint_duration_gain(profile),
+        ])
+    print(format_table(
+        ["benchmark", "level", "S(full)", "S(noc)", "coreW full", "coreW noc", "dur gain"],
+        rows,
+        title="PARSEC 2.1 sweep",
+        float_format="{:.2f}",
+    ))
+    n = len(rows)
+    print(f"means: S(full)={sum(r[2] for r in rows) / n:.2f} "
+          f"S(noc)={sum(r[3] for r in rows) / n:.2f} "
+          f"duration gain=+{100 * (sum(r[6] for r in rows) / n - 1):.1f}%")
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.config import NoCConfig
+    from repro.core.topological import SprintTopology
+    from repro.noc import TrafficGenerator, run_simulation
+    from repro.power import network_power
+
+    cfg = NoCConfig()
+    topo = SprintTopology.for_level(cfg.mesh_width, cfg.mesh_height, args.level)
+    routing = "cdor" if args.level < cfg.node_count else "xy"
+    rows = []
+    for rate in args.rates:
+        traffic = TrafficGenerator(list(topo.active_nodes), rate,
+                                   cfg.packet_length_flits, args.pattern,
+                                   seed=args.seed)
+        result = run_simulation(topo, traffic, cfg, routing=routing,
+                                warmup_cycles=400, measure_cycles=1500,
+                                drain_cycles=5000)
+        power = network_power(result, topo, cfg)
+        rows.append([
+            rate, result.avg_latency, result.p99_latency,
+            result.accepted_flits_per_cycle, power.total * 1e3,
+            "yes" if result.saturated else "",
+        ])
+    print(format_table(
+        ["inj rate", "avg lat", "p99 lat", "accepted", "power mW", "saturated"],
+        rows,
+        title=f"{args.level}-node sprint region, {args.pattern} traffic ({routing})",
+        float_format="{:.2f}",
+    ))
+    return 0
+
+
+def _cmd_thermal(args: argparse.Namespace) -> int:
+    from repro.core.floorplanning import thermal_aware_floorplan
+    from repro.core.topological import SprintTopology
+    from repro.power.chip_power import ChipPowerModel
+    from repro.thermal.floorplan import sprint_tile_powers
+    from repro.thermal.grid import ThermalGrid
+
+    system = NoCSprintingSystem()
+    profile = get_profile(args.benchmark)
+    level = system.scheme_level(profile, "noc_sprinting")
+    grid = ThermalGrid(4, 4, 4)
+    chip = ChipPowerModel(16)
+    scenarios = [
+        ("full-sprinting", sprint_tile_powers(SprintTopology.for_level(4, 4, 16), chip)),
+        (f"NoC-sprinting (level {level})",
+         sprint_tile_powers(SprintTopology.for_level(4, 4, level), chip)),
+        ("NoC-sprinting + floorplan",
+         sprint_tile_powers(SprintTopology.for_level(4, 4, level), chip,
+                            thermal_aware_floorplan(4, 4))),
+    ]
+    for name, powers in scenarios:
+        print(f"--- {name}: {sum(powers):.1f} W, peak {grid.peak_temperature(powers):.2f} K ---")
+        print(render_heatmap(grid.tile_temperatures(powers)))
+        print()
+        phases = sprint_phases(sum(powers))
+        if phases.total_s == float("inf"):
+            print("    below sustainable TDP: thermally unconstrained\n")
+        else:
+            print(f"    sprint phases: {phases.heat_to_melt_s * 1e3:.0f} / "
+                  f"{phases.melting_s * 1e3:.0f} / {phases.melt_to_max_s * 1e3:.0f} ms "
+                  f"(total {phases.total_s:.2f} s)\n")
+    return 0
+
+
+def _cmd_duration(args: argparse.Namespace) -> int:
+    system = NoCSprintingSystem()
+    rows = []
+    for profile in all_profiles():
+        gain = system.sprint_duration_gain(profile)
+        rows.append([profile.name,
+                     system.scheme_level(profile, "noc_sprinting"),
+                     gain])
+    mean = sum(r[2] for r in rows) / len(rows)
+    print(format_table(["benchmark", "level", "duration gain"], rows,
+                       title="Sprint-duration gains (Section 4.4)"))
+    print(f"mean: +{100 * (mean - 1):.1f} % (paper +55.4 %)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NoC-Sprinting (DAC 2014) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 configuration")
+
+    sprint = sub.add_parser("sprint", help="evaluate one workload across schemes")
+    sprint.add_argument("benchmark", choices=sorted(PARSEC_PROFILES))
+    sprint.add_argument("--no-network", action="store_true",
+                        help="skip the cycle simulation")
+    sprint.add_argument("--no-thermal", action="store_true",
+                        help="skip the thermal grid solve")
+
+    sub.add_parser("sweep", help="the full PARSEC evaluation summary")
+
+    network = sub.add_parser("network", help="injection sweep on a sprint region")
+    network.add_argument("--level", type=int, default=4)
+    network.add_argument("--pattern", default="uniform",
+                         choices=["uniform", "neighbor", "bit_complement",
+                                  "tornado", "transpose", "hotspot"])
+    network.add_argument("--rates", type=float, nargs="+",
+                         default=[0.05, 0.15, 0.25, 0.35, 0.5])
+    network.add_argument("--seed", type=int, default=0)
+
+    thermal = sub.add_parser("thermal", help="heat maps and PCM phases")
+    thermal.add_argument("benchmark", nargs="?", default="dedup",
+                         choices=sorted(PARSEC_PROFILES))
+
+    sub.add_parser("duration", help="sprint-duration gains per benchmark")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure via its benchmark harness"
+    )
+    figure.add_argument(
+        "figure_id",
+        help="e.g. fig07, fig11, table1, ablation_routing, extension_dvfs, llc",
+    )
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    """Run a figure's benchmark file through pytest and show its tables."""
+    import glob
+    import os
+
+    import pytest
+
+    bench_dir = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+    bench_dir = os.path.normpath(bench_dir)
+    if not os.path.isdir(bench_dir):
+        print("benchmarks/ directory not found; run from a source checkout")
+        return 2
+    matches = sorted(glob.glob(os.path.join(bench_dir, f"bench_*{args.figure_id}*.py")))
+    if not matches:
+        available = sorted(
+            os.path.basename(p)[len("bench_"):-len(".py")]
+            for p in glob.glob(os.path.join(bench_dir, "bench_*.py"))
+        )
+        print(f"no bench matches {args.figure_id!r}; available: {', '.join(available)}")
+        return 2
+    return pytest.main(matches + ["--benchmark-only", "-s", "-q",
+                                  "--benchmark-disable-gc", "--benchmark-quiet"])
+
+
+_HANDLERS = {
+    "table1": _cmd_table1,
+    "sprint": _cmd_sprint,
+    "sweep": _cmd_sweep,
+    "network": _cmd_network,
+    "thermal": _cmd_thermal,
+    "duration": _cmd_duration,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

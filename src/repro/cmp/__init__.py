@@ -1,0 +1,48 @@
+"""CMP workload substrate (gem5 + PARSEC 2.1 substitute): per-benchmark
+scaling profiles, the execution-time model, and workload->NoC traffic."""
+
+from repro.cmp.perf_model import (
+    LEVEL_TOLERANCE,
+    SPRINT_LEVELS,
+    BenchmarkProfile,
+    SprintDecision,
+    profile_workload,
+)
+from repro.cmp.llc import LlcAccessStream, LlcArchitecture, home_bank
+from repro.cmp.monitor import (
+    OnlineParallelismMonitor,
+    monitor_agrees_with_profile,
+    noisy_profile_measure,
+)
+from repro.cmp.traffic_model import traffic_for_workload
+from repro.cmp.workloads import (
+    FLAT_BENCHMARKS,
+    PARSEC_PROFILES,
+    PEAKING_BENCHMARKS,
+    SCALABLE_BENCHMARKS,
+    SINGLE_CORE_BURST_S,
+    all_profiles,
+    get_profile,
+)
+
+__all__ = [
+    "LEVEL_TOLERANCE",
+    "SPRINT_LEVELS",
+    "BenchmarkProfile",
+    "SprintDecision",
+    "profile_workload",
+    "traffic_for_workload",
+    "FLAT_BENCHMARKS",
+    "PARSEC_PROFILES",
+    "PEAKING_BENCHMARKS",
+    "SCALABLE_BENCHMARKS",
+    "SINGLE_CORE_BURST_S",
+    "all_profiles",
+    "get_profile",
+    "LlcAccessStream",
+    "LlcArchitecture",
+    "home_bank",
+    "OnlineParallelismMonitor",
+    "monitor_agrees_with_profile",
+    "noisy_profile_measure",
+]

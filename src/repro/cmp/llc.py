@@ -1,0 +1,108 @@
+"""Last-level-cache architectures and their network traffic (Section 3.4).
+
+The paper's gating scheme works out of the box for private per-core LLCs,
+a centralized shared LLC, and NUCA (separately-networked) LLCs; only the
+tile-interleaved shared LLC needs bypass paths.  This module models the
+access streams each architecture puts on the NoC so the trade-off can be
+measured:
+
+- ``PRIVATE``      LLC hits are local; only misses travel, to the memory
+                   controller next to the master node.
+- ``CENTRALIZED``  every LLC access crosses the network to the master tile.
+- ``TILED``        accesses interleave across all tiles' banks, including
+                   dark ones -- the case that needs bypass paths.
+
+(NUCA with its own separate network never touches the sprint NoC at all,
+so it has no traffic model here.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.util.rng import stream
+
+
+class LlcArchitecture(Enum):
+    """Shared-LLC organizations the paper discusses."""
+
+    PRIVATE = "private"
+    CENTRALIZED = "centralized"
+    TILED = "tiled"
+
+
+def home_bank(line_address: int, bank_count: int) -> int:
+    """Cache-line interleaving: consecutive lines rotate over the banks."""
+    if bank_count < 1:
+        raise ValueError("need at least one bank")
+    if line_address < 0:
+        raise ValueError("line addresses are non-negative")
+    return line_address % bank_count
+
+
+@dataclass(frozen=True)
+class LlcRequest:
+    """One LLC access as the network sees it."""
+
+    requester: int  # the core's node
+    bank: int  # the home bank's node
+    issued_at: int  # cycle
+
+
+class LlcAccessStream:
+    """Bernoulli LLC-access stream from a set of active cores.
+
+    ``access_rate`` is LLC accesses per cycle per active core.  Line
+    addresses are uniform (a reasonable model after L1 filtering), so under
+    ``TILED`` interleaving the banks are hit uniformly -- including the
+    dark ones, with probability (dark tiles / all tiles).
+    """
+
+    def __init__(
+        self,
+        active_cores: Sequence[int],
+        architecture: LlcArchitecture,
+        access_rate: float,
+        bank_count: int = 16,
+        master_node: int = 0,
+        seed: int = 0,
+    ):
+        if not active_cores:
+            raise ValueError("need at least one active core")
+        if not 0.0 <= access_rate <= 1.0:
+            raise ValueError("access rate must be in [0, 1]")
+        self.active_cores = list(active_cores)
+        self.architecture = architecture
+        self.access_rate = access_rate
+        self.bank_count = bank_count
+        self.master_node = master_node
+        self._rng = stream(seed, f"llc-{architecture.value}")
+
+    def _bank_for(self, core: int) -> int:
+        if self.architecture is LlcArchitecture.PRIVATE:
+            # hits are local; what reaches the network is the miss stream
+            # to the memory controller by the master tile
+            return self.master_node
+        if self.architecture is LlcArchitecture.CENTRALIZED:
+            return self.master_node
+        line = self._rng.randrange(1 << 20)
+        return home_bank(line, self.bank_count)
+
+    def requests_for_cycle(self, cycle: int) -> list[LlcRequest]:
+        requests = []
+        for core in self.active_cores:
+            if self._rng.random() >= self.access_rate:
+                continue
+            requests.append(
+                LlcRequest(requester=core, bank=self._bank_for(core), issued_at=cycle)
+            )
+        return requests
+
+    def dark_access_probability(self, active_set: frozenset[int]) -> float:
+        """Fraction of accesses whose home bank is dark (TILED only)."""
+        if self.architecture is not LlcArchitecture.TILED:
+            return 0.0
+        dark = self.bank_count - len(active_set & set(range(self.bank_count)))
+        return dark / self.bank_count

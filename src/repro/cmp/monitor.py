@@ -1,0 +1,133 @@
+"""Run-time parallelism monitoring.
+
+The paper assumes the optimal sprint level is "learnt in advance or
+monitored during run-time execution" (Section 3.1, citing [6, 12]) and
+uses off-line profiles in its evaluation.  This module supplies the
+run-time half: an online monitor that discovers a workload's optimal
+sprint level from noisy throughput observations, without a profile.
+
+The search exploits the structure Figure 4 exhibits -- throughput is
+unimodal in the core count (it rises to the workload's parallelism limit,
+then falls) -- with a doubling hill-climb: trial-sprint each level in
+{1, 2, 4, 8, 16}, keep doubling while the averaged throughput improves by
+more than ``improvement_threshold``, and settle on the level before the
+first non-improvement.  The threshold doubles as the power-aware tie rule:
+a marginal gain is not worth doubling the active cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cmp.perf_model import SPRINT_LEVELS, BenchmarkProfile
+from repro.util.rng import stream
+
+
+@dataclass
+class EpochSample:
+    """One trial epoch's observation."""
+
+    level: int
+    throughput: float
+
+
+@dataclass
+class MonitorResult:
+    """Outcome of an online calibration."""
+
+    level: int
+    samples: list[EpochSample] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.samples)
+
+    def mean_throughput(self, level: int) -> float:
+        values = [s.throughput for s in self.samples if s.level == level]
+        if not values:
+            raise ValueError(f"no samples at level {level}")
+        return sum(values) / len(values)
+
+
+class OnlineParallelismMonitor:
+    """Discover the optimal sprint level from throughput observations."""
+
+    def __init__(
+        self,
+        levels: Sequence[int] = SPRINT_LEVELS,
+        improvement_threshold: float = 0.05,
+        samples_per_level: int = 3,
+    ):
+        if not levels or list(levels) != sorted(levels):
+            raise ValueError("levels must be a non-empty ascending sequence")
+        if improvement_threshold < 0:
+            raise ValueError("improvement threshold must be non-negative")
+        if samples_per_level < 1:
+            raise ValueError("need at least one sample per level")
+        self.levels = list(levels)
+        self.improvement_threshold = improvement_threshold
+        self.samples_per_level = samples_per_level
+
+    def calibrate(self, measure: Callable[[int], float]) -> MonitorResult:
+        """Run trial epochs until the best level is found.
+
+        ``measure(level)`` runs one epoch at the given sprint level and
+        returns the observed throughput (work per second, any unit).
+        """
+        samples: list[EpochSample] = []
+
+        def mean_at(level: int) -> float:
+            values = []
+            for _ in range(self.samples_per_level):
+                value = measure(level)
+                if value < 0:
+                    raise ValueError("throughput observations must be non-negative")
+                samples.append(EpochSample(level, value))
+                values.append(value)
+            return sum(values) / len(values)
+
+        best_level = self.levels[0]
+        best_throughput = mean_at(best_level)
+        for level in self.levels[1:]:
+            throughput = mean_at(level)
+            if throughput > best_throughput * (1.0 + self.improvement_threshold):
+                best_level, best_throughput = level, throughput
+            else:
+                break  # unimodal: past the peak (or gain too small to pay for)
+        return MonitorResult(level=best_level, samples=samples)
+
+
+def noisy_profile_measure(
+    profile: BenchmarkProfile,
+    noise: float = 0.03,
+    seed: int = 0,
+) -> Callable[[int], float]:
+    """A ``measure`` callback backed by a profile, with observation noise.
+
+    Models what a hardware monitor would report: the workload's true
+    throughput at the trial level, perturbed by multiplicative Gaussian
+    noise (sampling jitter, phase behaviour).
+    """
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    rng = stream(seed, f"monitor-{profile.name}")
+
+    def measure(level: int) -> float:
+        true_throughput = profile.speedup(level)
+        factor = max(0.0, rng.gauss(1.0, noise))
+        return true_throughput * factor
+
+    return measure
+
+
+def monitor_agrees_with_profile(
+    profile: BenchmarkProfile,
+    noise: float = 0.03,
+    seed: int = 0,
+    **monitor_kwargs,
+) -> bool:
+    """Convenience: does online monitoring find the off-line optimum?"""
+    monitor = OnlineParallelismMonitor(**monitor_kwargs)
+    result = monitor.calibrate(noisy_profile_measure(profile, noise, seed))
+    return result.level == profile.optimal_level()

@@ -1,0 +1,141 @@
+"""CMP execution-time model (gem5 substitute).
+
+The paper measures PARSEC execution time on gem5 at 1/2/4/8/16 cores
+(Figure 4) and picks each benchmark's optimal sprint level by off-line
+profiling.  Our substitute stores exactly that object: a per-benchmark
+*scaling table* of relative execution times at the five sprint levels,
+fitted to the published scaling shapes (saturating, peaking-then-degrading,
+flat), plus a communication-sensitivity knob that couples the model to the
+NoC's measured latency for the placement/routing ablations.
+
+``relative_time(n) = table[n] * (1 + gamma * (latency_factor - 1))``
+
+where ``latency_factor`` is the average network latency relative to the
+reference interconnect for that core count (the compact Algorithm-1 region);
+1.0 -- the default -- reproduces the table exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+SPRINT_LEVELS = (1, 2, 4, 8, 16)
+
+#: Tolerance for the optimal-level rule: the smallest core count whose
+#: execution time is within this fraction of the best is chosen, because a
+#: smaller sprint burns less power for (practically) the same speed.
+LEVEL_TOLERANCE = 0.02
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """One multi-threaded workload's scaling behaviour and traffic."""
+
+    name: str
+    #: relative execution time at each sprint level, normalized to 1 core
+    scaling: dict[int, float] = field(hash=False)
+    #: fraction of run time sensitive to network latency (0..1)
+    comm_sensitivity: float = 0.2
+    #: average NoC injection rate while sprinting, flits/cycle/active node
+    injection_rate: float = 0.1
+    #: traffic pattern seen by the network
+    traffic_pattern: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if set(self.scaling) != set(SPRINT_LEVELS):
+            raise ValueError(
+                f"{self.name}: scaling table must cover levels {SPRINT_LEVELS}"
+            )
+        if abs(self.scaling[1] - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: scaling must be normalized to 1 core")
+        if any(t <= 0 for t in self.scaling.values()):
+            raise ValueError(f"{self.name}: execution times must be positive")
+        if not 0.0 <= self.comm_sensitivity <= 1.0:
+            raise ValueError(f"{self.name}: comm sensitivity must be in [0, 1]")
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ValueError(f"{self.name}: injection rate must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def relative_time(self, cores: int, latency_factor: float = 1.0) -> float:
+        """Execution time at ``cores`` relative to single-core execution.
+
+        ``latency_factor`` scales the communication-sensitive share of the
+        run: >1 models a worse interconnect (e.g. scattered placement on a
+        fully-powered mesh), <1 a better one.
+        """
+        if cores not in self.scaling:
+            raise ValueError(
+                f"{self.name}: no scaling point for {cores} cores "
+                f"(levels: {sorted(self.scaling)})"
+            )
+        if latency_factor <= 0:
+            raise ValueError("latency factor must be positive")
+        penalty = 1.0 + self.comm_sensitivity * (latency_factor - 1.0)
+        return self.scaling[cores] * max(penalty, 1e-9)
+
+    def speedup(self, cores: int, latency_factor: float = 1.0) -> float:
+        """Speedup over single-core nominal operation."""
+        return 1.0 / self.relative_time(cores, latency_factor)
+
+    def optimal_level(self, tolerance: float = LEVEL_TOLERANCE) -> int:
+        """The workload's sprint level: smallest within tolerance of best.
+
+        Mirrors the paper's off-line profiling with a power-aware tie rule:
+        when several core counts are (nearly) equally fast, sprint to the
+        smallest -- it dissipates the least power and heat.
+        """
+        best = min(self.scaling.values())
+        for level in SPRINT_LEVELS:
+            if self.scaling[level] <= best * (1.0 + tolerance):
+                return level
+        raise AssertionError("unreachable: the minimum is always in range")
+
+    def saturates(self) -> bool:
+        """True when adding cores beyond the optimum hurts performance."""
+        opt = self.optimal_level()
+        return self.scaling[16] > self.scaling[opt] * (1.0 + LEVEL_TOLERANCE)
+
+    def interpolated_time(self, cores: float) -> float:
+        """Log-linear interpolation between measured levels.
+
+        Lets callers evaluate non-power-of-two core counts (used by the
+        ablation that sweeps master placement with odd region sizes).
+        """
+        if cores < 1 or cores > max(SPRINT_LEVELS):
+            raise ValueError(f"cores must be within [1, {max(SPRINT_LEVELS)}]")
+        levels = sorted(self.scaling)
+        for low, high in zip(levels, levels[1:]):
+            if low <= cores <= high:
+                if cores == low:
+                    return self.scaling[low]
+                f = (math.log2(cores) - math.log2(low)) / (
+                    math.log2(high) - math.log2(low)
+                )
+                return self.scaling[low] ** (1 - f) * self.scaling[high] ** f
+        return self.scaling[levels[-1]]
+
+
+@dataclass(frozen=True)
+class SprintDecision:
+    """Outcome of profiling one workload for fine-grained sprinting."""
+
+    profile: BenchmarkProfile
+    level: int
+    speedup_vs_nominal: float
+    speedup_full_sprint: float
+
+    @property
+    def beats_full_sprint(self) -> bool:
+        return self.speedup_vs_nominal > self.speedup_full_sprint
+
+
+def profile_workload(profile: BenchmarkProfile, core_count: int = 16) -> SprintDecision:
+    """Off-line profiling: pick the optimal sprint level for a workload."""
+    level = profile.optimal_level()
+    return SprintDecision(
+        profile=profile,
+        level=level,
+        speedup_vs_nominal=profile.speedup(level),
+        speedup_full_sprint=profile.speedup(core_count),
+    )

@@ -1,0 +1,51 @@
+"""Per-benchmark NoC traffic derivation.
+
+Builds the traffic generator a workload imposes on the network under a
+given sprinting scheme, so the Figure 9/10 network comparisons drive the
+cycle simulator with workload-specific loads:
+
+- **NoC-sprinting**: the active endpoints are the convex Algorithm-1
+  region at the workload's optimal level; only those routers are powered.
+- **Full-sprinting**: the workload runs on all 16 cores, so every node
+  injects and the whole network is powered.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.perf_model import BenchmarkProfile
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.traffic import TrafficGenerator
+
+
+def traffic_for_workload(
+    profile: BenchmarkProfile,
+    topology: SprintTopology,
+    config: NoCConfig | None = None,
+    seed: int = 0,
+    endpoints: list[int] | None = None,
+) -> TrafficGenerator:
+    """The traffic a workload injects on a sprint topology.
+
+    ``endpoints`` defaults to every active node of the topology (the cores
+    actually running threads); pass a subset to model active cores mapped
+    onto a larger powered network.
+    """
+    cfg = config or NoCConfig()
+    nodes = list(topology.active_nodes) if endpoints is None else list(endpoints)
+    for node in nodes:
+        if not topology.is_active(node):
+            raise ValueError(f"endpoint {node} is not powered in this topology")
+    pattern = profile.traffic_pattern
+    if pattern == "transpose" and len(nodes) not in (1, 4, 16):
+        pattern = "uniform"  # transpose undefined off square counts
+    if len(nodes) < 2:
+        # a single-node "network" has no one to talk to
+        return TrafficGenerator(nodes, 0.0, cfg.packet_length_flits, "uniform", seed)
+    return TrafficGenerator(
+        nodes,
+        profile.injection_rate,
+        cfg.packet_length_flits,
+        pattern,
+        seed,
+    )

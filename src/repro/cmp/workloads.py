@@ -1,0 +1,139 @@
+"""PARSEC 2.1 workload profiles (fitted to the published scaling shapes).
+
+The paper runs the 13 PARSEC 2.1 multi-threaded benchmarks on gem5 and
+reports (Figure 4) three characteristic scaling classes:
+
+- **scalable** (blackscholes, bodytrack): execution time keeps dropping all
+  the way to 16 cores, so their optimal sprint level is full sprint;
+- **flat** (freqmine): dominated by its serial program, extra cores are
+  wasted -- optimal level 1;
+- **peaking** (vips, swaptions, and most of the rest): clear speedup over a
+  small range, then thread scheduling, synchronization and interconnect
+  spread overheads first erode and eventually *reverse* the gain.
+
+The tables below are relative execution times at the five sprint levels,
+normalized to single-core.  They are synthetic fits, not instruction
+traces: values are chosen to reproduce the per-benchmark shape class, the
+per-benchmark optimal levels, and the paper's headline averages (NoC-sprint
+3.6x vs full-sprint 1.9x mean speedup in Figure 7; see EXPERIMENTS.md for
+the fitted-vs-paper numbers).  Injection rates stay below 0.3 flits/cycle,
+matching the paper's observation that PARSEC never saturates the mesh.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.perf_model import BenchmarkProfile
+
+#: Single-core duration of the computation burst each benchmark sprints
+#: through, seconds.  One global constant (Section 4.4 analysis): bursts are
+#: a few seconds of single-core work, so a well-chosen sprint level finishes
+#: them within -- or slightly beyond -- the thermal budget.
+SINGLE_CORE_BURST_S = 4.6
+
+PARSEC_PROFILES: dict[str, BenchmarkProfile] = {
+    profile.name: profile
+    for profile in (
+        BenchmarkProfile(
+            name="blackscholes",
+            scaling={1: 1.0, 2: 0.52, 4: 0.270, 8: 0.155, 16: 0.114},
+            comm_sensitivity=0.05,
+            injection_rate=0.03,
+        ),
+        BenchmarkProfile(
+            name="bodytrack",
+            scaling={1: 1.0, 2: 0.53, 4: 0.280, 8: 0.165, 16: 0.119},
+            comm_sensitivity=0.10,
+            injection_rate=0.08,
+        ),
+        BenchmarkProfile(
+            name="facesim",
+            scaling={1: 1.0, 2: 0.52, 4: 0.263, 8: 0.320, 16: 1.50},
+            comm_sensitivity=0.25,
+            injection_rate=0.12,
+        ),
+        BenchmarkProfile(
+            name="ferret",
+            scaling={1: 1.0, 2: 0.53, 4: 0.270, 8: 0.340, 16: 1.45},
+            comm_sensitivity=0.25,
+            injection_rate=0.15,
+        ),
+        BenchmarkProfile(
+            name="fluidanimate",
+            scaling={1: 1.0, 2: 0.54, 4: 0.270, 8: 0.360, 16: 1.35},
+            comm_sensitivity=0.30,
+            injection_rate=0.12,
+            traffic_pattern="neighbor",
+        ),
+        BenchmarkProfile(
+            name="dedup",
+            scaling={1: 1.0, 2: 0.55, 4: 0.278, 8: 0.370, 16: 1.50},
+            comm_sensitivity=0.30,
+            injection_rate=0.18,
+        ),
+        BenchmarkProfile(
+            name="vips",
+            scaling={1: 1.0, 2: 0.55, 4: 0.286, 8: 0.400, 16: 1.75},
+            comm_sensitivity=0.25,
+            injection_rate=0.14,
+        ),
+        BenchmarkProfile(
+            name="swaptions",
+            scaling={1: 1.0, 2: 0.54, 4: 0.278, 8: 0.380, 16: 1.62},
+            comm_sensitivity=0.10,
+            injection_rate=0.04,
+        ),
+        BenchmarkProfile(
+            name="streamcluster",
+            scaling={1: 1.0, 2: 0.513, 4: 0.560, 8: 0.900, 16: 1.80},
+            comm_sensitivity=0.40,
+            injection_rate=0.22,
+        ),
+        BenchmarkProfile(
+            name="canneal",
+            scaling={1: 1.0, 2: 0.526, 4: 0.580, 8: 0.950, 16: 1.90},
+            comm_sensitivity=0.40,
+            injection_rate=0.25,
+        ),
+        BenchmarkProfile(
+            name="x264",
+            scaling={1: 1.0, 2: 0.521, 4: 0.550, 8: 0.850, 16: 1.60},
+            comm_sensitivity=0.20,
+            injection_rate=0.10,
+        ),
+        BenchmarkProfile(
+            name="raytrace",
+            scaling={1: 1.0, 2: 0.541, 4: 0.600, 8: 1.000, 16: 2.00},
+            comm_sensitivity=0.20,
+            injection_rate=0.06,
+        ),
+        BenchmarkProfile(
+            name="freqmine",
+            scaling={1: 1.0, 2: 0.990, 4: 0.995, 8: 1.020, 16: 1.08},
+            comm_sensitivity=0.10,
+            injection_rate=0.02,
+        ),
+    )
+}
+
+#: The shape classes of Figure 4, for tests and the scaling bench.
+SCALABLE_BENCHMARKS = ("blackscholes", "bodytrack")
+FLAT_BENCHMARKS = ("freqmine",)
+PEAKING_BENCHMARKS = tuple(
+    name
+    for name in PARSEC_PROFILES
+    if name not in SCALABLE_BENCHMARKS + FLAT_BENCHMARKS
+)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a PARSEC benchmark profile by name."""
+    try:
+        return PARSEC_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PARSEC_PROFILES))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_profiles() -> list[BenchmarkProfile]:
+    """Every PARSEC profile, in a stable order."""
+    return [PARSEC_PROFILES[name] for name in sorted(PARSEC_PROFILES)]

@@ -1,0 +1,129 @@
+"""System and interconnect configuration (paper Table 1).
+
+The defaults reproduce Table 1 of the paper exactly:
+
+====================  ====================  ===================  ================
+core count / freq.    16, 2 GHz             topology             4 x 4 2D mesh
+L1 I & D cache        private, 64 KB        router pipeline      classic 5-stage
+L2 cache              shared & tiled, 4 MB  VC count             4 VCs per port
+cacheline size        64 B                  buffer depth         4 buffers per VC
+memory                1 GB DRAM             packet length        5 flits
+cache coherency       MESI protocol         flit length          16 bytes
+====================  ====================  ===================  ================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Interconnect configuration (right column of Table 1)."""
+
+    mesh_width: int = 4
+    mesh_height: int = 4
+    router_pipeline_stages: int = 5
+    vcs_per_port: int = 4
+    buffers_per_vc: int = 4
+    packet_length_flits: int = 5
+    flit_length_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if self.vcs_per_port < 1:
+            raise ValueError("need at least one virtual channel per port")
+        if self.buffers_per_vc < 1:
+            raise ValueError("need at least one buffer slot per VC")
+        if self.packet_length_flits < 1:
+            raise ValueError("packets must carry at least one flit")
+        if self.router_pipeline_stages < 2:
+            raise ValueError("router pipeline must have at least 2 stages")
+
+    @property
+    def node_count(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def flit_width_bits(self) -> int:
+        return self.flit_length_bytes * 8
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full CMP system configuration (Table 1)."""
+
+    core_count: int = 16
+    core_frequency_ghz: float = 2.0
+    l1_cache_kb: int = 64
+    l2_cache_mb: int = 4
+    cacheline_bytes: int = 64
+    memory_gb: int = 1
+    coherency_protocol: str = "MESI"
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    master_node: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core_count != self.noc.node_count:
+            raise ValueError(
+                f"core count {self.core_count} does not tile the "
+                f"{self.noc.mesh_width}x{self.noc.mesh_height} mesh"
+            )
+        if not 0 <= self.master_node < self.core_count:
+            raise ValueError("master node must be a valid node id")
+        if self.core_frequency_ghz <= 0:
+            raise ValueError("core frequency must be positive")
+
+    @property
+    def l2_bank_kb(self) -> int:
+        """Per-tile L2 bank size for the shared, tiled LLC."""
+        return self.l2_cache_mb * 1024 // self.core_count
+
+
+def default_config() -> SystemConfig:
+    """The paper's Table 1 configuration."""
+    return SystemConfig()
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """Table 1 contents as printable rows (used by the Table 1 bench)."""
+    cfg = default_config()
+    return [
+        (
+            "core count/freq.",
+            f"{cfg.core_count}, {cfg.core_frequency_ghz:g}GHz",
+            "topology",
+            f"{cfg.noc.mesh_width} x {cfg.noc.mesh_height} 2D Mesh",
+        ),
+        (
+            "L1 I & D cache",
+            f"private, {cfg.l1_cache_kb}KB",
+            "router pipeline",
+            f"classic {cfg.noc.router_pipeline_stages}-stage",
+        ),
+        (
+            "L2 cache",
+            f"shared & tiled, {cfg.l2_cache_mb}MB",
+            "VC count",
+            f"{cfg.noc.vcs_per_port} VCs per port",
+        ),
+        (
+            "cacheline size",
+            f"{cfg.cacheline_bytes}B",
+            "buffer depth",
+            f"{cfg.noc.buffers_per_vc} buffers per VC",
+        ),
+        (
+            "memory",
+            f"{cfg.memory_gb}GB DRAM",
+            "packet length",
+            f"{cfg.noc.packet_length_flits} flits",
+        ),
+        (
+            "cache-coherency",
+            f"{cfg.coherency_protocol} protocol",
+            "flit length",
+            f"{cfg.noc.flit_length_bytes} bytes",
+        ),
+    ]

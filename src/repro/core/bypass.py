@@ -1,0 +1,77 @@
+"""Bypass paths to cache banks in the dark region (Section 3.4).
+
+Network power gating interacts with the last-level cache architecture.
+For private, centralized, or NUCA LLCs, gating dark routers is free: no
+packet ever needs them.  But on a *tiled* CMP each tile holds a bank of
+the shared LLC, and line interleaving sends some accesses to banks whose
+tile is dark.  Waking the dark router for every such access would destroy
+the gating benefit, so the paper adopts NoRD-style **bypass paths** [4]:
+each dark bank is reachable from a nearby active router over a dedicated
+low-power connection that does not power the router itself.
+
+This module plans those connections: every dark node is assigned the
+nearest active router as its *bypass proxy* (ties broken toward the lower
+node id, matching the deterministic tie rules elsewhere).  The simulator
+then routes dark-bank accesses to the proxy and charges a fixed bypass
+latency and per-access energy instead of a router wakeup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.topological import SprintTopology, dark_nodes
+from repro.util.geometry import manhattan
+
+#: Extra cycles a dark-bank access spends on the bypass connection
+#: (round-trip: proxy -> bank -> proxy), on top of the network traversal.
+DEFAULT_BYPASS_LATENCY_CYCLES = 4
+
+#: Energy per flit over the bypass connection, joules at the nominal point.
+#: A repeated wire plus bank access control -- far below a router wakeup.
+BYPASS_ENERGY_PER_FLIT_J = 2.0e-12
+
+
+@dataclass(frozen=True)
+class BypassPlan:
+    """The dark-bank access plan for one sprint topology."""
+
+    proxy: dict[int, int]  # dark node -> active proxy router
+    latency_cycles: int = DEFAULT_BYPASS_LATENCY_CYCLES
+
+    @property
+    def dark_bank_count(self) -> int:
+        return len(self.proxy)
+
+    def proxy_for(self, node: int) -> int:
+        """The active router that fronts ``node``'s bank (itself if active)."""
+        return self.proxy.get(node, node)
+
+    def max_bypass_distance(self, topology: SprintTopology) -> int:
+        """Longest proxy-to-bank hop distance (bounds the wire length)."""
+        if not self.proxy:
+            return 0
+        return max(
+            manhattan(topology.coord(dark), topology.coord(proxy))
+            for dark, proxy in self.proxy.items()
+        )
+
+
+def plan_bypass(
+    topology: SprintTopology,
+    latency_cycles: int = DEFAULT_BYPASS_LATENCY_CYCLES,
+) -> BypassPlan:
+    """Assign every dark node the nearest active router as its proxy."""
+    if latency_cycles < 0:
+        raise ValueError("bypass latency must be non-negative")
+    proxy = {}
+    for dark in dark_nodes(topology):
+        dark_coord = topology.coord(dark)
+        proxy[dark] = min(
+            topology.active_nodes,
+            key=lambda active: (
+                manhattan(dark_coord, topology.coord(active)),
+                active,
+            ),
+        )
+    return BypassPlan(proxy=proxy, latency_cycles=latency_cycles)

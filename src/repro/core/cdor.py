@@ -1,0 +1,196 @@
+"""Algorithm 2: convex dimension-order routing (CDOR).
+
+CDOR extends X-Y dimension-order routing to the irregular-but-convex
+regions produced by topological sprinting (Algorithm 1).  Each router keeps
+two connectivity bits, ``Cw`` and ``Ce``, saying whether its western/eastern
+neighbour is part of the active region.  A packet normally travels X-first
+as in conventional DOR; when the X-direction port it wants is disconnected
+(the neighbour is dark), it detours in Y *towards the destination* and
+retries X on the new row.  Convexity of the region guarantees the detour
+makes progress and, as the paper argues, that the extra NE/SE turns cannot
+close a channel-dependency cycle (the WN/ WS turns that would complete the
+cycle are impossible exactly where the NE/SE turns occur).
+
+The routing function is purely combinational per hop -- the hardware cost
+is two comparators plus a few gates per port (see :mod:`repro.core.cdor_area`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.topological import SprintTopology
+from repro.util.directions import Direction
+from repro.util.geometry import Coord
+
+
+class RoutingError(Exception):
+    """The destination cannot be reached inside the active region."""
+
+
+@dataclass(frozen=True)
+class ConnectivityBits:
+    """The per-router CDOR state: west/east connectivity.
+
+    North/south bits are carried too because the simulator uses them to know
+    which links are powered, but the routing decision of Algorithm 2 only
+    consults ``cw`` and ``ce``.
+    """
+
+    cw: bool
+    ce: bool
+    cn: bool = True
+    cs: bool = True
+
+    @classmethod
+    def from_topology(cls, topology: SprintTopology, node: int) -> "ConnectivityBits":
+        bits = topology.connectivity_bits(node)
+        return cls(
+            cw=bits[Direction.WEST],
+            ce=bits[Direction.EAST],
+            cn=bits[Direction.NORTH],
+            cs=bits[Direction.SOUTH],
+        )
+
+
+def cdor_output_port(
+    current: Coord,
+    destination: Coord,
+    bits: ConnectivityBits,
+) -> Direction:
+    """One CDOR routing decision (Algorithm 2).
+
+    Returns the output port for a packet at ``current`` headed to
+    ``destination`` given the router's connectivity bits.  Raises
+    :class:`RoutingError` when the decision is impossible, which cannot
+    happen inside an orthogonally convex region.
+    """
+    dx = destination.x - current.x
+    dy = destination.y - current.y
+    if dx == 0 and dy == 0:
+        return Direction.LOCAL
+    if dx > 0:
+        if bits.ce:
+            return Direction.EAST
+        if dy > 0:
+            return Direction.SOUTH
+        if dy < 0:
+            return Direction.NORTH
+        raise RoutingError(
+            f"destination {destination} due east of {current} but the east "
+            "port is disconnected; the active region is not convex"
+        )
+    if dx < 0:
+        if bits.cw:
+            return Direction.WEST
+        if dy > 0:
+            return Direction.SOUTH
+        if dy < 0:
+            return Direction.NORTH
+        raise RoutingError(
+            f"destination {destination} due west of {current} but the west "
+            "port is disconnected; the active region is not convex"
+        )
+    return Direction.SOUTH if dy > 0 else Direction.NORTH
+
+
+def dor_output_port(current: Coord, destination: Coord) -> Direction:
+    """Conventional X-Y dimension-order routing (the baseline CDOR extends)."""
+    if destination.x > current.x:
+        return Direction.EAST
+    if destination.x < current.x:
+        return Direction.WEST
+    if destination.y > current.y:
+        return Direction.SOUTH
+    if destination.y < current.y:
+        return Direction.NORTH
+    return Direction.LOCAL
+
+
+class CdorRouter:
+    """CDOR route computation over a sprint topology.
+
+    Precomputes the connectivity bits of every active router and exposes
+    per-hop decisions plus full-path walking (used by the deadlock checker
+    and the tests; the cycle-level simulator makes the same per-hop calls).
+    """
+
+    def __init__(self, topology: SprintTopology):
+        self._topology = topology
+        self._bits = {
+            node: ConnectivityBits.from_topology(topology, node)
+            for node in topology.active_nodes
+        }
+
+    @property
+    def topology(self) -> SprintTopology:
+        return self._topology
+
+    def bits(self, node: int) -> ConnectivityBits:
+        try:
+            return self._bits[node]
+        except KeyError:
+            raise RoutingError(f"router {node} is power-gated") from None
+
+    def next_port(self, current: int, destination: int) -> Direction:
+        """The output port chosen at ``current`` for ``destination``."""
+        topo = self._topology
+        if not topo.is_active(destination):
+            raise RoutingError(f"destination {destination} is power-gated")
+        return cdor_output_port(
+            topo.coord(current), topo.coord(destination), self.bits(current)
+        )
+
+    def walk(self, source: int, destination: int) -> list[int]:
+        """The full router path from source to destination (inclusive).
+
+        Raises :class:`RoutingError` if the path would enter a dark router
+        or fails to terminate within ``width * height`` hops (livelock).
+        """
+        topo = self._topology
+        if not topo.is_active(source):
+            raise RoutingError(f"source {source} is power-gated")
+        path = [source]
+        current = source
+        max_hops = topo.width * topo.height + 1
+        while current != destination:
+            port = self.next_port(current, destination)
+            nxt = topo.neighbor(current, port)
+            if nxt is None or not topo.is_active(nxt):
+                raise RoutingError(
+                    f"CDOR would forward through dark/absent router {nxt} "
+                    f"(from {current} via {port.value})"
+                )
+            path.append(nxt)
+            current = nxt
+            if len(path) > max_hops:
+                raise RoutingError(
+                    f"CDOR livelock routing {source} -> {destination}"
+                )
+        return path
+
+    def hop_count(self, source: int, destination: int) -> int:
+        return len(self.walk(source, destination)) - 1
+
+    def turns(self, source: int, destination: int) -> list[tuple[int, Direction, Direction]]:
+        """The (node, in-direction, out-direction) turns along a path."""
+        path = self.walk(source, destination)
+        result = []
+        for i in range(1, len(path) - 1):
+            prev_c = self._topology.coord(path[i - 1])
+            cur_c = self._topology.coord(path[i])
+            nxt_c = self._topology.coord(path[i + 1])
+            d_in = _direction_of(prev_c, cur_c)
+            d_out = _direction_of(cur_c, nxt_c)
+            if d_in != d_out:
+                result.append((path[i], d_in, d_out))
+        return result
+
+
+def _direction_of(a: Coord, b: Coord) -> Direction:
+    """The mesh direction of a single hop from a to b."""
+    delta = b - a
+    for direction in Direction:
+        if direction.offset == delta and direction is not Direction.LOCAL:
+            return direction
+    raise ValueError(f"{a} -> {b} is not a single mesh hop")

@@ -1,0 +1,134 @@
+"""Spatial co-scheduling: multiple sprints on disjoint convex regions.
+
+The paper sprints one workload at a time.  A natural extension -- enabled
+exactly by its machinery -- is running several workloads simultaneously,
+each on its own convex region grown from its own master node.  Disjoint
+regions keep CDOR's guarantees per region (routing never leaves a region,
+so the channel dependency graphs stay independent), the gating plan is the
+union of the regions, and the thermal model simply sums the power maps.
+
+Region construction generalizes Algorithm 1: each master ranks all nodes
+by Euclidean distance (ties by index); nodes are claimed in a global
+nearest-first order, each by its closest master, until every workload has
+its level.  The resulting regions are not guaranteed convex for arbitrary
+master placements -- :func:`co_sprint_regions` *verifies* orthogonal
+convexity and connectivity and raises if the placement is infeasible, so
+callers never silently get an unroutable partition.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.cmp.perf_model import BenchmarkProfile, profile_workload
+from repro.core.topological import SprintTopology
+from repro.util.geometry import euclidean_sq, node_to_coord
+
+
+class CoScheduleError(Exception):
+    """The requested masters/levels do not admit disjoint convex regions."""
+
+
+@dataclass(frozen=True)
+class CoScheduledSprint:
+    """One workload's share of a co-scheduled sprint."""
+
+    master: int
+    level: int
+    topology: SprintTopology
+
+
+def co_sprint_regions(
+    width: int,
+    height: int,
+    demands: list[tuple[int, int]],
+) -> list[CoScheduledSprint]:
+    """Grow disjoint convex regions for ``[(master, level), ...]``.
+
+    Nodes are claimed nearest-master-first: a global priority queue of
+    (distance, node-index, master-rank) hands each node to its closest
+    still-hungry master.  Raises :class:`CoScheduleError` when demands
+    overlap (duplicate masters, total level exceeding the mesh) or when a
+    resulting region is not orthogonally convex and connected (so CDOR's
+    guarantees would not hold).
+    """
+    n = width * height
+    if not demands:
+        raise CoScheduleError("need at least one (master, level) demand")
+    masters = [m for m, _ in demands]
+    if len(set(masters)) != len(masters):
+        raise CoScheduleError("masters must be distinct")
+    total = sum(level for _, level in demands)
+    if total > n:
+        raise CoScheduleError(f"total level {total} exceeds the {n}-node mesh")
+    for master, level in demands:
+        if not 0 <= master < n:
+            raise CoScheduleError(f"master {master} outside the mesh")
+        if level < 1:
+            raise CoScheduleError("levels must be at least 1")
+
+    # global nearest-first claim queue
+    heap: list[tuple[int, int, int]] = []
+    for rank, (master, _) in enumerate(demands):
+        origin = node_to_coord(master, width)
+        for node in range(n):
+            dist = euclidean_sq(node_to_coord(node, width), origin)
+            heapq.heappush(heap, (dist, node, rank))
+
+    owner: dict[int, int] = {}
+    remaining = [level for _, level in demands]
+    while heap and any(remaining):
+        _, node, rank = heapq.heappop(heap)
+        if node in owner or remaining[rank] == 0:
+            continue
+        owner[node] = rank
+        remaining[rank] -= 1
+
+    if any(remaining):
+        raise CoScheduleError("could not satisfy all demands")
+
+    sprints = []
+    for rank, (master, level) in enumerate(demands):
+        nodes = tuple(sorted(node for node, r in owner.items() if r == rank))
+        if master not in nodes:
+            raise CoScheduleError(
+                f"master {master} was claimed by another region; "
+                "choose masters further apart"
+            )
+        topology = SprintTopology(width, height, nodes, master)
+        if not topology.is_connected() or not topology.is_orthogonally_convex():
+            raise CoScheduleError(
+                f"region of master {master} is not convex/connected: {nodes}; "
+                "choose masters further apart or smaller levels"
+            )
+        sprints.append(CoScheduledSprint(master=master, level=level, topology=topology))
+    return sprints
+
+
+def plan_co_sprint(
+    width: int,
+    height: int,
+    workloads: list[tuple[BenchmarkProfile, int]],
+    core_count: int | None = None,
+) -> list[tuple[BenchmarkProfile, CoScheduledSprint]]:
+    """Co-schedule workloads at their optimal levels from given masters.
+
+    ``workloads`` pairs each profile with its master node.  Levels come
+    from off-line profiling, clamped so the total fits the mesh (excess is
+    taken from the largest requests first -- the workloads with the most
+    head-room lose the least).
+    """
+    n = core_count or width * height
+    levels = [
+        profile_workload(profile, n).level for profile, _ in workloads
+    ]
+    # clamp to fit: halve the largest request until the total fits
+    while sum(levels) > width * height:
+        largest = max(range(len(levels)), key=lambda i: levels[i])
+        if levels[largest] == 1:
+            raise CoScheduleError("cannot fit one core per workload")
+        levels[largest] //= 2
+    demands = [(master, level) for (_, master), level in zip(workloads, levels)]
+    sprints = co_sprint_regions(width, height, demands)
+    return list(zip([profile for profile, _ in workloads], sprints))

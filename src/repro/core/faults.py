@@ -1,0 +1,93 @@
+"""Fault-aware topological sprinting.
+
+Dark-silicon chips live long enough to accumulate hard faults, and a
+faulty core/router must never be activated.  Plain Algorithm 1 cannot just
+skip faulty nodes: dropping an interior node can break the convexity that
+CDOR's deadlock freedom rests on.  This extension grows the sprint region
+greedily *subject to the region invariants*: at each step it activates the
+nearest non-faulty node whose addition keeps the region connected and
+orthogonally convex, skipping (but not discarding) candidates that would
+break it -- a skipped node becomes eligible again once the region has
+grown around it.
+
+The result is a fault-avoiding region with the exact properties the
+routing and gating layers require, verified rather than assumed
+(`tests/test_faults.py` property-tests random fault sets).
+"""
+
+from __future__ import annotations
+
+from repro.core.topological import SprintTopology, sprint_order
+from repro.util.geometry import (
+    Coord,
+    is_connected,
+    is_orthogonally_convex,
+    node_to_coord,
+)
+
+
+class FaultError(Exception):
+    """The requested sprint level cannot be reached around the faults."""
+
+
+def fault_aware_sprint_region(
+    width: int,
+    height: int,
+    level: int,
+    faulty: frozenset[int] | set[int],
+    master: int = 0,
+    metric: str = "euclidean",
+) -> list[int]:
+    """Algorithm 1 generalized to avoid faulty nodes.
+
+    Returns the activation list (master first).  Raises
+    :class:`FaultError` when the master is faulty or no convex connected
+    region of the requested size exists around the fault set.
+    """
+    n = width * height
+    faults = frozenset(faulty)
+    if master in faults:
+        raise FaultError(f"master node {master} is faulty")
+    if not 1 <= level <= n - len(faults & frozenset(range(n))):
+        raise FaultError(
+            f"cannot activate {level} of {n - len(faults)} healthy nodes"
+        )
+
+    order = [
+        node
+        for node in sprint_order(width, height, master, metric)
+        if node not in faults
+    ]
+    region: list[int] = [master]
+    region_coords: list[Coord] = [node_to_coord(master, width)]
+    pending = [node for node in order if node != master]
+    while len(region) < level:
+        progress = False
+        for index, candidate in enumerate(pending):
+            coords = region_coords + [node_to_coord(candidate, width)]
+            if is_connected(coords) and is_orthogonally_convex(coords):
+                region.append(candidate)
+                region_coords = coords
+                del pending[index]
+                progress = True
+                break
+        if not progress:
+            raise FaultError(
+                f"no convex connected {level}-node region exists around "
+                f"faults {sorted(faults)} from master {master} "
+                f"(reached {len(region)} nodes)"
+            )
+    return region
+
+
+def fault_aware_topology(
+    width: int,
+    height: int,
+    level: int,
+    faulty: frozenset[int] | set[int],
+    master: int = 0,
+    metric: str = "euclidean",
+) -> SprintTopology:
+    """A :class:`SprintTopology` grown around a fault set."""
+    nodes = fault_aware_sprint_region(width, height, level, faulty, master, metric)
+    return SprintTopology(width, height, tuple(nodes), master)

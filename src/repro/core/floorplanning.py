@@ -1,0 +1,184 @@
+"""Algorithms 3-4: thermal-aware heuristic floorplanning.
+
+Topological sprinting (Algorithm 1) deliberately ignores thermal behaviour
+to keep routing simple: it always grows a compact convex region around the
+master node, which concentrates heat.  The floorplanning algorithm keeps the
+*logical* mesh connectivity (so Algorithm 1 and CDOR are untouched) but
+re-allocates the *physical* location of each node at design time, so the
+nodes that sprint together are spread across the die.
+
+Algorithm 3 walks the logical mesh breadth-first from the master node in
+the activation order of Algorithm 1's list ``L``.  Each logical node
+``R_k`` is mapped (Algorithm 4) to the free physical slot maximising the
+weighted sum of Euclidean distances to the already-placed nodes, with
+weights *inversely* proportional to the logical Hamming (Manhattan)
+distance: logically-close nodes sprint together, so they get large weights
+and are pushed physically apart.
+
+The physical wires become longer than mesh-neighbour wires; the paper
+leans on SMART-style clockless repeated links (Krishna et al.) to keep
+multi-hop physical traversals single-cycle, and we model the link-length
+change in :mod:`repro.power.link_power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.topological import SprintTopology, sprint_order
+from repro.util.directions import MESH_DIRECTIONS
+from repro.util.geometry import Coord, euclidean, manhattan, node_to_coord
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A mapping from logical mesh nodes to physical die slots.
+
+    Both the logical network and the physical die are ``width`` x ``height``
+    grids; ``position[k]`` is the physical slot id of logical node ``k``.
+    """
+
+    width: int
+    height: int
+    position: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = self.width * self.height
+        if len(self.position) != n:
+            raise ValueError(f"floorplan must place all {n} nodes")
+        if sorted(self.position) != list(range(n)):
+            raise ValueError("floorplan positions must be a permutation")
+
+    @property
+    def node_count(self) -> int:
+        return self.width * self.height
+
+    def physical_coord(self, logical_node: int) -> Coord:
+        """Physical die coordinate of a logical node."""
+        return node_to_coord(self.position[logical_node], self.width)
+
+    def logical_at_slot(self, slot: int) -> int:
+        """The logical node occupying a physical slot."""
+        return self.position.index(slot)
+
+    def wire_length(self, logical_a: int, logical_b: int) -> float:
+        """Physical Euclidean length (in tile pitches) of a logical link."""
+        return euclidean(self.physical_coord(logical_a), self.physical_coord(logical_b))
+
+    def total_wire_length(self) -> float:
+        """Sum of physical lengths over every logical mesh link."""
+        total = 0.0
+        for node in range(self.node_count):
+            coord = node_to_coord(node, self.width)
+            east = coord + Coord(1, 0)
+            south = coord + Coord(0, 1)
+            if east.x < self.width:
+                total += self.wire_length(node, east.y * self.width + east.x)
+            if south.y < self.height:
+                total += self.wire_length(node, south.y * self.width + south.x)
+        return total
+
+
+def identity_floorplan(width: int, height: int) -> Floorplan:
+    """The trivial floorplan: logical node k sits at physical slot k."""
+    return Floorplan(width, height, tuple(range(width * height)))
+
+
+def _max_weighted_distance(
+    logical_k: int,
+    placed: Sequence[int],
+    free_slots: Sequence[int],
+    position: dict[int, int],
+    width: int,
+) -> int:
+    """Algorithm 4: pick the free physical slot for logical node ``R_k``.
+
+    Maximises ``sum_j w_kj * d(slot, Pos(R_j))`` over free slots, where
+    ``w_kj = 1 / Hamming(R_k, R_j)`` in logical coordinates and ``d`` is the
+    physical Euclidean distance.  Ties resolve to the lowest slot id (the
+    paper's loop keeps the first maximum because it tests with ``>``).
+    """
+    k_coord = node_to_coord(logical_k, width)
+    best_slot = free_slots[0]
+    best_sum = -1.0
+    for slot in free_slots:
+        slot_coord = node_to_coord(slot, width)
+        total = 0.0
+        for j in placed:
+            w = 1.0 / manhattan(k_coord, node_to_coord(j, width))
+            total += w * euclidean(slot_coord, node_to_coord(position[j], width))
+        if total > best_sum:
+            best_sum = total
+            best_slot = slot
+    return best_slot
+
+
+def thermal_aware_floorplan(
+    width: int,
+    height: int,
+    master: int = 0,
+    metric: str = "euclidean",
+) -> Floorplan:
+    """Algorithm 3: thermal-aware placement of the whole mesh.
+
+    ``metric`` is forwarded to Algorithm 1 and controls the exploration
+    order ``L`` (the paper uses Euclidean).
+    """
+    n = width * height
+    order = sprint_order(width, height, master, metric)
+    rank = {node: i for i, node in enumerate(order)}
+
+    def logical_neighbors(node: int) -> list[int]:
+        coord = node_to_coord(node, width)
+        result = []
+        for direction in MESH_DIRECTIONS:
+            c = coord + direction.offset
+            if 0 <= c.x < width and 0 <= c.y < height:
+                result.append(c.y * width + c.x)
+        return sorted(result, key=lambda m: rank[m])
+
+    position: dict[int, int] = {master: master}
+    placed: list[int] = [master]
+    free_slots: list[int] = [s for s in range(n) if s != master]
+    queued: set[int] = {master}
+    queue: list[int] = []
+    for neighbor in logical_neighbors(master):
+        queue.append(neighbor)
+        queued.add(neighbor)
+
+    while queue:
+        node = queue.pop(0)
+        slot = _max_weighted_distance(node, placed, free_slots, position, width)
+        position[node] = slot
+        free_slots.remove(slot)
+        placed.append(node)
+        for neighbor in logical_neighbors(node):
+            if neighbor not in queued:
+                queue.append(neighbor)
+                queued.add(neighbor)
+
+    if len(placed) != n:
+        raise RuntimeError("logical mesh is connected; BFS must place all nodes")
+    return Floorplan(width, height, tuple(position[k] for k in range(n)))
+
+
+def thermal_spread(
+    floorplan: Floorplan, topology: SprintTopology
+) -> float:
+    """Mean pairwise physical distance of a sprint level's active nodes.
+
+    A scalar figure of merit for how well a floorplan spreads the heat of a
+    sprint level: larger is cooler.  Used by the ablation bench to compare
+    the thermal-aware floorplan against the identity floorplan.
+    """
+    coords = [floorplan.physical_coord(n) for n in topology.active_nodes]
+    if len(coords) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i, a in enumerate(coords):
+        for b in coords[i + 1 :]:
+            total += euclidean(a, b)
+            pairs += 1
+    return total / pairs

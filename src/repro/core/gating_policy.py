@@ -1,0 +1,89 @@
+"""Sprint-aware network power gating (Section 3.4).
+
+NoC-sprinting's gating decision is driven by *core status* rather than by
+per-router idle timers: the sprint topology says which routers can ever see
+traffic, everything else is gated for the whole sprint, and CDOR guarantees
+no packet needs a dark router -- so there are no wakeups at all.  This
+module packages that guarantee and the analytical comparison against
+conventional timeout-based gating (which risks waking routers that merely
+forward packets, cf. [4, 5, 14, 18] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cdor import CdorRouter
+from repro.core.topological import SprintTopology
+from repro.noc.power_gating import StaticGatingPlan, static_plan_for_topology
+
+
+@dataclass(frozen=True)
+class SprintAwareGating:
+    """The static gating decision for one sprint level, with its guarantee."""
+
+    plan: StaticGatingPlan
+    wakeup_free: bool
+
+    @property
+    def gated_count(self) -> int:
+        return len(self.plan.gated)
+
+
+def sprint_aware_gating(topology: SprintTopology) -> SprintAwareGating:
+    """Build the gating plan and *verify* the no-wakeup guarantee.
+
+    The guarantee holds iff every CDOR path between active nodes stays
+    inside the active region -- checked exhaustively, not assumed.
+    """
+    router = CdorRouter(topology)
+    wakeup_free = True
+    active = topology.active_set
+    for src in topology.active_nodes:
+        for dst in topology.active_nodes:
+            if src == dst:
+                continue
+            if any(node not in active for node in router.walk(src, dst)):
+                wakeup_free = False
+                break
+        if not wakeup_free:
+            break
+    return SprintAwareGating(
+        plan=static_plan_for_topology(topology),
+        wakeup_free=wakeup_free,
+    )
+
+
+def xy_wakeups_through_dark(
+    topology: SprintTopology,
+) -> int:
+    """Count (src, dst) pairs whose plain-XY path crosses the dark region.
+
+    This is what a core-status-oblivious scheme pays: XY routing on the
+    full mesh routes some active-to-active packets through gated routers,
+    forcing wakeups.  The number of offending pairs quantifies how much
+    wakeup traffic CDOR eliminates (the routing ablation bench reports it).
+    """
+    from repro.core.cdor import dor_output_port
+    from repro.util.directions import Direction
+
+    active = topology.active_set
+    offending = 0
+    for src in topology.active_nodes:
+        for dst in topology.active_nodes:
+            if src == dst:
+                continue
+            current = src
+            crosses_dark = False
+            while current != dst:
+                port = dor_output_port(topology.coord(current), topology.coord(dst))
+                if port is Direction.LOCAL:
+                    break
+                nxt = topology.neighbor(current, port)
+                assert nxt is not None, "XY cannot leave the mesh"
+                if nxt not in active:
+                    crosses_dark = True
+                current = nxt
+            if crosses_dark:
+                offending += 1
+    return offending

@@ -1,0 +1,147 @@
+"""Multi-burst sprint scheduling.
+
+The paper evaluates one burst at a time; real interactive workloads issue
+*sequences* of computation bursts with idle gaps in between, and the PCM
+budget couples them: a sprint spends thermal capacitance that only
+recovers during cooldown.  This scheduler plays a burst sequence through
+the :class:`~repro.core.sprinting.SprintController`, accounting for budget
+depletion, mid-burst fallback to nominal execution, and inter-burst
+re-solidification -- and compares total completion time across sprinting
+schemes (an extension experiment; see ``bench_extension_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cmp.perf_model import BenchmarkProfile, profile_workload
+from repro.config import SystemConfig, default_config
+from repro.core.sprinting import SprintController
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.pcm import DEFAULT_PCM, PCMParams
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One computation burst: a workload and its single-core duration."""
+
+    workload: BenchmarkProfile
+    arrival_s: float
+    work_s: float  # seconds of single-core work
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0 or self.work_s <= 0:
+            raise ValueError("bursts need a non-negative arrival and positive work")
+
+
+@dataclass(frozen=True)
+class ScheduledSprint:
+    """How one burst actually executed."""
+
+    burst: Burst
+    start_s: float
+    level: int
+    sprint_seconds: float  # time spent sprinting
+    nominal_seconds: float  # time spent finishing at nominal speed
+    end_s: float
+
+    @property
+    def completion_time_s(self) -> float:
+        return self.end_s - self.burst.arrival_s
+
+    @property
+    def fell_back_to_nominal(self) -> bool:
+        return self.nominal_seconds > 0
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of playing a burst sequence."""
+
+    scheme: str
+    sprints: list[ScheduledSprint] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        return max(s.end_s for s in self.sprints) if self.sprints else 0.0
+
+    @property
+    def total_completion_s(self) -> float:
+        return sum(s.completion_time_s for s in self.sprints)
+
+    @property
+    def fallback_count(self) -> int:
+        return sum(1 for s in self.sprints if s.fell_back_to_nominal)
+
+
+class SprintScheduler:
+    """Run burst sequences under a sprinting scheme.
+
+    Schemes mirror :mod:`repro.core.system`: ``"non_sprinting"`` executes
+    every burst on one core; ``"full_sprinting"`` sprints all 16 cores;
+    ``"noc_sprinting"`` sprints each burst's optimal level.  Bursts are
+    served FCFS; a burst whose sprint budget runs dry completes at nominal
+    speed while the PCM starts re-solidifying.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        pcm: PCMParams = DEFAULT_PCM,
+    ):
+        self.config = config or default_config()
+        self.pcm = pcm
+        self.chip_model = ChipPowerModel(self.config.core_count)
+
+    def _sprint_level(self, burst: Burst, scheme: str) -> int:
+        if scheme == "non_sprinting":
+            return 1
+        if scheme == "full_sprinting":
+            return self.config.core_count
+        if scheme == "noc_sprinting":
+            return profile_workload(burst.workload, self.config.core_count).level
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    def run(self, bursts: list[Burst], scheme: str = "noc_sprinting") -> ScheduleResult:
+        """Play the bursts FCFS and report per-burst outcomes."""
+        ordered = sorted(bursts, key=lambda b: b.arrival_s)
+        controller = SprintController(config=self.config, pcm=self.pcm)
+        result = ScheduleResult(scheme=scheme)
+        now = 0.0
+        for burst in ordered:
+            if burst.arrival_s > now:
+                controller.advance(burst.arrival_s - now)  # idle: re-solidify
+                now = burst.arrival_s
+            level = self._sprint_level(burst, scheme)
+            if level <= 1:
+                end = now + burst.work_s
+                result.sprints.append(
+                    ScheduledSprint(burst, now, 1, 0.0, burst.work_s, end)
+                )
+                now = end
+                continue
+
+            speedup = 1.0 / burst.workload.relative_time(level)
+            sprint_need = burst.work_s / speedup
+            power = self.chip_model.sprint_chip_power(
+                level, "noc_sprinting" if scheme == "noc_sprinting" else "full"
+            ).total
+            sprinted = controller.drain_budget(power, sprint_need)
+            done_work = sprinted * speedup
+            remaining = max(0.0, burst.work_s - done_work)
+            nominal = remaining  # single-core nominal finishes the rest
+            if nominal > 0:
+                controller.advance(nominal)  # re-solidify while limping home
+            end = now + sprinted + nominal
+            result.sprints.append(
+                ScheduledSprint(burst, now, level, sprinted, nominal, end)
+            )
+            now = end
+        return result
+
+    def compare_schemes(self, bursts: list[Burst]) -> dict[str, ScheduleResult]:
+        """Run the same burst sequence under all three schemes."""
+        return {
+            scheme: self.run(bursts, scheme)
+            for scheme in ("non_sprinting", "full_sprinting", "noc_sprinting")
+        }

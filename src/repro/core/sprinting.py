@@ -1,0 +1,192 @@
+"""The fine-grained sprint controller.
+
+Ties the paper's pieces into the run-time mechanism of Section 3.1: when a
+computation burst arrives, the controller picks the workload's optimal
+sprint level (from off-line profiling), activates the convex Algorithm-1
+region of cores/routers, and tracks the thermal budget of the phase-change
+heat sink; when the budget is exhausted -- or the burst completes -- the
+chip falls back to single-core nominal operation and the PCM re-solidifies
+during cooldown.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cmp.perf_model import BenchmarkProfile, profile_workload
+from repro.config import SystemConfig, default_config
+from repro.core.floorplanning import Floorplan
+from repro.core.topological import SprintTopology
+from repro.noc.power_gating import StaticGatingPlan, static_plan_for_topology
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.pcm import DEFAULT_PCM, PCMParams
+
+
+class SprintMode(Enum):
+    """Chip operating mode."""
+
+    NOMINAL = "nominal"  # single master core under TDP
+    SPRINTING = "sprinting"  # a sprint region is active
+    COOLDOWN = "cooldown"  # PCM re-solidifying, sprinting unavailable
+
+
+@dataclass(frozen=True)
+class SprintPlan:
+    """Everything needed to execute one fine-grained sprint."""
+
+    level: int
+    topology: SprintTopology
+    gating: StaticGatingPlan
+    sprint_power_w: float
+    expected_speedup: float
+
+    @property
+    def active_cores(self) -> tuple[int, ...]:
+        return self.topology.active_nodes
+
+
+@dataclass
+class SprintController:
+    """Plans and executes fine-grained sprints on one CMP.
+
+    The controller is deliberately simple: parallelism prediction is out of
+    the paper's scope (it assumes profiles are "learnt in advance or
+    monitored during run-time"), so planning consumes a
+    :class:`BenchmarkProfile` directly.
+    """
+
+    config: SystemConfig = field(default_factory=default_config)
+    pcm: PCMParams = DEFAULT_PCM
+    metric: str = "euclidean"
+    floorplan: Floorplan | None = None
+
+    def __post_init__(self) -> None:
+        self.chip_model = ChipPowerModel(self.config.core_count)
+        self.mode = SprintMode.NOMINAL
+        self.plan_active: SprintPlan | None = None
+        total_budget = self.pcm.latent_energy_j + (
+            self.pcm.sensible_capacitance_j_per_k
+            * (self.pcm.max_temperature_k - self.pcm.start_temperature_k)
+        )
+        self._budget_total_j = total_budget
+        self._budget_j = total_budget
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, profile: BenchmarkProfile) -> SprintPlan:
+        """Choose the sprint level and build the topology for a workload."""
+        decision = profile_workload(profile, self.config.core_count)
+        topology = SprintTopology.for_level(
+            self.config.noc.mesh_width,
+            self.config.noc.mesh_height,
+            decision.level,
+            self.config.master_node,
+            self.metric,
+        )
+        power = self.chip_model.sprint_chip_power(decision.level, "noc_sprinting")
+        return SprintPlan(
+            level=decision.level,
+            topology=topology,
+            gating=static_plan_for_topology(topology),
+            sprint_power_w=power.total,
+            expected_speedup=decision.speedup_vs_nominal,
+        )
+
+    # ------------------------------------------------------------------
+    # thermal-budget state machine
+    # ------------------------------------------------------------------
+    @property
+    def thermal_headroom(self) -> float:
+        """Remaining fraction of the PCM thermal budget (0..1)."""
+        return self._budget_j / self._budget_total_j
+
+    def begin_sprint(self, profile: BenchmarkProfile) -> SprintPlan:
+        """Enter sprint mode for a workload burst."""
+        if self.mode is SprintMode.SPRINTING:
+            raise RuntimeError("already sprinting; end the current sprint first")
+        if self.mode is SprintMode.COOLDOWN and self.thermal_headroom < 0.99:
+            raise RuntimeError(
+                f"PCM not re-solidified (headroom {self.thermal_headroom:.0%})"
+            )
+        plan = self.plan(profile)
+        if plan.level == 1:
+            # the optimum is nominal operation: nothing to sprint
+            self.mode = SprintMode.NOMINAL
+            self.plan_active = None
+            return plan
+        self.mode = SprintMode.SPRINTING
+        self.plan_active = plan
+        return plan
+
+    def advance(self, seconds: float) -> float:
+        """Progress time; returns how long the sprint actually sustained.
+
+        While sprinting, the excess power above the sustainable TDP drains
+        the PCM budget; when it empties the chip is forced back to nominal
+        (the ``t_one`` point of Figure 1).  During cooldown the budget
+        refills at the rate cooling exceeds nominal dissipation.
+        """
+        if seconds < 0:
+            raise ValueError("time must move forward")
+        if self.mode is SprintMode.SPRINTING:
+            assert self.plan_active is not None
+            excess = self.plan_active.sprint_power_w - self.pcm.sustainable_power_w
+            if excess <= 0:
+                return seconds  # thermally unconstrained sprint
+            sustained = min(seconds, self._budget_j / excess)
+            self._budget_j -= sustained * excess
+            if self._budget_j <= 1e-12:
+                self._budget_j = 0.0
+                self.mode = SprintMode.COOLDOWN
+                self.plan_active = None
+            return sustained
+        if self.mode is SprintMode.COOLDOWN:
+            refill_rate = 0.25 * self.pcm.sustainable_power_w
+            self._budget_j = min(
+                self._budget_total_j, self._budget_j + seconds * refill_rate
+            )
+            if self._budget_j >= self._budget_total_j:
+                self.mode = SprintMode.NOMINAL
+            return 0.0
+        return 0.0
+
+    def drain_budget(self, power_w: float, seconds: float) -> float:
+        """Drain the PCM budget as if sprinting at ``power_w`` for up to
+        ``seconds``; returns the time actually sustained.
+
+        A lower-level hook for schedulers that manage their own plans;
+        unlike :meth:`advance` it does not require an active sprint.  The
+        controller drops to COOLDOWN if the budget empties.
+        """
+        if seconds < 0:
+            raise ValueError("time must move forward")
+        excess = power_w - self.pcm.sustainable_power_w
+        if excess <= 0:
+            return seconds  # thermally unconstrained
+        sustained = min(seconds, self._budget_j / excess)
+        self._budget_j = max(0.0, self._budget_j - sustained * excess)
+        if self._budget_j <= 1e-12:
+            self._budget_j = 0.0
+            self.mode = SprintMode.COOLDOWN
+            self.plan_active = None
+        return sustained
+
+    def end_sprint(self) -> None:
+        """The burst completed; return to nominal and start re-solidifying."""
+        if self.mode is SprintMode.SPRINTING:
+            self.plan_active = None
+            self.mode = (
+                SprintMode.COOLDOWN
+                if self._budget_j < self._budget_total_j
+                else SprintMode.NOMINAL
+            )
+
+    def max_sprint_duration(self, plan: SprintPlan) -> float:
+        """Thermally-allowed duration of a sprint from a full budget."""
+        excess = plan.sprint_power_w - self.pcm.sustainable_power_w
+        if excess <= 0:
+            return math.inf
+        return self._budget_total_j / excess

@@ -1,0 +1,303 @@
+"""End-to-end NoC-sprinting system evaluation.
+
+:class:`NoCSprintingSystem` is the facade the examples and the benchmark
+harness drive: given a workload profile and a sprinting scheme it produces
+the execution time, core power, network latency/power (from the cycle
+simulator), thermal peak and sprint duration -- i.e. one row of each of the
+paper's evaluation figures.
+
+Schemes:
+
+- ``"non_sprinting"``  -- always one core under TDP (the naive baseline)
+- ``"full_sprinting"`` -- all 16 cores, fully-powered network (Raghavan et al.)
+- ``"naive_fine_grained"`` -- optimal core count but no power gating at all
+- ``"noc_sprinting"``  -- the paper: optimal level, convex topology, CDOR,
+  static network gating, optional thermal-aware floorplan
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.perf_model import BenchmarkProfile, profile_workload
+from repro.cmp.traffic_model import traffic_for_workload
+from repro.cmp.workloads import SINGLE_CORE_BURST_S, get_profile
+from repro.config import SystemConfig, default_config
+from repro.core.floorplanning import Floorplan, thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.noc.sim import SimulationResult, run_simulation
+from repro.power.activity import NetworkPowerReport, network_power
+from repro.power.chip_power import ChipPowerModel, ChipPowerReport
+from repro.thermal.floorplan import sprint_tile_powers
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.pcm import DEFAULT_PCM, PCMParams
+from repro.thermal.sprint_duration import useful_sprint_duration
+from repro.util.rng import stream
+
+SCHEMES = ("non_sprinting", "full_sprinting", "naive_fine_grained", "noc_sprinting")
+
+
+@dataclass
+class NetworkEvaluation:
+    """Network-level outcome for one (workload, scheme) pair."""
+
+    sim: SimulationResult
+    power: NetworkPowerReport
+
+    @property
+    def avg_latency(self) -> float:
+        return self.sim.avg_latency
+
+    @property
+    def total_power_w(self) -> float:
+        return self.power.total
+
+
+@dataclass
+class WorkloadEvaluation:
+    """One full row of the paper's evaluation for a workload + scheme."""
+
+    benchmark: str
+    scheme: str
+    level: int
+    relative_time: float
+    speedup: float
+    core_power_w: float
+    chip_power: ChipPowerReport
+    network: NetworkEvaluation | None = None
+    peak_temperature_k: float | None = None
+    sprint_duration_s: float | None = None
+
+
+class NoCSprintingSystem:
+    """The reproduced system: all four sprinting schemes over one CMP."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        pcm: PCMParams = DEFAULT_PCM,
+        use_floorplan: bool = False,
+        seed: int = 0,
+    ):
+        self.config = config or default_config()
+        self.pcm = pcm
+        self.seed = seed
+        self.chip_model = ChipPowerModel(self.config.core_count)
+        self.floorplan: Floorplan | None = (
+            thermal_aware_floorplan(
+                self.config.noc.mesh_width,
+                self.config.noc.mesh_height,
+                self.config.master_node,
+            )
+            if use_floorplan
+            else None
+        )
+        self._full_topology = SprintTopology.for_level(
+            self.config.noc.mesh_width,
+            self.config.noc.mesh_height,
+            self.config.core_count,
+            self.config.master_node,
+        )
+        self.thermal_grid = ThermalGrid(
+            self.config.noc.mesh_width, self.config.noc.mesh_height
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve(self, workload: str | BenchmarkProfile) -> BenchmarkProfile:
+        if isinstance(workload, str):
+            return get_profile(workload)
+        return workload
+
+    def scheme_level(self, profile: BenchmarkProfile, scheme: str) -> int:
+        """Active core count under a scheme."""
+        if scheme == "non_sprinting":
+            return 1
+        if scheme == "full_sprinting":
+            return self.config.core_count
+        if scheme in ("naive_fine_grained", "noc_sprinting"):
+            return profile_workload(profile, self.config.core_count).level
+        raise ValueError(f"unknown scheme {scheme!r}; options: {SCHEMES}")
+
+    def topology_for(self, profile: BenchmarkProfile, scheme: str) -> SprintTopology:
+        """The powered network under a scheme.
+
+        Only NoC-sprinting powers a sub-region; every other scheme keeps
+        the whole mesh on (a dark router would block forwarding).
+        """
+        if scheme == "noc_sprinting":
+            level = self.scheme_level(profile, scheme)
+            return SprintTopology.for_level(
+                self.config.noc.mesh_width,
+                self.config.noc.mesh_height,
+                level,
+                self.config.master_node,
+            )
+        return self._full_topology
+
+    # ------------------------------------------------------------------
+    # performance (Figure 7)
+    # ------------------------------------------------------------------
+    def execution_time(self, workload: str | BenchmarkProfile, scheme: str) -> float:
+        """Relative execution time (single-core nominal = 1.0)."""
+        profile = self._resolve(workload)
+        return profile.relative_time(self.scheme_level(profile, scheme))
+
+    def speedup(self, workload: str | BenchmarkProfile, scheme: str) -> float:
+        return 1.0 / self.execution_time(workload, scheme)
+
+    # ------------------------------------------------------------------
+    # power (Figures 8 and 10)
+    # ------------------------------------------------------------------
+    def core_power(self, workload: str | BenchmarkProfile, scheme: str) -> float:
+        """Total core power while executing under a scheme (Figure 8)."""
+        profile = self._resolve(workload)
+        level = self.scheme_level(profile, scheme)
+        policy = "idle" if scheme == "naive_fine_grained" else "gated"
+        return self.chip_model.core_power(level, policy)
+
+    def chip_power(self, workload: str | BenchmarkProfile, scheme: str) -> ChipPowerReport:
+        profile = self._resolve(workload)
+        level = self.scheme_level(profile, scheme)
+        if scheme == "non_sprinting":
+            return self.chip_model.nominal_breakdown()
+        mapping = {
+            "full_sprinting": "full",
+            "naive_fine_grained": "naive",
+            "noc_sprinting": "noc_sprinting",
+        }
+        return self.chip_model.sprint_chip_power(level, mapping[scheme])
+
+    # ------------------------------------------------------------------
+    # network (Figures 9, 10, 11)
+    # ------------------------------------------------------------------
+    def evaluate_network(
+        self,
+        workload: str | BenchmarkProfile,
+        scheme: str,
+        seed: int | None = None,
+        warmup_cycles: int = 500,
+        measure_cycles: int = 2000,
+    ) -> NetworkEvaluation:
+        """Run the cycle simulator with the workload's traffic.
+
+        Under NoC-sprinting the endpoints are the convex region and routing
+        is CDOR; under every other scheme the workload's active cores all
+        sit on the fully-powered mesh with XY routing.
+        """
+        profile = self._resolve(workload)
+        topology = self.topology_for(profile, scheme)
+        routing = "cdor" if scheme == "noc_sprinting" else "xy"
+        use_seed = self.seed if seed is None else seed
+        endpoints = None
+        if scheme == "non_sprinting":
+            endpoints = [self.config.master_node]
+        elif scheme == "naive_fine_grained":
+            # the naive scheme picks the right core count but is oblivious
+            # to placement: the active cores land anywhere on the full mesh
+            level = self.scheme_level(profile, scheme)
+            endpoints = stream(use_seed, "naive-mapping").sample(
+                range(self.config.core_count), level
+            )
+        traffic = traffic_for_workload(
+            profile,
+            topology,
+            self.config.noc,
+            seed=use_seed,
+            endpoints=endpoints,
+        )
+        sim = run_simulation(
+            topology,
+            traffic,
+            self.config.noc,
+            routing=routing,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+        )
+        floorplan = self.floorplan if scheme == "noc_sprinting" else None
+        power = network_power(sim, topology, self.config.noc, floorplan=floorplan)
+        return NetworkEvaluation(sim=sim, power=power)
+
+    # ------------------------------------------------------------------
+    # thermal (Figure 12 / Section 4.4)
+    # ------------------------------------------------------------------
+    def peak_temperature(
+        self, workload: str | BenchmarkProfile, scheme: str, floorplanned: bool = False
+    ) -> float:
+        """Steady-state hotspot temperature while sprinting (Figure 12)."""
+        profile = self._resolve(workload)
+        level = self.scheme_level(profile, scheme)
+        if scheme == "noc_sprinting":
+            topology = SprintTopology.for_level(
+                self.config.noc.mesh_width,
+                self.config.noc.mesh_height,
+                level,
+                self.config.master_node,
+            )
+            floorplan = (
+                self.floorplan
+                or thermal_aware_floorplan(
+                    self.config.noc.mesh_width,
+                    self.config.noc.mesh_height,
+                    self.config.master_node,
+                )
+            ) if floorplanned else None
+            tiles = sprint_tile_powers(topology, self.chip_model, floorplan)
+        else:
+            tiles = sprint_tile_powers(self._full_topology, self.chip_model)
+        return self.thermal_grid.peak_temperature(tiles)
+
+    def sprint_duration_gain(self, workload: str | BenchmarkProfile) -> float:
+        """Useful sprint duration, NoC-sprinting over full-sprinting.
+
+        A level-1 optimum means the chip never leaves nominal operation, so
+        there is no sprint to extend (gain 1.0).  Gains are clamped at 1.0:
+        finishing the burst early is a win, not a shorter sprint.
+        """
+        profile = self._resolve(workload)
+        level = self.scheme_level(profile, "noc_sprinting")
+        if level in (1, self.config.core_count):
+            return 1.0
+        noc_power = self.chip_model.sprint_chip_power(level, "noc_sprinting").total
+        full_power = self.chip_model.sprint_chip_power(level, "full").total
+        noc_burst = SINGLE_CORE_BURST_S * profile.relative_time(level)
+        full_burst = SINGLE_CORE_BURST_S * profile.relative_time(self.config.core_count)
+        noc = useful_sprint_duration(noc_power, noc_burst, self.pcm)
+        full = useful_sprint_duration(full_power, full_burst, self.pcm)
+        return max(1.0, noc.useful_duration_s / full.useful_duration_s)
+
+    # ------------------------------------------------------------------
+    # the full row
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        workload: str | BenchmarkProfile,
+        scheme: str,
+        simulate_network: bool = False,
+        thermal: bool = False,
+    ) -> WorkloadEvaluation:
+        """Evaluate one (workload, scheme) pair across every axis."""
+        profile = self._resolve(workload)
+        level = self.scheme_level(profile, scheme)
+        network = (
+            self.evaluate_network(profile, scheme) if simulate_network else None
+        )
+        peak = (
+            self.peak_temperature(profile, scheme, floorplanned=self.floorplan is not None)
+            if thermal
+            else None
+        )
+        duration = (
+            self.sprint_duration_gain(profile) if scheme == "noc_sprinting" else None
+        )
+        return WorkloadEvaluation(
+            benchmark=profile.name,
+            scheme=scheme,
+            level=level,
+            relative_time=self.execution_time(profile, scheme),
+            speedup=self.speedup(profile, scheme),
+            core_power_w=self.core_power(profile, scheme),
+            chip_power=self.chip_power(profile, scheme),
+            network=network,
+            peak_temperature_k=peak,
+            sprint_duration_s=duration,
+        )

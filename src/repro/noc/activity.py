@@ -1,0 +1,52 @@
+"""Per-router activity counters.
+
+The cycle simulator increments these as events happen; the power models in
+:mod:`repro.power` convert them into dynamic energy.  Keeping the counters
+in a plain dataclass decouples the simulator from any power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RouterActivity:
+    """Event counts for one router over a simulation run."""
+
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    crossbar_traversals: int = 0
+    link_traversals: int = 0  # flits sent over non-local output links
+    vc_allocations: int = 0
+    switch_arbitrations: int = 0  # granted switch requests
+    cycles_powered: int = 0
+
+    def merge(self, other: "RouterActivity") -> None:
+        self.buffer_writes += other.buffer_writes
+        self.buffer_reads += other.buffer_reads
+        self.crossbar_traversals += other.crossbar_traversals
+        self.link_traversals += other.link_traversals
+        self.vc_allocations += other.vc_allocations
+        self.switch_arbitrations += other.switch_arbitrations
+        self.cycles_powered += other.cycles_powered
+
+
+@dataclass
+class NetworkActivity:
+    """Activity of the whole network: per-router counters plus run length."""
+
+    routers: dict[int, RouterActivity] = field(default_factory=dict)
+    cycles: int = 0
+
+    def router(self, node: int) -> RouterActivity:
+        if node not in self.routers:
+            self.routers[node] = RouterActivity()
+        return self.routers[node]
+
+    @property
+    def total(self) -> RouterActivity:
+        agg = RouterActivity()
+        for activity in self.routers.values():
+            agg.merge(activity)
+        return agg

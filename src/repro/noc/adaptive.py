@@ -1,0 +1,148 @@
+"""Partially-adaptive turn-model routing (west-first, negative-first).
+
+The paper's CDOR is deterministic; classic NoC simulators also ship the
+Glass & Ni turn-model routers, which give the sprint network an adaptive
+baseline for the routing ablation.  Both algorithms below are deadlock-free
+on the full mesh by turn elimination:
+
+- **west-first**: all westward hops are taken first (deterministically);
+  once no west progress remains, the packet routes fully adaptively among
+  its productive {east, north, south} directions.  The NW/SW turns are
+  never taken, which breaks both abstract cycles.
+- **negative-first**: all negative-direction hops (west and north, with
+  our top-left origin) come first, adaptively between themselves; then the
+  positive directions (east, south) adaptively.  No positive-to-negative
+  turn exists.
+
+The simulator resolves multi-candidate routes at VC allocation time with
+credit-based selection (the output with the most downstream buffer space
+wins), the standard congestion-aware policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.topological import SprintTopology
+from repro.noc.routing import DIRECTION_TO_PORT
+from repro.util.directions import Direction
+from repro.util.geometry import Coord
+
+
+def west_first_candidates(current: Coord, destination: Coord) -> tuple[Direction, ...]:
+    """Productive output ports under the west-first turn model."""
+    dx = destination.x - current.x
+    dy = destination.y - current.y
+    if dx == 0 and dy == 0:
+        return (Direction.LOCAL,)
+    if dx < 0:
+        # all west hops first; no adaptivity while westbound
+        return (Direction.WEST,)
+    candidates = []
+    if dx > 0:
+        candidates.append(Direction.EAST)
+    if dy > 0:
+        candidates.append(Direction.SOUTH)
+    elif dy < 0:
+        candidates.append(Direction.NORTH)
+    return tuple(candidates)
+
+
+def negative_first_candidates(current: Coord, destination: Coord) -> tuple[Direction, ...]:
+    """Productive output ports under the negative-first turn model.
+
+    Negative directions are WEST (x decreasing) and NORTH (y decreasing,
+    origin top-left).
+    """
+    dx = destination.x - current.x
+    dy = destination.y - current.y
+    if dx == 0 and dy == 0:
+        return (Direction.LOCAL,)
+    negative = []
+    if dx < 0:
+        negative.append(Direction.WEST)
+    if dy < 0:
+        negative.append(Direction.NORTH)
+    if negative:
+        return tuple(negative)
+    positive = []
+    if dx > 0:
+        positive.append(Direction.EAST)
+    if dy > 0:
+        positive.append(Direction.SOUTH)
+    return tuple(positive)
+
+
+_CANDIDATE_FUNCTIONS = {
+    "west_first": west_first_candidates,
+    "negative_first": negative_first_candidates,
+}
+
+ADAPTIVE_ALGORITHMS = tuple(_CANDIDATE_FUNCTIONS)
+
+
+def build_adaptive_table(
+    topology: SprintTopology, algorithm: str
+) -> dict[tuple[int, int], tuple[int, ...]]:
+    """Candidate-port table for an adaptive algorithm on the full mesh.
+
+    Turn models assume the full mesh (their turn sets do not account for
+    dark routers), so irregular sprint regions are rejected -- CDOR is the
+    scheme for those.
+    """
+    try:
+        candidates_for = _CANDIDATE_FUNCTIONS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown adaptive algorithm {algorithm!r}; "
+            f"options: {ADAPTIVE_ALGORITHMS}"
+        ) from None
+    if topology.level != topology.width * topology.height:
+        raise ValueError(
+            "adaptive turn models require the full mesh; "
+            "use CDOR on irregular sprint regions"
+        )
+    table: dict[tuple[int, int], tuple[int, ...]] = {}
+    for current in topology.active_nodes:
+        for dest in topology.active_nodes:
+            candidates = candidates_for(topology.coord(current), topology.coord(dest))
+            table[(current, dest)] = tuple(
+                DIRECTION_TO_PORT[d] for d in candidates
+            )
+    return table
+
+
+def candidate_dependency_edges(
+    topology: SprintTopology, algorithm: str
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """All channel dependencies any adaptive choice could create.
+
+    The conservative CDG for an adaptive routing function includes an edge
+    for *every* candidate continuation; turn-model deadlock freedom means
+    even this superset is acyclic (verified in tests).
+    """
+    candidates_for = _CANDIDATE_FUNCTIONS[algorithm]
+    edges = []
+    for src in topology.active_nodes:
+        for dst in topology.active_nodes:
+            if src == dst:
+                continue
+            # walk the candidate DAG: every reachable (node, in-channel)
+            frontier = [(src, None)]
+            seen = set()
+            while frontier:
+                node, in_channel = frontier.pop()
+                if (node, in_channel) in seen or node == dst:
+                    continue
+                seen.add((node, in_channel))
+                for direction in candidates_for(
+                    topology.coord(node), topology.coord(dst)
+                ):
+                    if direction is Direction.LOCAL:
+                        continue
+                    nxt = topology.neighbor(node, direction)
+                    if nxt is None:
+                        continue
+                    out_channel = (node, nxt)
+                    if in_channel is not None:
+                        edges.append((in_channel, out_channel))
+                    frontier.append((nxt, out_channel))
+    return edges

@@ -1,0 +1,56 @@
+"""Packets and flits for the wormhole network simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Packet:
+    """A multi-flit wormhole packet.
+
+    ``created_at`` is the cycle the packet entered the source queue, which is
+    what network latency is measured from (so source queueing delay counts,
+    as in booksim's packet latency).
+    """
+
+    pid: int
+    source: int
+    destination: int
+    length: int
+    created_at: int
+    measured: bool = False
+    ejected_at: int | None = None
+    hops: int = 0
+
+    @property
+    def latency(self) -> int:
+        if self.ejected_at is None:
+            raise ValueError(f"packet {self.pid} has not been ejected")
+        return self.ejected_at - self.created_at
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet: Packet = field(repr=False)
+    index: int
+    arrival_cycle: int = 0  # cycle written into the current input buffer
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.length - 1
+
+    @property
+    def destination(self) -> int:
+        return self.packet.destination
+
+
+def make_flits(packet: Packet) -> list[Flit]:
+    """All flits of a packet, in order (head first, tail last)."""
+    return [Flit(packet=packet, index=i) for i in range(packet.length)]

@@ -1,0 +1,220 @@
+"""Request/reply LLC simulation over the cycle network (Section 3.4).
+
+Drives the wormhole simulator with an LLC access stream: each access is a
+short request packet (1 flit) to the home bank and a cache-line reply
+(5 flits, one 64 B line at 16 B flits) back to the requester, after a
+fixed bank service latency.  Three configurations reproduce the paper's
+LLC discussion:
+
+- **gated + bypass** -- the sprint region is powered, CDOR routes, and
+  accesses to dark banks detour to the bank's bypass proxy (an active
+  router) paying the bypass latency instead of a router wakeup;
+- **full network** -- the tiled LLC keeps every router powered so dark
+  banks stay directly reachable (what gating would cost without bypass);
+- **centralized / private** -- all network-visible accesses target the
+  master tile, so gating is trivially safe (no dark-bank traffic).
+
+Round-trip latency is measured from request issue to reply ejection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cmp.llc import LlcAccessStream, LlcRequest
+from repro.config import NoCConfig
+from repro.core.bypass import BypassPlan
+from repro.core.topological import SprintTopology
+from repro.noc.activity import NetworkActivity
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.routing import build_routing_table
+from repro.util.stats import RunningStats, percentile
+
+REQUEST_FLITS = 1
+BANK_SERVICE_CYCLES = 6
+LOCAL_ACCESS_CYCLES = 8  # local bank: pipeline + service, no network
+
+
+@dataclass
+class LlcSimulationResult:
+    """Outcome of an LLC request/reply simulation."""
+
+    avg_round_trip: float
+    p95_round_trip: float
+    max_round_trip: int
+    requests_measured: int
+    requests_completed: int
+    requests_issued_total: int
+    local_accesses: int
+    dark_bank_accesses: int
+    bypass_flits: int
+    saturated: bool
+    cycles_run: int
+    measure_cycles: int
+    activity: NetworkActivity = field(repr=False, default_factory=NetworkActivity)
+
+    @property
+    def dark_access_fraction(self) -> float:
+        """Fraction of all issued accesses whose home bank was dark."""
+        total = self.requests_issued_total
+        return self.dark_bank_accesses / total if total else 0.0
+
+
+def run_llc_simulation(
+    topology: SprintTopology,
+    access_stream: LlcAccessStream,
+    config: NoCConfig | None = None,
+    routing: str = "cdor",
+    bypass: BypassPlan | None = None,
+    warmup_cycles: int = 400,
+    measure_cycles: int = 1500,
+    drain_cycles: int = 30000,
+) -> LlcSimulationResult:
+    """Simulate an LLC access stream; see the module docstring.
+
+    ``bypass`` must be given when the topology gates nodes that the stream
+    can address (TILED interleaving on a sprint region); without it, a
+    dark-bank access raises, which is exactly the failure the paper's
+    Section 3.4 warns about.
+    """
+    cfg = config or NoCConfig()
+    table = build_routing_table(topology, routing)
+    network = Network(topology, table, cfg)
+
+    round_trip = RunningStats()
+    round_trips: list[int] = []
+    counters = {
+        "measured_issued": 0,
+        "measured_done": 0,
+        "issued_total": 0,
+        "completed": 0,
+        "local": 0,
+        "dark": 0,
+        "bypass_flits": 0,
+    }
+    # pid -> (issue_cycle, measured, requester) for requests in flight
+    outstanding: dict[int, tuple[int, bool, int]] = {}
+    reply_queue: dict[int, list[tuple[int, int, bool]]] = defaultdict(list)
+    next_pid = [0]
+
+    def issue(request: LlcRequest, cycle: int, measured: bool) -> None:
+        counters["issued_total"] += 1
+        bank_node = request.bank
+        extra = 0
+        if not topology.is_active(bank_node):
+            if bypass is None:
+                raise RuntimeError(
+                    f"access to dark bank {bank_node} with no bypass plan; "
+                    "tile-interleaved LLCs need bypass paths (Section 3.4)"
+                )
+            counters["dark"] += 1
+            counters["bypass_flits"] += REQUEST_FLITS + cfg.packet_length_flits
+            extra = bypass.latency_cycles
+            bank_node = bypass.proxy_for(bank_node)
+        if bank_node == request.requester:
+            # local bank (or the proxy is the requester): no network hops
+            finish = cycle + LOCAL_ACCESS_CYCLES + extra
+            reply_queue[finish].append((-1, request.requester, measured))
+            counters["local"] += 1
+            if measured:
+                counters["measured_issued"] += 1
+            return
+        pid = next_pid[0]
+        next_pid[0] += 1
+        outstanding[pid] = (cycle, measured, request.requester)
+        if measured:
+            counters["measured_issued"] += 1
+        network.inject(
+            Packet(pid=pid, source=request.requester, destination=bank_node,
+                   length=REQUEST_FLITS, created_at=cycle)
+        )
+        if extra:
+            # remember the bypass penalty: charged at the bank side
+            _bypass_extra[pid] = extra
+
+    _bypass_extra: dict[int, int] = {}
+
+    def on_eject(packet: Packet) -> None:
+        if packet.pid in outstanding:
+            # a request reached its bank: schedule the reply
+            issue_cycle, measured, requester = outstanding.pop(packet.pid)
+            extra = _bypass_extra.pop(packet.pid, 0)
+            ready = packet.ejected_at + BANK_SERVICE_CYCLES + extra
+            reply_queue[ready].append(
+                (_reply_pid(packet.pid, issue_cycle, measured, requester,
+                            packet.destination), 0, False)
+            )
+        else:
+            # a reply came home: complete the round trip
+            issue_cycle, measured = _reply_meta.pop(packet.pid)
+            _finish(packet.ejected_at - issue_cycle, measured)
+
+    _reply_meta: dict[int, tuple[int, bool]] = {}
+
+    def _reply_pid(request_pid, issue_cycle, measured, requester, bank) -> int:
+        pid = next_pid[0]
+        next_pid[0] += 1
+        _reply_meta[pid] = (issue_cycle, measured)
+        _pending_replies[pid] = (bank, requester)
+        return pid
+
+    _pending_replies: dict[int, tuple[int, int]] = {}
+
+    def _finish(latency: int, measured: bool) -> None:
+        counters["completed"] += 1
+        if measured:
+            counters["measured_done"] += 1
+            round_trip.add(latency)
+            round_trips.append(latency)
+
+    network.on_packet_ejected = on_eject
+
+    measure_end = warmup_cycles + measure_cycles
+    deadline = measure_end + drain_cycles
+    while True:
+        cycle = network.cycle
+        if cycle >= deadline:
+            break
+        in_window = warmup_cycles <= cycle < measure_end
+        for request in access_stream.requests_for_cycle(cycle):
+            issue(request, cycle, in_window)
+        for pid, destination, measured_local in reply_queue.pop(cycle, ()):
+            if pid == -1:
+                # local access completing
+                _finish(LOCAL_ACCESS_CYCLES, measured_local)
+                continue
+            bank, requester = _pending_replies.pop(pid)
+            network.inject(
+                Packet(pid=pid, source=bank, destination=requester,
+                       length=cfg.packet_length_flits, created_at=cycle)
+            )
+        if cycle == warmup_cycles:
+            network.counting = True
+        if cycle == measure_end:
+            network.counting = False
+        network.step()
+        if (
+            cycle >= measure_end
+            and counters["measured_done"] >= counters["measured_issued"]
+            and not reply_queue
+        ):
+            break
+
+    saturated = counters["measured_done"] < counters["measured_issued"]
+    return LlcSimulationResult(
+        avg_round_trip=round_trip.mean if round_trip.count else 0.0,
+        p95_round_trip=percentile(round_trips, 95) if round_trips else 0.0,
+        max_round_trip=int(round_trip.maximum) if round_trip.count else 0,
+        requests_measured=counters["measured_issued"],
+        requests_completed=counters["measured_done"],
+        requests_issued_total=counters["issued_total"],
+        local_accesses=counters["local"],
+        dark_bank_accesses=counters["dark"],
+        bypass_flits=counters["bypass_flits"],
+        saturated=saturated,
+        cycles_run=network.cycle,
+        measure_cycles=measure_cycles,
+        activity=network.activity,
+    )

@@ -1,0 +1,69 @@
+"""Route-computation tables for the cycle simulator.
+
+The simulator works with integer port ids for speed; this module holds the
+Direction<->port mapping and builds per-topology routing tables for the two
+routing algorithms the paper evaluates:
+
+- ``"xy"``   -- conventional dimension-order routing on the full mesh
+- ``"cdor"`` -- Algorithm 2 on the convex active region
+"""
+
+from __future__ import annotations
+
+from repro.core.cdor import CdorRouter
+from repro.core.topological import SprintTopology
+from repro.util.directions import Direction
+
+PORT_LOCAL = 0
+PORT_NORTH = 1
+PORT_EAST = 2
+PORT_SOUTH = 3
+PORT_WEST = 4
+PORT_COUNT = 5
+
+DIRECTION_TO_PORT = {
+    Direction.LOCAL: PORT_LOCAL,
+    Direction.NORTH: PORT_NORTH,
+    Direction.EAST: PORT_EAST,
+    Direction.SOUTH: PORT_SOUTH,
+    Direction.WEST: PORT_WEST,
+}
+
+PORT_TO_DIRECTION = {v: k for k, v in DIRECTION_TO_PORT.items()}
+
+# port id of the input port a flit lands on after leaving through `port`
+REVERSE_PORT = {
+    PORT_NORTH: PORT_SOUTH,
+    PORT_SOUTH: PORT_NORTH,
+    PORT_EAST: PORT_WEST,
+    PORT_WEST: PORT_EAST,
+}
+
+
+def build_routing_table(
+    topology: SprintTopology, algorithm: str = "cdor"
+) -> dict[tuple[int, int], int]:
+    """Precompute the output port for every (current, destination) pair.
+
+    Only active-node pairs are included; the simulator never routes at a
+    dark router.
+    """
+    table: dict[tuple[int, int], int] = {}
+    if algorithm == "cdor":
+        router = CdorRouter(topology)
+        for current in topology.active_nodes:
+            for dest in topology.active_nodes:
+                table[(current, dest)] = DIRECTION_TO_PORT[
+                    router.next_port(current, dest)
+                ]
+    elif algorithm == "xy":
+        from repro.core.cdor import dor_output_port
+
+        for current in topology.active_nodes:
+            for dest in topology.active_nodes:
+                table[(current, dest)] = DIRECTION_TO_PORT[
+                    dor_output_port(topology.coord(current), topology.coord(dest))
+                ]
+    else:
+        raise ValueError(f"unknown routing algorithm {algorithm!r}")
+    return table

@@ -1,0 +1,172 @@
+"""Simulation driver: warmup / measurement / drain methodology.
+
+Follows the standard booksim methodology: the network warms up for
+``warmup_cycles``, every packet created during the next ``measure_cycles``
+is tagged as *measured*, injection continues (the traffic process stays
+stationary) until every measured packet has been ejected or the drain
+budget runs out.  A run that cannot drain is reported as saturated --
+exactly the behaviour behind the "NoC-sprinting saturates earlier"
+observation of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.activity import NetworkActivity
+from repro.noc.network import Network
+from repro.noc.routing import build_routing_table
+from repro.noc.traffic import TrafficGenerator
+from repro.util.stats import RunningStats, percentile
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one network simulation run."""
+
+    avg_latency: float
+    avg_hops: float
+    max_latency: int
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    packets_measured: int
+    packets_ejected: int
+    offered_flits_per_cycle: float  # per endpoint
+    accepted_flits_per_cycle: float  # per endpoint, over the measure window
+    saturated: bool
+    cycles_run: int
+    measure_cycles: int
+    activity: NetworkActivity = field(repr=False, default_factory=NetworkActivity)
+    endpoint_count: int = 0
+
+    @property
+    def powered_router_count(self) -> int:
+        return len(self.activity.routers)
+
+
+def run_simulation(
+    topology: SprintTopology,
+    traffic: TrafficGenerator,
+    config: NoCConfig | None = None,
+    routing: str = "cdor",
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    drain_cycles: int = 30000,
+    gating_policy=None,
+) -> SimulationResult:
+    """Simulate a topology under a traffic load and collect statistics.
+
+    ``routing`` is ``"cdor"``, ``"xy"``, or one of the adaptive turn models
+    (``"west_first"``, ``"negative_first"``; full mesh only).
+    ``gating_policy``, if given, is a
+    :class:`repro.noc.power_gating.GatingPolicy` driven once per cycle (used
+    by the run-time power-gating ablation; the main NoC-sprinting experiments
+    power-gate statically by never instantiating dark routers).
+    """
+    cfg = config or NoCConfig()
+    if routing in ("cdor", "xy"):
+        table = build_routing_table(topology, routing)
+    else:
+        from repro.noc.adaptive import build_adaptive_table
+
+        table = build_adaptive_table(topology, routing)
+    network = Network(topology, table, cfg)
+
+    latency = RunningStats()
+    hops = RunningStats()
+    latencies: list[int] = []
+    ejected = {"measured": 0, "all": 0, "measured_flits": 0}
+
+    def on_eject(packet) -> None:
+        ejected["all"] += 1
+        if packet.measured:
+            ejected["measured"] += 1
+            ejected["measured_flits"] += packet.length
+            latency.add(packet.latency)
+            latencies.append(packet.latency)
+            hops.add(packet.hops)
+
+    network.on_packet_ejected = on_eject
+
+    created_measured = 0
+    measure_end = warmup_cycles + measure_cycles
+    deadline = measure_end + drain_cycles
+    while True:
+        cycle = network.cycle
+        if cycle >= deadline:
+            break
+        in_window = warmup_cycles <= cycle < measure_end
+        for packet in traffic.packets_for_cycle(cycle, measured=in_window):
+            network.inject(packet)
+            if packet.measured:
+                created_measured += 1
+        if cycle == warmup_cycles:
+            network.counting = True
+        if cycle == measure_end:
+            network.counting = False
+        if gating_policy is not None:
+            gating_policy.step(network)
+        network.step()
+        if cycle >= measure_end and ejected["measured"] >= created_measured:
+            break
+
+    saturated = ejected["measured"] < created_measured
+    endpoints = len(traffic.endpoints)
+    return SimulationResult(
+        avg_latency=latency.mean if latency.count else 0.0,
+        avg_hops=hops.mean if hops.count else 0.0,
+        max_latency=int(latency.maximum) if latency.count else 0,
+        p50_latency=percentile(latencies, 50) if latencies else 0.0,
+        p95_latency=percentile(latencies, 95) if latencies else 0.0,
+        p99_latency=percentile(latencies, 99) if latencies else 0.0,
+        packets_measured=created_measured,
+        packets_ejected=ejected["measured"],
+        offered_flits_per_cycle=traffic.injection_rate,
+        accepted_flits_per_cycle=(
+            ejected["measured_flits"] / (measure_cycles * endpoints)
+            if measure_cycles and endpoints
+            else 0.0
+        ),
+        saturated=saturated,
+        cycles_run=network.cycle,
+        measure_cycles=measure_cycles,
+        activity=network.activity,
+        endpoint_count=endpoints,
+    )
+
+
+def zero_load_latency(
+    topology: SprintTopology,
+    config: NoCConfig | None = None,
+    routing: str = "cdor",
+) -> float:
+    """Analytic zero-load packet latency averaged over all endpoint pairs.
+
+    Head latency is ``pipeline_stages`` cycles per hop plus the final
+    ejection, and the tail trails the head by ``packet_length - 1`` cycles.
+    Used by the CMP performance model as its communication-cost proxy when
+    no cycle simulation is attached.
+    """
+    from repro.core.cdor import CdorRouter
+
+    cfg = config or NoCConfig()
+    nodes = topology.active_nodes
+    if len(nodes) < 2:
+        # local delivery: injection + ejection pipeline only
+        return cfg.router_pipeline_stages + cfg.packet_length_flits - 1
+
+    router = CdorRouter(topology)
+    total = 0.0
+    pairs = 0
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            hop_count = router.hop_count(src, dst)
+            head = cfg.router_pipeline_stages * (hop_count + 1)
+            total += head + cfg.packet_length_flits - 1
+            pairs += 1
+    return total / pairs

@@ -1,0 +1,46 @@
+"""Power models: DSENT-substitute router/link energy and McPAT-substitute
+chip power, plus the bridge that converts simulator activity into power."""
+
+from repro.power.activity import NetworkPowerReport, network_power
+from repro.power.energy import EnergyReport, burst_energy, energy_comparison
+from repro.power.dvfs import (
+    DIM_POINTS,
+    NOMINAL_POINT,
+    DvfsConfiguration,
+    DvfsPlanner,
+    OperatingPoint,
+)
+from repro.power.chip_power import (
+    ChipPowerModel,
+    ChipPowerParams,
+    ChipPowerReport,
+    DEFAULT_PARAMS,
+)
+from repro.power.link_power import TILE_PITCH_MM, LinkPowerModel, link_lengths_mm
+from repro.power.router_power import PowerBreakdown, RouterPowerModel
+from repro.power.technology import FIG2_OPERATING_POINTS, TECH_45NM, TechNode
+
+__all__ = [
+    "NetworkPowerReport",
+    "network_power",
+    "ChipPowerModel",
+    "ChipPowerParams",
+    "ChipPowerReport",
+    "DEFAULT_PARAMS",
+    "TILE_PITCH_MM",
+    "LinkPowerModel",
+    "link_lengths_mm",
+    "PowerBreakdown",
+    "RouterPowerModel",
+    "TechNode",
+    "TECH_45NM",
+    "FIG2_OPERATING_POINTS",
+    "DIM_POINTS",
+    "NOMINAL_POINT",
+    "DvfsConfiguration",
+    "DvfsPlanner",
+    "OperatingPoint",
+    "EnergyReport",
+    "burst_energy",
+    "energy_comparison",
+]

@@ -1,0 +1,94 @@
+"""Network power from simulator activity.
+
+Bridges the cycle simulator and the DSENT-substitute models: converts a
+:class:`~repro.noc.sim.SimulationResult` into per-router and total network
+power, accounting for which routers/links are powered and (optionally) for
+floorplan-stretched link lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import NoCConfig
+from repro.core.floorplanning import Floorplan
+from repro.core.topological import SprintTopology
+from repro.noc.sim import SimulationResult
+from repro.power.link_power import LinkPowerModel, link_lengths_mm
+from repro.power.router_power import PowerBreakdown, RouterPowerModel
+
+
+@dataclass
+class NetworkPowerReport:
+    """Total network power split by source."""
+
+    routers: PowerBreakdown
+    links: PowerBreakdown
+    per_router: dict[int, PowerBreakdown] = field(default_factory=dict)
+    powered_router_count: int = 0
+    powered_link_count: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.routers.total + self.links.total
+
+    @property
+    def dynamic(self) -> float:
+        return self.routers.dynamic + self.links.dynamic
+
+    @property
+    def leakage(self) -> float:
+        return self.routers.leakage + self.links.leakage
+
+
+def network_power(
+    result: SimulationResult,
+    topology: SprintTopology,
+    config: NoCConfig | None = None,
+    vdd: float = 1.0,
+    frequency_hz: float = 2.0e9,
+    floorplan: Floorplan | None = None,
+) -> NetworkPowerReport:
+    """Average network power over the measured window of a simulation.
+
+    Router dynamic power comes from the recorded per-router activity;
+    leakage and clock power from the powered-cycle fractions.  Link dynamic
+    power assumes each recorded link traversal used one powered link of the
+    topology (lengths from the floorplan when given); link leakage covers
+    every powered link for the whole window.
+    """
+    cfg = config or NoCConfig()
+    router_model = RouterPowerModel(cfg, vdd=vdd, frequency_hz=frequency_hz)
+    link_model = LinkPowerModel(cfg, vdd=vdd, frequency_hz=frequency_hz)
+    cycles = result.measure_cycles
+
+    per_router: dict[int, PowerBreakdown] = {}
+    routers_total = PowerBreakdown(0.0, 0.0)
+    for node, activity in result.activity.routers.items():
+        breakdown = router_model.power_from_activity(activity, cycles)
+        per_router[node] = breakdown
+        routers_total = routers_total + breakdown
+
+    lengths = link_lengths_mm(topology, floorplan)
+    # each bidirectional mesh link is two unidirectional flit links
+    link_leak = 2.0 * sum(
+        link_model.leakage_power(length) for length in lengths.values()
+    )
+    mean_length = (
+        sum(lengths.values()) / len(lengths) if lengths else 0.0
+    )
+    traversals = sum(a.link_traversals for a in result.activity.routers.values())
+    window_seconds = cycles / frequency_hz if cycles else 0.0
+    link_dynamic = (
+        traversals * link_model.traversal_energy(mean_length) / window_seconds
+        if window_seconds and mean_length
+        else 0.0
+    )
+
+    return NetworkPowerReport(
+        routers=routers_total,
+        links=PowerBreakdown(dynamic=link_dynamic, leakage=link_leak),
+        per_router=per_router,
+        powered_router_count=len(result.activity.routers),
+        powered_link_count=len(lengths),
+    )

@@ -1,0 +1,177 @@
+"""Chip-level power model (McPAT substitute, Niagara2-calibrated).
+
+Reproduces the component structure the paper evaluates with McPAT on a
+Niagara2-style CMP: cores, tiled shared L2, memory controllers, NoC and
+"others" (PCIe controllers etc.).  The constants are calibrated so that in
+*nominal* operation (a single active core, idle cores power-gated) the NoC
+accounts for 18 / 26 / 35 / 42 % of chip power at 4 / 8 / 16 / 32 cores --
+the paper's own Figure 3 -- and so that the Figure 8 core-power savings
+come out at the reported scale.
+
+Three core idle policies model the schemes of Figure 8:
+
+- ``"active"`` -- the core is executing at full voltage/frequency;
+- ``"idle"``   -- powered but idle (clock-gated): leakage plus idle clocking,
+  a large fraction of active power at 45 nm -- this is the *naive
+  fine-grained sprinting* that picks the right core count but never gates;
+- ``"gated"``  -- power-gated dark silicon, only a small residual remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChipPowerParams:
+    """Component power constants (watts, 45 nm, 1 V / 2 GHz)."""
+
+    core_active_w: float = 9.0
+    core_idle_fraction: float = 0.64
+    core_gated_w: float = 0.12
+    l2_bank_w: float = 0.55
+    memory_controller_w: float = 1.3
+    noc_per_node_w: float = 0.9
+    others_w: float = 4.0
+
+    @property
+    def core_idle_w(self) -> float:
+        return self.core_active_w * self.core_idle_fraction
+
+
+DEFAULT_PARAMS = ChipPowerParams()
+
+
+@dataclass(frozen=True)
+class ChipPowerReport:
+    """Per-component chip power, watts."""
+
+    cores: float
+    l2: float
+    memory_controllers: float
+    noc: float
+    others: float
+
+    @property
+    def total(self) -> float:
+        return self.cores + self.l2 + self.memory_controllers + self.noc + self.others
+
+    def share(self, component: str) -> float:
+        """Fraction of total chip power drawn by one component."""
+        value = getattr(self, component)
+        return value / self.total if self.total else 0.0
+
+
+class ChipPowerModel:
+    """McPAT-substitute power model of an N-core tiled CMP."""
+
+    def __init__(self, core_count: int = 16, params: ChipPowerParams = DEFAULT_PARAMS):
+        if core_count < 1:
+            raise ValueError("need at least one core")
+        self.core_count = core_count
+        self.params = params
+
+    def memory_controller_count(self) -> int:
+        """One MC per 8 cores, at least one (Niagara2-style)."""
+        return max(1, self.core_count // 8)
+
+    def core_power(self, active_cores: int, idle_policy: str = "gated") -> float:
+        """Total core power with ``active_cores`` running (Figure 8).
+
+        ``idle_policy`` applies to the remaining cores: ``"gated"`` (NoC-
+        sprinting), ``"idle"`` (naive fine-grained sprinting) or
+        ``"off"`` (counted as exactly zero, an idealised bound).
+        """
+        if not 0 <= active_cores <= self.core_count:
+            raise ValueError(
+                f"active cores must be within [0, {self.core_count}]"
+            )
+        p = self.params
+        inactive = self.core_count - active_cores
+        if idle_policy == "gated":
+            residual = p.core_gated_w
+        elif idle_policy == "idle":
+            residual = p.core_idle_w
+        elif idle_policy == "off":
+            residual = 0.0
+        else:
+            raise ValueError(f"unknown idle policy {idle_policy!r}")
+        return active_cores * p.core_active_w + inactive * residual
+
+    def chip_power(
+        self,
+        active_cores: int,
+        idle_policy: str = "gated",
+        noc_active_fraction: float = 1.0,
+    ) -> ChipPowerReport:
+        """Full-chip power breakdown.
+
+        ``noc_active_fraction`` is the fraction of routers/links powered:
+        1.0 for a fully-on network (nominal operation and full-sprinting),
+        ``level / core_count`` under NoC-sprinting's static network gating.
+        """
+        if not 0.0 <= noc_active_fraction <= 1.0:
+            raise ValueError("noc_active_fraction must be in [0, 1]")
+        p = self.params
+        return ChipPowerReport(
+            cores=self.core_power(active_cores, idle_policy),
+            l2=p.l2_bank_w * self.core_count,
+            memory_controllers=p.memory_controller_w * self.memory_controller_count(),
+            noc=p.noc_per_node_w * self.core_count * noc_active_fraction,
+            others=p.others_w,
+        )
+
+    def nominal_breakdown(self) -> ChipPowerReport:
+        """Figure 3: single active core, dark cores gated, network fully on.
+
+        The network cannot be gated in conventional designs because a dark
+        router would block packet forwarding and shared-cache access --
+        which is exactly the paper's motivation.
+        """
+        return self.chip_power(active_cores=1, idle_policy="gated", noc_active_fraction=1.0)
+
+    def sprint_chip_power(
+        self,
+        level: int,
+        scheme: str = "noc_sprinting",
+    ) -> ChipPowerReport:
+        """Chip power during a sprint at the given level (for the thermal
+        and sprint-duration analyses).
+
+        Schemes: ``"full"`` ignores the level and powers everything;
+        ``"naive"`` activates ``level`` cores but leaves the rest idle and
+        the network fully on; ``"noc_sprinting"`` gates both the dark cores
+        and the dark network region.
+        """
+        if scheme == "full":
+            return self.chip_power(self.core_count, "gated", 1.0)
+        if scheme == "naive":
+            return self.chip_power(level, "idle", 1.0)
+        if scheme == "noc_sprinting":
+            return self.chip_power(level, "gated", level / self.core_count)
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    def tile_powers(
+        self,
+        active_nodes,
+        physical_slot_of=None,
+        include_noc: bool = True,
+    ) -> list[float]:
+        """Per-tile power map for the thermal model (watts per tile).
+
+        Returns one value per physical slot (row-major).  ``active_nodes``
+        are logical node ids; ``physical_slot_of`` maps a logical node to a
+        physical slot (identity when None, or ``Floorplan.position.__getitem__``).
+        Active tiles carry a sprinting core, its L2 bank and its powered
+        router; dark tiles carry the gated-core residual and the
+        still-powered L2 bank.
+        """
+        p = self.params
+        n = self.core_count
+        active_tile = p.core_active_w + p.l2_bank_w + (p.noc_per_node_w if include_noc else 0.0)
+        dark_tile = p.core_gated_w + p.l2_bank_w
+        powers = [dark_tile] * n
+        for node in active_nodes:
+            slot = physical_slot_of(node) if physical_slot_of is not None else node
+            powers[slot] = active_tile
+        return powers

@@ -1,0 +1,171 @@
+"""DVFS operating points and dim-silicon sprinting.
+
+The paper's introduction frames dark silicon as chips that are "either
+idle or significantly under-clocked" -- dark *or dim*.  Its evaluation
+sprints only at the nominal (1 V, 2 GHz) point; this module adds the dim
+dimension as an extension experiment: sprint *more* cores at a *lower*
+operating point under the same power budget.
+
+For scalable workloads under tight budgets, many slow cores beat few fast
+ones; for serial workloads the nominal point always wins.  The planner
+searches the (level, operating point) grid for the fastest configuration
+that fits a power budget (see ``bench_extension_dvfs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.perf_model import SPRINT_LEVELS, BenchmarkProfile
+from repro.power.chip_power import ChipPowerModel
+from repro.power.technology import TECH_45NM, TechNode
+
+#: Fraction of a core's nominal power that is dynamic (CV^2f-scaling); the
+#: rest is leakage (V*exp-scaling).  45 nm cores are roughly 2:1.
+CORE_DYNAMIC_FRACTION = 0.65
+
+#: Fraction of the uncore (L2/MC/NoC/others) power that is dynamic.
+UNCORE_DYNAMIC_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (voltage, frequency) pair the cores can sprint at."""
+
+    name: str
+    vdd: float
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.frequency_hz <= 0:
+            raise ValueError("operating point needs positive V and f")
+
+
+#: The paper's Figure 2 V/f corners, reused as sprint operating points.
+NOMINAL_POINT = OperatingPoint("nominal", 1.0, 2.0e9)
+DIM_POINTS = (
+    NOMINAL_POINT,
+    OperatingPoint("dim-0.9V", 0.9, 1.5e9),
+    OperatingPoint("dim-0.75V", 0.75, 1.0e9),
+)
+
+
+@dataclass(frozen=True)
+class DvfsConfiguration:
+    """One sprint configuration: how many cores, at which point."""
+
+    level: int
+    point: OperatingPoint
+    chip_power_w: float
+    speedup: float
+
+    @property
+    def is_dim(self) -> bool:
+        return self.point.vdd < NOMINAL_POINT.vdd
+
+
+class DvfsPlanner:
+    """Search (level, operating point) space under a chip power budget."""
+
+    def __init__(
+        self,
+        chip_model: ChipPowerModel | None = None,
+        tech: TechNode = TECH_45NM,
+        points: tuple[OperatingPoint, ...] = DIM_POINTS,
+    ):
+        self.chip_model = chip_model or ChipPowerModel(16)
+        self.tech = tech
+        self.points = points
+
+    # ------------------------------------------------------------------
+    def _component_scale(self, point: OperatingPoint, dynamic_fraction: float) -> float:
+        dyn = self.tech.dynamic_scale(point.vdd, point.frequency_hz)
+        leak = self.tech.leakage_scale(point.vdd)
+        return dynamic_fraction * dyn + (1.0 - dynamic_fraction) * leak
+
+    def chip_power(self, level: int, point: OperatingPoint) -> float:
+        """Chip power sprinting ``level`` cores at ``point`` (NoC gated).
+
+        Cores and the active network scale with the operating point; the
+        rest of the uncore stays at nominal (it serves memory traffic at
+        its own clock).
+        """
+        nominal = self.chip_model.sprint_chip_power(level, "noc_sprinting")
+        core_scale = self._component_scale(point, CORE_DYNAMIC_FRACTION)
+        noc_scale = self._component_scale(point, UNCORE_DYNAMIC_FRACTION)
+        return (
+            nominal.cores * core_scale
+            + nominal.noc * noc_scale
+            + nominal.l2
+            + nominal.memory_controllers
+            + nominal.others
+        )
+
+    def speedup(self, profile: BenchmarkProfile, level: int, point: OperatingPoint) -> float:
+        """Speedup over single-core *nominal* execution.
+
+        Compute throughput scales with core frequency; the scaling table
+        captures everything else.  This is the standard linear-frequency
+        model -- memory-bound phases would scale sub-linearly, so dim
+        configurations are, if anything, slightly underestimated.
+        """
+        frequency_ratio = point.frequency_hz / NOMINAL_POINT.frequency_hz
+        return profile.speedup(level) * frequency_ratio
+
+    # ------------------------------------------------------------------
+    def configurations(self, profile: BenchmarkProfile) -> list[DvfsConfiguration]:
+        """Every (level, point) configuration with its power and speedup."""
+        return [
+            DvfsConfiguration(
+                level=level,
+                point=point,
+                chip_power_w=self.chip_power(level, point),
+                speedup=self.speedup(profile, level, point),
+            )
+            for level in SPRINT_LEVELS
+            for point in self.points
+        ]
+
+    @staticmethod
+    def _pick(feasible: list[DvfsConfiguration], tolerance: float) -> DvfsConfiguration:
+        """Power-aware selection: near-best speedup, cheapest configuration.
+
+        Same rationale as the profile's optimal-level rule -- a speedup gain
+        within ``tolerance`` is not worth more cores or a higher voltage.
+        """
+        best_speedup = max(c.speedup for c in feasible)
+        near_best = [
+            c for c in feasible if c.speedup >= best_speedup / (1.0 + tolerance)
+        ]
+        return min(near_best, key=lambda c: (c.chip_power_w, c.level, -c.speedup))
+
+    def best_configuration(
+        self,
+        profile: BenchmarkProfile,
+        power_budget_w: float,
+        tolerance: float = 0.02,
+    ) -> DvfsConfiguration | None:
+        """The fastest configuration within the budget (None if none fit)."""
+        feasible = [
+            c for c in self.configurations(profile) if c.chip_power_w <= power_budget_w
+        ]
+        if not feasible:
+            return None
+        return self._pick(feasible, tolerance)
+
+    def nominal_only_best(
+        self,
+        profile: BenchmarkProfile,
+        power_budget_w: float,
+        tolerance: float = 0.02,
+    ) -> DvfsConfiguration | None:
+        """The best configuration restricted to the nominal point (the
+        paper's scheme), for comparison against dim sprinting."""
+        feasible = [
+            c
+            for c in self.configurations(profile)
+            if c.point == NOMINAL_POINT and c.chip_power_w <= power_budget_w
+        ]
+        if not feasible:
+            return None
+        return self._pick(feasible, tolerance)

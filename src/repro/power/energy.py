@@ -1,0 +1,74 @@
+"""Energy and energy-delay metrics across sprinting schemes.
+
+The paper reports power (Figs. 8, 10) and performance (Fig. 7) separately;
+for a battery- or thermally-limited chip the product matters: a sprint
+that is faster *and* lower-power wins quadratically on energy-delay.  This
+module combines the chip power model with the execution-time model into
+per-burst energy, EDP and ED2P -- the standard efficiency metrics -- for
+any (workload, scheme) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp.perf_model import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy metrics for one burst under one scheme."""
+
+    scheme: str
+    execution_time_s: float
+    avg_power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.avg_power_w * self.execution_time_s
+
+    @property
+    def edp_js(self) -> float:
+        """Energy-delay product (J*s)."""
+        return self.energy_j * self.execution_time_s
+
+    @property
+    def ed2p_js2(self) -> float:
+        """Energy-delay-squared product (J*s^2)."""
+        return self.edp_js * self.execution_time_s
+
+
+def burst_energy(
+    system,
+    workload: str | BenchmarkProfile,
+    scheme: str,
+    burst_work_s: float = 1.0,
+) -> EnergyReport:
+    """Energy for one burst of ``burst_work_s`` single-core seconds.
+
+    ``system`` is a :class:`repro.core.system.NoCSprintingSystem`; the
+    chip power is the scheme's full-chip power (cores + uncore + network
+    as gated by the scheme) held for the scheme's execution time.
+    """
+    if burst_work_s <= 0:
+        raise ValueError("burst work must be positive")
+    execution_time = burst_work_s * system.execution_time(workload, scheme)
+    power = system.chip_power(workload, scheme).total
+    return EnergyReport(
+        scheme=scheme,
+        execution_time_s=execution_time,
+        avg_power_w=power,
+    )
+
+
+def energy_comparison(
+    system,
+    workload: str | BenchmarkProfile,
+    burst_work_s: float = 1.0,
+    schemes: tuple[str, ...] = ("non_sprinting", "full_sprinting", "noc_sprinting"),
+) -> dict[str, EnergyReport]:
+    """Per-scheme energy reports for one workload."""
+    return {
+        scheme: burst_energy(system, workload, scheme, burst_work_s)
+        for scheme in schemes
+    }

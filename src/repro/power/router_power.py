@@ -1,0 +1,157 @@
+"""Parametric router energy model (DSENT substitute).
+
+Per-event dynamic energies (buffer write/read, crossbar traversal,
+allocator grant) scale with the flit width; clock-tree dynamic power and
+leakage scale with the amount of router state (buffer bits).  The reference
+calibration point reproduces DSENT-like 45 nm numbers for the classic
+wormhole router of Figure 2 (128-bit flits, 2 VCs x 4 buffers): a few tens
+of mW total at (1 V, 2 GHz) with roughly 40 % of it leakage, so that the
+leakage share overtakes dynamic power at the (0.75 V, 1 GHz) corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NoCConfig
+from repro.noc.activity import RouterActivity
+from repro.power.technology import TECH_45NM, TechNode
+
+# --- reference per-event energies at (1 V, 2 GHz), joules per bit ---------
+ENERGY_BUFFER_WRITE_PER_BIT = 33e-15
+ENERGY_BUFFER_READ_PER_BIT = 28e-15
+ENERGY_CROSSBAR_PER_BIT = 23e-15
+ENERGY_ARBITRATION_PER_GRANT = 1.2e-12  # VA+SA control energy per grant
+
+# clock tree: dynamic power per clocked storage bit at the reference point
+CLOCK_POWER_PER_BIT_W = 1.6e-6
+PIPELINE_REGISTER_BITS_PER_PORT = 2 * 128  # inter-stage registers, per port
+
+# leakage at the reference point
+LEAKAGE_PER_BUFFER_BIT_W = 1.5e-6
+LEAKAGE_FIXED_W = 5.0e-3  # crossbar, allocators, control
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Dynamic vs leakage power of one component or router, in watts."""
+
+    dynamic: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+    @property
+    def leakage_fraction(self) -> float:
+        return self.leakage / self.total if self.total else 0.0
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(self.dynamic + other.dynamic, self.leakage + other.leakage)
+
+    def scaled(self, factor: float) -> "PowerBreakdown":
+        return PowerBreakdown(self.dynamic * factor, self.leakage * factor)
+
+
+class RouterPowerModel:
+    """Energy/power model for one five-port VC router."""
+
+    def __init__(
+        self,
+        config: NoCConfig | None = None,
+        vdd: float = 1.0,
+        frequency_hz: float = 2.0e9,
+        tech: TechNode = TECH_45NM,
+        ports: int = 5,
+    ):
+        self.config = config or NoCConfig()
+        self.vdd = vdd
+        self.frequency_hz = frequency_hz
+        self.tech = tech
+        self.ports = ports
+        self._dyn_scale = tech.dynamic_scale(vdd, frequency_hz)
+        # energy per event scales with V^2 only (one event is one event
+        # regardless of clock rate); power scales with event rate
+        self._energy_scale = (vdd / tech.vdd_nominal) ** 2
+        self._leak_scale = tech.leakage_scale(vdd)
+
+    # ------------------------------------------------------------------
+    @property
+    def buffer_bits(self) -> int:
+        cfg = self.config
+        return self.ports * cfg.vcs_per_port * cfg.buffers_per_vc * cfg.flit_width_bits
+
+    @property
+    def clocked_bits(self) -> int:
+        return self.buffer_bits + self.ports * PIPELINE_REGISTER_BITS_PER_PORT
+
+    def energy_buffer_write(self) -> float:
+        return ENERGY_BUFFER_WRITE_PER_BIT * self.config.flit_width_bits * self._energy_scale
+
+    def energy_buffer_read(self) -> float:
+        return ENERGY_BUFFER_READ_PER_BIT * self.config.flit_width_bits * self._energy_scale
+
+    def energy_crossbar(self) -> float:
+        return ENERGY_CROSSBAR_PER_BIT * self.config.flit_width_bits * self._energy_scale
+
+    def energy_arbitration(self) -> float:
+        return ENERGY_ARBITRATION_PER_GRANT * self._energy_scale
+
+    def wakeup_energy(self) -> float:
+        """Energy to power-gate and re-wake the router once.
+
+        Dominated by recharging the virtual-Vdd rail and the buffer arrays;
+        modelled as ~30 cycles worth of full router leakage plus one clock
+        cycle of dynamic energy.
+        """
+        per_cycle_leak = self.leakage_power() / self.frequency_hz
+        return 30.0 * per_cycle_leak + self.clock_power() / self.frequency_hz
+
+    def clock_power(self) -> float:
+        """Clock-tree dynamic power while the router is powered."""
+        return CLOCK_POWER_PER_BIT_W * self.clocked_bits * self._dyn_scale
+
+    def leakage_power(self) -> float:
+        """Total leakage while powered (zero when power-gated)."""
+        return (
+            LEAKAGE_PER_BUFFER_BIT_W * self.buffer_bits + LEAKAGE_FIXED_W
+        ) * self._leak_scale
+
+    # ------------------------------------------------------------------
+    def breakdown_at_injection(self, flits_per_cycle: float) -> PowerBreakdown:
+        """Analytic router power at a given flit throughput (Figure 2).
+
+        ``flits_per_cycle`` is the average number of flits traversing the
+        router per cycle; each one costs a buffer write + read, a crossbar
+        traversal and an arbitration.
+        """
+        if flits_per_cycle < 0:
+            raise ValueError("flit rate must be non-negative")
+        per_flit = (
+            self.energy_buffer_write()
+            + self.energy_buffer_read()
+            + self.energy_crossbar()
+            + self.energy_arbitration()
+        )
+        dynamic = per_flit * flits_per_cycle * self.frequency_hz + self.clock_power()
+        return PowerBreakdown(dynamic=dynamic, leakage=self.leakage_power())
+
+    def power_from_activity(self, activity: RouterActivity, cycles: int) -> PowerBreakdown:
+        """Average power over a measured window of simulator activity."""
+        if cycles <= 0:
+            raise ValueError("need a positive measurement window")
+        energy = (
+            activity.buffer_writes * self.energy_buffer_write()
+            + activity.buffer_reads * self.energy_buffer_read()
+            + activity.crossbar_traversals * self.energy_crossbar()
+            + (activity.switch_arbitrations + activity.vc_allocations)
+            * self.energy_arbitration()
+        )
+        window_seconds = cycles / self.frequency_hz
+        powered_fraction = min(1.0, activity.cycles_powered / cycles)
+        dynamic = energy / window_seconds + self.clock_power() * powered_fraction
+        return PowerBreakdown(
+            dynamic=dynamic,
+            leakage=self.leakage_power() * powered_fraction,
+        )

@@ -1,0 +1,63 @@
+"""Technology-node parameters and voltage/frequency scaling laws.
+
+Dynamic power follows the classic ``alpha * C * V^2 * f`` law, so scaling
+from a reference (V0, f0) to (V, f) multiplies dynamic power by
+``(V/V0)^2 * (f/f0)``.  Subthreshold leakage current is nearly independent
+of frequency but rises super-linearly with supply voltage through DIBL;
+we model leakage *power* as ``V * I(V)`` with
+``I(V) = I0 * exp(k_dibl * (V - V0))``.
+
+These are the two effects behind Figure 2: scaling (1 V, 2 GHz) down to
+(0.75 V, 1 GHz) cuts dynamic power to ~28 % but leakage only to ~45 %, so
+the leakage *share* grows and can overtake dynamic power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A CMOS technology operating point family."""
+
+    name: str
+    feature_nm: int
+    vdd_nominal: float  # volts
+    frequency_nominal_hz: float
+    dibl_factor_per_v: float  # exponential sensitivity of leakage current to Vdd
+
+    def dynamic_scale(self, vdd: float, frequency_hz: float) -> float:
+        """Dynamic-power multiplier relative to the nominal operating point."""
+        self._check_vdd(vdd)
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return (vdd / self.vdd_nominal) ** 2 * (frequency_hz / self.frequency_nominal_hz)
+
+    def leakage_scale(self, vdd: float) -> float:
+        """Leakage-power multiplier relative to the nominal operating point."""
+        self._check_vdd(vdd)
+        current_scale = math.exp(self.dibl_factor_per_v * (vdd - self.vdd_nominal))
+        return (vdd / self.vdd_nominal) * current_scale
+
+    def _check_vdd(self, vdd: float) -> None:
+        if vdd <= 0:
+            raise ValueError("supply voltage must be positive")
+
+
+#: The paper's 45 nm operating point: 1 V nominal, 2 GHz cores.
+TECH_45NM = TechNode(
+    name="45nm",
+    feature_nm=45,
+    vdd_nominal=1.0,
+    frequency_nominal_hz=2.0e9,
+    dibl_factor_per_v=2.0,
+)
+
+#: The (voltage, frequency) corners swept in Figure 2.
+FIG2_OPERATING_POINTS = (
+    (1.0, 2.0e9),
+    (0.9, 1.5e9),
+    (0.75, 1.0e9),
+)

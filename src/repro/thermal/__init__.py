@@ -1,0 +1,54 @@
+"""Thermal models: RC grid (HotSpot substitute), phase-change-material
+sprint budget, and sprint-duration analysis."""
+
+from repro.thermal.floorplan import (
+    power_density_summary,
+    sprint_tile_powers,
+    uniform_tile_powers,
+)
+from repro.thermal.grid import (
+    AMBIENT_K,
+    DEFAULT_THERMAL_PARAMS,
+    ThermalGrid,
+    ThermalParams,
+)
+from repro.thermal.pcm import (
+    DEFAULT_PCM,
+    PCMParams,
+    SprintPhases,
+    sprint_duration,
+    sprint_phases,
+    temperature_timeline,
+)
+from repro.thermal.sprint_duration import (
+    SprintDurationResult,
+    duration_gain,
+    useful_sprint_duration,
+)
+from repro.thermal.transient_sprint import (
+    SprintTransient,
+    SprintTransientResult,
+    TransientSample,
+)
+
+__all__ = [
+    "power_density_summary",
+    "sprint_tile_powers",
+    "uniform_tile_powers",
+    "AMBIENT_K",
+    "DEFAULT_THERMAL_PARAMS",
+    "ThermalGrid",
+    "ThermalParams",
+    "PCMParams",
+    "DEFAULT_PCM",
+    "SprintPhases",
+    "sprint_duration",
+    "sprint_phases",
+    "temperature_timeline",
+    "SprintDurationResult",
+    "duration_gain",
+    "useful_sprint_duration",
+    "SprintTransient",
+    "SprintTransientResult",
+    "TransientSample",
+]

@@ -1,0 +1,50 @@
+"""Tile power maps for the thermal model.
+
+Bridges the chip power model, the sprint topology and the (optional)
+thermal-aware floorplan into the per-tile power vector the RC grid wants.
+The paper's Figure 12 abstraction: the 16-core CMP is 16 blocks in a 2D
+grid, each block holding an Alpha CPU, its local caches and its network
+resources.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.floorplanning import Floorplan
+from repro.core.topological import SprintTopology
+from repro.power.chip_power import ChipPowerModel
+
+
+def sprint_tile_powers(
+    topology: SprintTopology,
+    chip_model: ChipPowerModel | None = None,
+    floorplan: Floorplan | None = None,
+) -> list[float]:
+    """Per-physical-tile watts for a sprint level (row-major).
+
+    With no floorplan, logical node k heats physical tile k (the identity
+    placement of Figure 12a/b); with a thermal-aware floorplan the active
+    nodes heat their reallocated physical slots (Figure 12c).
+    """
+    model = chip_model or ChipPowerModel(topology.width * topology.height)
+    slot_of = None if floorplan is None else (lambda node: floorplan.position[node])
+    return model.tile_powers(topology.active_nodes, slot_of)
+
+
+def uniform_tile_powers(total_power_w: float, tiles: int = 16) -> list[float]:
+    """A uniformly-spread power map (full-sprinting's Figure 12a)."""
+    if tiles < 1:
+        raise ValueError("need at least one tile")
+    return [total_power_w / tiles] * tiles
+
+
+def power_density_summary(tile_powers: Sequence[float]) -> dict[str, float]:
+    """Quick statistics used by the thermal benches."""
+    total = float(sum(tile_powers))
+    return {
+        "total_w": total,
+        "max_tile_w": float(max(tile_powers)),
+        "min_tile_w": float(min(tile_powers)),
+        "mean_tile_w": total / len(tile_powers),
+    }

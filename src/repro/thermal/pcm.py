@@ -1,0 +1,125 @@
+"""Phase-change-material (PCM) sprint-thermal model.
+
+Computational sprinting places a phase-change material close to the die as
+transient heat storage: while the material melts, its latent heat absorbs
+the sprint's excess power at (nearly) constant temperature.  Figure 1's
+timeline has three phases:
+
+1. **Heating** -- die temperature rises from the start temperature to the
+   PCM melting point; duration set by the sensible thermal capacitance.
+2. **Melting** -- temperature plateaus at ``T_melt`` while the latent-heat
+   budget is consumed; this is the phase that dominates sprint duration.
+3. **Post-melt heating** -- temperature rises again until ``T_max``, when
+   the system must drop back to single-core nominal operation.
+
+Excess power is the sprint power minus what the steady cooling path can
+remove; phase durations are (energy budget) / (excess power).  The default
+parameters are calibrated so a full 16-core sprint lasts ~1 s, the paper's
+(and Raghavan et al.'s) worst-case assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PCMParams:
+    """PCM and package thermal constants."""
+
+    start_temperature_k: float = 318.0
+    melt_temperature_k: float = 331.0  # paraffin-class PCM, ~58 C
+    max_temperature_k: float = 358.0  # die limit before forced shutdown
+    latent_energy_j: float = 113.0  # PCM mass x latent heat of fusion
+    sensible_capacitance_j_per_k: float = 0.5  # die + spreader
+    sustainable_power_w: float = 40.6  # what the cooling removes continuously
+
+    def __post_init__(self) -> None:
+        if not (
+            self.start_temperature_k
+            < self.melt_temperature_k
+            < self.max_temperature_k
+        ):
+            raise ValueError("need start < melt < max temperatures")
+        if self.latent_energy_j <= 0 or self.sensible_capacitance_j_per_k <= 0:
+            raise ValueError("energy budgets must be positive")
+
+
+DEFAULT_PCM = PCMParams()
+
+
+@dataclass(frozen=True)
+class SprintPhases:
+    """Durations (seconds) of the three sprint phases of Figure 1."""
+
+    heat_to_melt_s: float
+    melting_s: float
+    melt_to_max_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.heat_to_melt_s + self.melting_s + self.melt_to_max_s
+
+
+def sprint_phases(sprint_power_w: float, params: PCMParams = DEFAULT_PCM) -> SprintPhases:
+    """Phase durations for a sprint dissipating ``sprint_power_w``.
+
+    If the sprint power does not exceed the sustainable cooling power the
+    sprint is thermally unconstrained and every phase is infinite.
+    """
+    if sprint_power_w <= 0:
+        raise ValueError("sprint power must be positive")
+    excess = sprint_power_w - params.sustainable_power_w
+    if excess <= 0:
+        return SprintPhases(math.inf, math.inf, math.inf)
+    c = params.sensible_capacitance_j_per_k
+    return SprintPhases(
+        heat_to_melt_s=c * (params.melt_temperature_k - params.start_temperature_k) / excess,
+        melting_s=params.latent_energy_j / excess,
+        melt_to_max_s=c * (params.max_temperature_k - params.melt_temperature_k) / excess,
+    )
+
+
+def sprint_duration(sprint_power_w: float, params: PCMParams = DEFAULT_PCM) -> float:
+    """Total thermally-allowed sprint duration (seconds)."""
+    return sprint_phases(sprint_power_w, params).total_s
+
+
+def temperature_timeline(
+    sprint_power_w: float,
+    params: PCMParams = DEFAULT_PCM,
+    points_per_phase: int = 20,
+    cooldown_s: float | None = None,
+) -> list[tuple[float, float]]:
+    """(time, temperature) samples tracing Figure 1's sprint curve.
+
+    Phases 1 and 3 are linear temperature ramps; phase 2 is the constant-
+    temperature melt plateau.  If ``cooldown_s`` is given an exponential
+    cool-down tail back towards the start temperature is appended.
+    """
+    phases = sprint_phases(sprint_power_w, params)
+    if math.isinf(phases.total_s):
+        raise ValueError("sprint is thermally unconstrained; no finite timeline")
+    samples: list[tuple[float, float]] = []
+    t = 0.0
+
+    def ramp(duration: float, t0: float, temp_a: float, temp_b: float) -> None:
+        for i in range(points_per_phase + 1):
+            f = i / points_per_phase
+            samples.append((t0 + f * duration, temp_a + f * (temp_b - temp_a)))
+
+    ramp(phases.heat_to_melt_s, t, params.start_temperature_k, params.melt_temperature_k)
+    t += phases.heat_to_melt_s
+    ramp(phases.melting_s, t, params.melt_temperature_k, params.melt_temperature_k)
+    t += phases.melting_s
+    ramp(phases.melt_to_max_s, t, params.melt_temperature_k, params.max_temperature_k)
+    t += phases.melt_to_max_s
+
+    if cooldown_s:
+        span = params.max_temperature_k - params.start_temperature_k
+        tau = cooldown_s / 4.0
+        for i in range(1, points_per_phase + 1):
+            dt = cooldown_s * i / points_per_phase
+            samples.append((t + dt, params.start_temperature_k + span * math.exp(-dt / tau)))
+    return samples

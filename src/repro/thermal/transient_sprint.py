@@ -1,0 +1,144 @@
+"""Transient sprint simulation: the spatial grid coupled to the PCM node.
+
+The steady-state grid (Figure 12) and the lumped PCM timeline (Figure 1)
+are two views of the same sprint; this module couples them.  The PCM +
+package is a lumped thermal node with a latent-heat plateau:
+
+    C_pcm dT/dt = P_chip - (T - T_amb) / R_sink        (sensible phases)
+    T = T_melt while 0 < melted energy < E_latent      (melt plateau)
+
+and at every sample the die's spatial profile rides on the PCM node: the
+grid is solved with the PCM temperature as its boundary, so the output
+trace carries both the Figure 1 plateau *and* the Figure 12 hotspot peak
+at each instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.pcm import DEFAULT_PCM, PCMParams
+
+
+@dataclass(frozen=True)
+class TransientSample:
+    """One instant of a transient sprint."""
+
+    time_s: float
+    pcm_temperature_k: float
+    peak_die_temperature_k: float
+    melted_fraction: float
+    phase: str  # "heating", "melting", "post-melt", "limit"
+
+
+@dataclass
+class SprintTransientResult:
+    """A transient sprint trace."""
+
+    samples: list[TransientSample] = field(default_factory=list)
+    reached_limit_at_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples[-1].time_s if self.samples else 0.0
+
+    @property
+    def peak_die_temperature_k(self) -> float:
+        return max(s.peak_die_temperature_k for s in self.samples)
+
+    def phase_boundaries(self) -> dict[str, float]:
+        """First time each phase is entered."""
+        boundaries: dict[str, float] = {}
+        for sample in self.samples:
+            boundaries.setdefault(sample.phase, sample.time_s)
+        return boundaries
+
+
+class SprintTransient:
+    """Integrate a sprint's thermal trajectory with spatial resolution."""
+
+    def __init__(
+        self,
+        grid: ThermalGrid | None = None,
+        pcm: PCMParams = DEFAULT_PCM,
+        sink_resistance_k_per_w: float | None = None,
+        pcm_capacitance_j_per_k: float | None = None,
+    ):
+        self.grid = grid or ThermalGrid(4, 4, 4)
+        self.pcm = pcm
+        # by default the sink removes exactly the sustainable power at the
+        # melt temperature -- consistent with the lumped PCM model
+        self.sink_resistance = sink_resistance_k_per_w or (
+            (pcm.melt_temperature_k - pcm.start_temperature_k)
+            / pcm.sustainable_power_w
+        )
+        self.pcm_capacitance = pcm_capacitance_j_per_k or pcm.sensible_capacitance_j_per_k
+
+    def run(
+        self,
+        tile_powers: Sequence[float],
+        duration_s: float,
+        dt_s: float = 2e-3,
+        samples: int = 60,
+    ) -> SprintTransientResult:
+        """Simulate a sprint at constant tile powers.
+
+        Stops early when the PCM node hits the max die temperature (the
+        forced single-core fallback of Figure 1).
+        """
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("need positive duration and dt")
+        total_power = float(sum(tile_powers))
+        # the spatial offset of the die's hotspot above the PCM/boundary
+        # node is load-dependent but time-invariant (linear RC): solve once
+        params = self.grid.params
+        die_profile = self.grid.steady_state(tile_powers)
+        hotspot_offset = float(die_profile.max()) - params.ambient_k - (
+            self.grid.spreader_temperature(tile_powers) - params.ambient_k
+        )
+
+        result = SprintTransientResult()
+        temperature = self.pcm.start_temperature_k
+        melted_j = 0.0
+        steps = int(round(duration_s / dt_s))
+        sample_every = max(1, steps // samples)
+        for step in range(steps + 1):
+            t = step * dt_s
+            if temperature < self.pcm.melt_temperature_k and melted_j == 0.0:
+                phase = "heating"
+            elif melted_j < self.pcm.latent_energy_j:
+                phase = "melting"
+            elif temperature < self.pcm.max_temperature_k:
+                phase = "post-melt"
+            else:
+                phase = "limit"
+
+            if step % sample_every == 0 or phase == "limit":
+                # spreader rise follows the PCM node during a transient
+                global_rise = temperature - params.ambient_k
+                peak = params.ambient_k + global_rise + hotspot_offset
+                result.samples.append(
+                    TransientSample(
+                        time_s=t,
+                        pcm_temperature_k=temperature,
+                        peak_die_temperature_k=peak,
+                        melted_fraction=min(1.0, melted_j / self.pcm.latent_energy_j),
+                        phase=phase,
+                    )
+                )
+            if phase == "limit":
+                result.reached_limit_at_s = t
+                break
+
+            removed = (temperature - self.pcm.start_temperature_k) / self.sink_resistance
+            net = total_power - removed
+            if phase == "melting" and net > 0:
+                melted_j += net * dt_s  # latent heat absorbs the excess
+            else:
+                temperature += net * dt_s / self.pcm_capacitance
+                temperature = max(temperature, self.pcm.start_temperature_k)
+                if temperature >= self.pcm.melt_temperature_k and melted_j < self.pcm.latent_energy_j:
+                    temperature = self.pcm.melt_temperature_k
+        return result

@@ -1,0 +1,54 @@
+"""Shared utilities: lattice geometry, seeded RNG streams, statistics,
+and text-table rendering for experiment output."""
+
+from repro.util.geometry import (
+    Coord,
+    average_pairwise_manhattan,
+    centroid,
+    convex_hull,
+    coord_to_node,
+    euclidean,
+    euclidean_sq,
+    is_connected,
+    is_discretely_convex,
+    is_orthogonally_convex,
+    lattice_points_in_hull,
+    manhattan,
+    node_to_coord,
+    point_in_hull,
+)
+from repro.util.rng import stream
+from repro.util.stats import (
+    RunningStats,
+    geometric_mean,
+    mean,
+    percent_change,
+    percent_saving,
+)
+from repro.util.tables import format_series, format_table, render_heatmap
+
+__all__ = [
+    "Coord",
+    "average_pairwise_manhattan",
+    "centroid",
+    "convex_hull",
+    "coord_to_node",
+    "euclidean",
+    "euclidean_sq",
+    "is_connected",
+    "is_discretely_convex",
+    "is_orthogonally_convex",
+    "lattice_points_in_hull",
+    "manhattan",
+    "node_to_coord",
+    "point_in_hull",
+    "stream",
+    "RunningStats",
+    "geometric_mean",
+    "mean",
+    "percent_change",
+    "percent_saving",
+    "format_series",
+    "format_table",
+    "render_heatmap",
+]

@@ -1,0 +1,51 @@
+"""Mesh port directions.
+
+The coordinate origin is the top-left corner of the mesh (as in the paper),
+so NORTH decreases ``y`` and SOUTH increases it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.util.geometry import Coord
+
+
+class Direction(Enum):
+    """A router port: the four mesh directions plus the local (NI) port."""
+
+    LOCAL = "local"
+    NORTH = "north"
+    EAST = "east"
+    SOUTH = "south"
+    WEST = "west"
+
+    @property
+    def offset(self) -> Coord:
+        """Coordinate delta of one hop in this direction."""
+        return _OFFSETS[self]
+
+    @property
+    def opposite(self) -> "Direction":
+        """The direction a flit arrives from after a hop in this direction."""
+        return _OPPOSITES[self]
+
+
+_OFFSETS = {
+    Direction.LOCAL: Coord(0, 0),
+    Direction.NORTH: Coord(0, -1),
+    Direction.EAST: Coord(1, 0),
+    Direction.SOUTH: Coord(0, 1),
+    Direction.WEST: Coord(-1, 0),
+}
+
+_OPPOSITES = {
+    Direction.LOCAL: Direction.LOCAL,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+MESH_DIRECTIONS = (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+ALL_PORTS = (Direction.LOCAL,) + MESH_DIRECTIONS

@@ -1,0 +1,204 @@
+"""Lattice geometry for 2D mesh networks.
+
+The coordinate system follows the paper: the origin is at the *top-left*
+corner of the mesh, ``x`` grows eastward (to the right) and ``y`` grows
+southward (downward).  Node ids number the mesh in row-major order, so for a
+``width``-column mesh node ``k`` sits at ``(k % width, k // width)``.
+
+All arithmetic in this module is exact integer arithmetic; nothing here
+depends on floating point, which keeps the convexity tests robust.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Sequence
+
+
+class Coord(NamedTuple):
+    """An (x, y) lattice coordinate with the origin at the top-left."""
+
+    x: int
+    y: int
+
+    def __add__(self, other: "Coord") -> "Coord":  # type: ignore[override]
+        return Coord(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Coord") -> "Coord":  # type: ignore[override]
+        return Coord(self.x - other.x, self.y - other.y)
+
+
+def node_to_coord(node: int, width: int) -> Coord:
+    """Return the coordinate of a row-major node id."""
+    if node < 0:
+        raise ValueError(f"node id must be non-negative, got {node}")
+    return Coord(node % width, node // width)
+
+
+def coord_to_node(coord: Coord, width: int) -> int:
+    """Return the row-major node id of a coordinate."""
+    if coord.x < 0 or coord.x >= width or coord.y < 0:
+        raise ValueError(f"coordinate {coord} outside a width-{width} mesh")
+    return coord.y * width + coord.x
+
+
+def euclidean_sq(a: Coord, b: Coord) -> int:
+    """Squared Euclidean distance (exact integer)."""
+    return (a.x - b.x) ** 2 + (a.y - b.y) ** 2
+
+
+def euclidean(a: Coord, b: Coord) -> float:
+    """Euclidean distance."""
+    return math.sqrt(euclidean_sq(a, b))
+
+
+def manhattan(a: Coord, b: Coord) -> int:
+    """Manhattan (Hamming, in the paper's terminology) distance."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def _cross(o: Coord, a: Coord, b: Coord) -> int:
+    """Cross product of vectors OA and OB (z component, exact)."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: Iterable[Coord]) -> list[Coord]:
+    """Convex hull via the monotone chain algorithm.
+
+    Returns hull vertices in counter-clockwise order (in standard math
+    orientation; note our y axis points down, which does not affect the
+    containment tests below).  Collinear input degenerates to the two
+    extreme points; a single point degenerates to itself.
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+    lower: list[Coord] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[Coord] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]
+
+
+def point_in_hull(point: Coord, hull: Sequence[Coord]) -> bool:
+    """Inclusive containment test of a lattice point in a convex hull.
+
+    ``hull`` must be the output of :func:`convex_hull` (CCW order, possibly
+    degenerate).  Boundary points count as inside.
+    """
+    if not hull:
+        return False
+    if len(hull) == 1:
+        return point == hull[0]
+    if len(hull) == 2:
+        a, b = hull
+        if _cross(a, b, point) != 0:
+            return False
+        return (
+            min(a.x, b.x) <= point.x <= max(a.x, b.x)
+            and min(a.y, b.y) <= point.y <= max(a.y, b.y)
+        )
+    n = len(hull)
+    for i in range(n):
+        if _cross(hull[i], hull[(i + 1) % n], point) < 0:
+            return False
+    return True
+
+
+def lattice_points_in_hull(hull: Sequence[Coord]) -> list[Coord]:
+    """Every integer lattice point inside (or on) a convex hull."""
+    if not hull:
+        return []
+    xmin = min(p.x for p in hull)
+    xmax = max(p.x for p in hull)
+    ymin = min(p.y for p in hull)
+    ymax = max(p.y for p in hull)
+    return [
+        Coord(x, y)
+        for x in range(xmin, xmax + 1)
+        for y in range(ymin, ymax + 1)
+        if point_in_hull(Coord(x, y), hull)
+    ]
+
+
+def is_discretely_convex(points: Iterable[Coord]) -> bool:
+    """True if the set contains every lattice point of its convex hull.
+
+    This is the convexity notion the paper appeals to: "the topology region
+    contains all the line segments connecting any pair of nodes inside it".
+    """
+    pts = set(points)
+    if not pts:
+        return True
+    hull = convex_hull(pts)
+    return all(p in pts for p in lattice_points_in_hull(hull))
+
+
+def is_orthogonally_convex(points: Iterable[Coord]) -> bool:
+    """True if every horizontal/vertical segment between members stays inside.
+
+    Orthogonal convexity is the property CDOR routing actually needs: if two
+    active nodes share a row (column), every node between them in that row
+    (column) is active, so dimension-order moves never exit the region.
+    """
+    pts = set(points)
+    for a in pts:
+        for b in pts:
+            if a.y == b.y and a.x < b.x:
+                if any(Coord(x, a.y) not in pts for x in range(a.x + 1, b.x)):
+                    return False
+            if a.x == b.x and a.y < b.y:
+                if any(Coord(a.x, y) not in pts for y in range(a.y + 1, b.y)):
+                    return False
+    return True
+
+
+def is_connected(points: Iterable[Coord]) -> bool:
+    """True if the set is 4-neighbour (mesh) connected."""
+    pts = set(points)
+    if not pts:
+        return True
+    start = next(iter(pts))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        cur = frontier.pop()
+        for d in (Coord(1, 0), Coord(-1, 0), Coord(0, 1), Coord(0, -1)):
+            nxt = cur + d
+            if nxt in pts and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen == pts
+
+
+def centroid(points: Sequence[Coord]) -> tuple[float, float]:
+    """Arithmetic mean of a non-empty set of coordinates."""
+    if not points:
+        raise ValueError("centroid of an empty set is undefined")
+    return (
+        sum(p.x for p in points) / len(points),
+        sum(p.y for p in points) / len(points),
+    )
+
+
+def average_pairwise_manhattan(points: Sequence[Coord]) -> float:
+    """Mean Manhattan distance over ordered distinct pairs.
+
+    Useful as a zero-load hop-count proxy when comparing topologies.
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        return 0.0
+    total = 0
+    count = 0
+    for i, a in enumerate(pts):
+        for b in pts[i + 1 :]:
+            total += manhattan(a, b)
+            count += 1
+    return total / count

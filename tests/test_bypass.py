@@ -1,0 +1,84 @@
+"""Tests for bypass-path planning (Section 3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bypass import BypassPlan, plan_bypass
+from repro.core.topological import SprintTopology, dark_nodes
+from repro.util.geometry import manhattan
+
+
+class TestPlanBypass:
+    def test_every_dark_node_gets_a_proxy(self):
+        for level in range(1, 16):
+            topo = SprintTopology.for_level(4, 4, level)
+            plan = plan_bypass(topo)
+            assert set(plan.proxy) == set(dark_nodes(topo))
+            assert plan.dark_bank_count == 16 - level
+
+    def test_proxies_are_active(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        plan = plan_bypass(topo)
+        for proxy in plan.proxy.values():
+            assert topo.is_active(proxy)
+
+    def test_proxy_is_nearest_active(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        plan = plan_bypass(topo)
+        for dark, proxy in plan.proxy.items():
+            best = min(
+                manhattan(topo.coord(dark), topo.coord(a))
+                for a in topo.active_nodes
+            )
+            assert manhattan(topo.coord(dark), topo.coord(proxy)) == best
+
+    def test_tie_breaks_to_lower_id(self):
+        topo = SprintTopology.for_level(4, 4, 2)  # active {0, 1}
+        plan = plan_bypass(topo)
+        # node 5 is distance 2 from node 0 and 1 from node 1
+        assert plan.proxy[5] == 1
+        # node 4 is distance 1 from 0 and 2 from 1
+        assert plan.proxy[4] == 0
+        # node 6 is equidistant (3) from... actually 6=(2,1): d(0)=3, d(1)=2
+        assert plan.proxy[6] == 1
+
+    def test_full_level_empty_plan(self):
+        topo = SprintTopology.for_level(4, 4, 16)
+        plan = plan_bypass(topo)
+        assert plan.dark_bank_count == 0
+        assert plan.max_bypass_distance(topo) == 0
+
+    def test_proxy_for_active_node_is_itself(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        plan = plan_bypass(topo)
+        assert plan.proxy_for(0) == 0
+        assert plan.proxy_for(15) != 15
+
+    def test_negative_latency_rejected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        with pytest.raises(ValueError):
+            plan_bypass(topo, latency_cycles=-1)
+
+    def test_max_bypass_distance_single_core(self):
+        topo = SprintTopology.for_level(4, 4, 1)
+        plan = plan_bypass(topo)
+        # the far corner (node 15) is 6 hops from the master
+        assert plan.max_bypass_distance(topo) == 6
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(2, 5), height=st.integers(2, 5), data=st.data())
+    def test_property_plan_complete_and_active(self, width, height, data):
+        master = data.draw(st.integers(0, width * height - 1))
+        level = data.draw(st.integers(1, width * height))
+        topo = SprintTopology.for_level(width, height, level, master)
+        plan = plan_bypass(topo)
+        assert len(plan.proxy) == width * height - level
+        assert all(topo.is_active(p) for p in plan.proxy.values())
+
+
+class TestBypassPlanObject:
+    def test_frozen(self):
+        plan = BypassPlan(proxy={}, latency_cycles=4)
+        with pytest.raises(AttributeError):
+            plan.latency_cycles = 8  # type: ignore[misc]

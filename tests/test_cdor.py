@@ -1,0 +1,165 @@
+"""Tests for Algorithm 2 (convex dimension-order routing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdor import (
+    CdorRouter,
+    ConnectivityBits,
+    RoutingError,
+    cdor_output_port,
+    dor_output_port,
+)
+from repro.core.topological import SprintTopology
+from repro.util.directions import Direction
+from repro.util.geometry import Coord
+
+FULL = ConnectivityBits(cw=True, ce=True)
+NONE = ConnectivityBits(cw=False, ce=False)
+
+
+class TestCdorDecision:
+    def test_local_delivery(self):
+        assert cdor_output_port(Coord(1, 1), Coord(1, 1), FULL) is Direction.LOCAL
+
+    def test_x_first_like_dor(self):
+        assert cdor_output_port(Coord(0, 0), Coord(2, 2), FULL) is Direction.EAST
+        assert cdor_output_port(Coord(2, 2), Coord(0, 0), FULL) is Direction.WEST
+
+    def test_y_when_aligned(self):
+        assert cdor_output_port(Coord(1, 0), Coord(1, 3), FULL) is Direction.SOUTH
+        assert cdor_output_port(Coord(1, 3), Coord(1, 0), FULL) is Direction.NORTH
+
+    def test_detour_south_when_east_disconnected(self):
+        assert cdor_output_port(Coord(0, 0), Coord(2, 2), NONE) is Direction.SOUTH
+
+    def test_detour_north_when_east_disconnected(self):
+        assert cdor_output_port(Coord(0, 2), Coord(2, 0), NONE) is Direction.NORTH
+
+    def test_detour_when_west_disconnected(self):
+        assert cdor_output_port(Coord(2, 0), Coord(0, 2), NONE) is Direction.SOUTH
+
+    def test_unroutable_due_east(self):
+        with pytest.raises(RoutingError):
+            cdor_output_port(Coord(0, 0), Coord(2, 0), NONE)
+
+    def test_unroutable_due_west(self):
+        with pytest.raises(RoutingError):
+            cdor_output_port(Coord(2, 0), Coord(0, 0), NONE)
+
+
+class TestDorDecision:
+    def test_x_has_priority(self):
+        assert dor_output_port(Coord(0, 1), Coord(3, 0)) is Direction.EAST
+
+    def test_local(self):
+        assert dor_output_port(Coord(2, 2), Coord(2, 2)) is Direction.LOCAL
+
+    def test_pure_y(self):
+        assert dor_output_port(Coord(1, 3), Coord(1, 1)) is Direction.NORTH
+
+
+class TestConnectivityBits:
+    def test_from_topology(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        bits0 = ConnectivityBits.from_topology(topo, 0)
+        assert bits0.ce and not bits0.cw
+        assert bits0.cs and not bits0.cn
+        bits5 = ConnectivityBits.from_topology(topo, 5)
+        assert bits5.cw and not bits5.ce
+
+
+class TestCdorRouter:
+    def test_paper_ne_turn_example(self):
+        """Figure 5a: routing in the 8-core region takes a NE turn at node 5,
+        which is legal because node 9's east port is disconnected."""
+        topo = SprintTopology.for_level(4, 4, 8)  # {0,1,2,4,5,6,8,9}
+        router = CdorRouter(topo)
+        path = router.walk(9, 2)
+        assert path == [9, 5, 6, 2]
+        turns = router.turns(9, 2)
+        assert (5, Direction.NORTH, Direction.EAST) in turns
+        # ...and indeed node 9's east neighbour (10) is dark
+        assert not topo.connected(9, Direction.EAST)
+
+    def test_paths_stay_in_region_all_levels(self):
+        for level in range(1, 17):
+            topo = SprintTopology.for_level(4, 4, level)
+            router = CdorRouter(topo)
+            active = topo.active_set
+            for src in topo.active_nodes:
+                for dst in topo.active_nodes:
+                    path = router.walk(src, dst)
+                    assert path[0] == src and path[-1] == dst
+                    assert all(n in active for n in path)
+
+    def test_hop_count_minimal_on_full_mesh(self):
+        from repro.util.geometry import manhattan, node_to_coord
+
+        topo = SprintTopology.for_level(4, 4, 16)
+        router = CdorRouter(topo)
+        for src in range(16):
+            for dst in range(16):
+                expected = manhattan(node_to_coord(src, 4), node_to_coord(dst, 4))
+                assert router.hop_count(src, dst) == expected
+
+    def test_full_mesh_reduces_to_dor(self):
+        """With every connectivity bit set, CDOR must behave exactly as XY."""
+        topo = SprintTopology.for_level(4, 4, 16)
+        router = CdorRouter(topo)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                got = router.next_port(src, dst)
+                expected = dor_output_port(topo.coord(src), topo.coord(dst))
+                assert got is expected
+
+    def test_gated_destination_rejected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        router = CdorRouter(topo)
+        with pytest.raises(RoutingError):
+            router.next_port(0, 15)
+
+    def test_gated_source_rejected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        router = CdorRouter(topo)
+        with pytest.raises(RoutingError):
+            router.walk(15, 0)
+
+    def test_bits_for_dark_router_rejected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        with pytest.raises(RoutingError):
+            CdorRouter(topo).bits(10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        width=st.integers(2, 5),
+        height=st.integers(2, 5),
+        data=st.data(),
+    )
+    def test_property_all_pairs_terminate(self, width, height, data):
+        """CDOR reaches every destination from every source on any
+        Algorithm-1 region of any mesh with any master."""
+        master = data.draw(st.integers(0, width * height - 1))
+        level = data.draw(st.integers(1, width * height))
+        topo = SprintTopology.for_level(width, height, level, master)
+        router = CdorRouter(topo)
+        for src in topo.active_nodes:
+            for dst in topo.active_nodes:
+                path = router.walk(src, dst)
+                assert path[-1] == dst
+
+    def test_detour_paths_near_minimal(self):
+        """CDOR detours never exceed the Manhattan distance inside the
+        region: convexity guarantees a staircase path exists."""
+        from repro.util.geometry import manhattan
+
+        for level in range(2, 17):
+            topo = SprintTopology.for_level(4, 4, level)
+            router = CdorRouter(topo)
+            for src in topo.active_nodes:
+                for dst in topo.active_nodes:
+                    dist = manhattan(topo.coord(src), topo.coord(dst))
+                    assert router.hop_count(src, dst) == dist

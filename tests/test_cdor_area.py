@@ -1,0 +1,61 @@
+"""Tests for the CDOR vs DOR gate-level area model."""
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.core.cdor_area import (
+    cdor_area_overhead,
+    cdor_routing_logic_gates,
+    dor_routing_logic_gates,
+    router_area,
+)
+
+
+class TestRoutingLogicGates:
+    def test_cdor_strictly_larger(self):
+        cfg = NoCConfig()
+        assert cdor_routing_logic_gates(cfg) > dor_routing_logic_gates(cfg)
+
+    def test_cdor_addition_is_small(self):
+        cfg = NoCConfig()
+        extra = cdor_routing_logic_gates(cfg) - dor_routing_logic_gates(cfg)
+        assert extra < 100  # a few registers and steering gates
+
+    def test_scales_with_mesh_size(self):
+        small = dor_routing_logic_gates(NoCConfig())
+        large = dor_routing_logic_gates(NoCConfig(mesh_width=16, mesh_height=16))
+        assert large > small  # wider coordinate comparators
+
+
+class TestRouterArea:
+    def test_buffers_dominate(self):
+        area = router_area(NoCConfig())
+        assert area.buffers > area.crossbar
+        assert area.buffers > area.routing_logic * 10
+
+    def test_total_is_sum(self):
+        area = router_area(NoCConfig())
+        assert area.total == pytest.approx(
+            area.buffers + area.crossbar + area.vc_allocator
+            + area.switch_allocator + area.routing_logic
+        )
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError):
+            router_area(NoCConfig(), routing="adaptive")
+
+    def test_more_vcs_more_area(self):
+        a2 = router_area(NoCConfig(vcs_per_port=2)).total
+        a4 = router_area(NoCConfig(vcs_per_port=4)).total
+        assert a4 > a2
+
+
+class TestOverheadClaim:
+    def test_paper_claim_under_two_percent(self):
+        """Synthesis result in the paper: CDOR adds < 2 % over a DOR switch."""
+        assert 0.0 < cdor_area_overhead() < 0.02
+
+    def test_overhead_shrinks_with_bigger_routers(self):
+        small = cdor_area_overhead(NoCConfig(vcs_per_port=2))
+        big = cdor_area_overhead(NoCConfig(vcs_per_port=8))
+        assert big < small

@@ -1,0 +1,84 @@
+"""Tests for the text-mode chart renderers."""
+
+import pytest
+
+from repro.util.charts import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart({"a": 1.0, "bb": 2.0}, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "2.00" in lines[1]
+
+    def test_longest_bar_fills_width(self):
+        out = bar_chart({"x": 4.0}, width=8)
+        assert "█" * 8 in out
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"x": 0.0, "y": 0.0})
+        assert "0.00" in out
+
+    def test_title(self):
+        out = bar_chart({"x": 1.0}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_proportionality(self):
+        out = bar_chart({"half": 5.0, "full": 10.0}, width=20)
+        half_line, full_line = out.splitlines()
+        assert half_line.count("█") == 10
+        assert full_line.count("█") == 20
+
+
+class TestLinePlot:
+    def test_basic(self):
+        out = line_plot({"s": [(0, 0), (1, 1), (2, 4)]}, width=20, height=8)
+        assert "*" in out
+        assert "x: 0 .. 2" in out
+        assert "*=s" in out
+
+    def test_two_series_distinct_markers(self):
+        out = line_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=8
+        )
+        assert "*" in out and "+" in out
+        assert "*=a" in out and "+=b" in out
+
+    def test_flat_series(self):
+        out = line_plot({"s": [(0, 5), (1, 5)]}, width=10, height=4)
+        assert "y: 5 .. 5" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": []})
+
+    def test_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": [(0, 0)]}, width=2, height=2)
+
+
+class TestSparkline:
+    def test_monotone(self):
+        out = sparkline([1, 2, 3, 4])
+        assert len(out) == 4
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

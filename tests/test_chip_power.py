@@ -1,0 +1,123 @@
+"""Tests for the McPAT-substitute chip power model (Figures 3 and 8)."""
+
+import pytest
+
+from repro.power.chip_power import ChipPowerModel, ChipPowerParams
+
+
+class TestNominalBreakdown:
+    @pytest.mark.parametrize("cores,paper_share", [(4, 18), (8, 26), (16, 35), (32, 42)])
+    def test_fig3_noc_shares(self, cores, paper_share):
+        """Figure 3: NoC share of chip power in nominal operation."""
+        report = ChipPowerModel(cores).nominal_breakdown()
+        assert 100 * report.share("noc") == pytest.approx(paper_share, abs=3.0)
+
+    def test_core_share_shrinks_with_dark_silicon(self):
+        shares = [
+            ChipPowerModel(n).nominal_breakdown().share("cores") for n in (4, 8, 16, 32)
+        ]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_total_is_component_sum(self):
+        r = ChipPowerModel(16).nominal_breakdown()
+        assert r.total == pytest.approx(
+            r.cores + r.l2 + r.memory_controllers + r.noc + r.others
+        )
+
+
+class TestCorePower:
+    def test_policy_ordering(self):
+        m = ChipPowerModel(16)
+        gated = m.core_power(4, "gated")
+        idle = m.core_power(4, "idle")
+        off = m.core_power(4, "off")
+        assert off < gated < idle
+        assert idle < m.core_power(16)
+
+    def test_bounds_checked(self):
+        m = ChipPowerModel(16)
+        with pytest.raises(ValueError):
+            m.core_power(17)
+        with pytest.raises(ValueError):
+            m.core_power(-1)
+        with pytest.raises(ValueError):
+            m.core_power(4, "hibernate")
+
+    def test_fig8_savings(self):
+        """Figure 8's headline numbers: naive fine-grained saves ~25.5 %,
+        NoC-sprinting ~69.1 % core power vs full-sprinting, averaged over
+        the PARSEC optimal levels."""
+        from repro.cmp import all_profiles, profile_workload
+
+        m = ChipPowerModel(16)
+        levels = [profile_workload(p).level for p in all_profiles()]
+        full = m.core_power(16)
+        idle_saving = 1 - sum(m.core_power(n, "idle") for n in levels) / len(levels) / full
+        gated_saving = 1 - sum(m.core_power(n, "gated") for n in levels) / len(levels) / full
+        assert 100 * idle_saving == pytest.approx(25.5, abs=3.0)
+        assert 100 * gated_saving == pytest.approx(69.1, abs=3.0)
+
+
+class TestChipPower:
+    def test_noc_fraction_scales_network(self):
+        m = ChipPowerModel(16)
+        half = m.chip_power(8, noc_active_fraction=0.5)
+        full = m.chip_power(8, noc_active_fraction=1.0)
+        assert half.noc == pytest.approx(full.noc / 2)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ChipPowerModel(16).chip_power(8, noc_active_fraction=1.2)
+
+    def test_scheme_power_ordering(self):
+        """Full sprint burns the most; NoC-sprinting the least at the same
+        level; naive fine-grained sits between."""
+        m = ChipPowerModel(16)
+        for level in (2, 4, 8):
+            full = m.sprint_chip_power(level, "full").total
+            naive = m.sprint_chip_power(level, "naive").total
+            noc = m.sprint_chip_power(level, "noc_sprinting").total
+            assert noc < naive < full
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            ChipPowerModel(16).sprint_chip_power(4, "turbo")
+
+    def test_mc_count(self):
+        assert ChipPowerModel(4).memory_controller_count() == 1
+        assert ChipPowerModel(16).memory_controller_count() == 2
+        assert ChipPowerModel(32).memory_controller_count() == 4
+
+
+class TestTilePowers:
+    def test_active_vs_dark(self):
+        m = ChipPowerModel(16)
+        tiles = m.tile_powers([0, 1, 4, 5])
+        assert len(tiles) == 16
+        p = m.params
+        active = p.core_active_w + p.l2_bank_w + p.noc_per_node_w
+        dark = p.core_gated_w + p.l2_bank_w
+        assert tiles[0] == pytest.approx(active)
+        assert tiles[15] == pytest.approx(dark)
+        assert sum(1 for t in tiles if t == tiles[0]) == 4
+
+    def test_floorplan_mapping(self):
+        from repro.core.floorplanning import thermal_aware_floorplan
+
+        m = ChipPowerModel(16)
+        fp = thermal_aware_floorplan(4, 4)
+        tiles = m.tile_powers([0, 1, 4, 5], lambda n: fp.position[n])
+        hot_slots = {i for i, t in enumerate(tiles) if t > 5.0}
+        assert hot_slots == {0, 3, 12, 15}  # the four corners
+
+    def test_without_noc(self):
+        m = ChipPowerModel(16)
+        with_noc = m.tile_powers([0])[0]
+        without = m.tile_powers([0], include_noc=False)[0]
+        assert with_noc - without == pytest.approx(m.params.noc_per_node_w)
+
+    def test_custom_params(self):
+        params = ChipPowerParams(core_active_w=5.0, core_idle_fraction=0.5)
+        assert params.core_idle_w == 2.5
+        m = ChipPowerModel(16, params)
+        assert m.core_power(1) == pytest.approx(5.0 + 15 * params.core_gated_w)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sprint", "nonexistent"])
+
+    def test_network_defaults(self):
+        args = build_parser().parse_args(["network"])
+        assert args.level == 4
+        assert args.pattern == "uniform"
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "4 x 4 2D Mesh" in out
+        assert "MESI" in out
+
+    def test_sprint_fast(self, capsys):
+        assert main(["sprint", "dedup", "--no-network", "--no-thermal"]) == 0
+        out = capsys.readouterr().out
+        assert "noc_sprinting" in out
+        assert "duration gain" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out and "freqmine" in out
+        assert "S(noc)=3.6" in out or "S(noc)=3.7" in out
+
+    def test_network(self, capsys):
+        assert main(["network", "--level", "2", "--rates", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "2-node sprint region" in out
+        assert "cdor" in out
+
+    def test_network_full_mesh_uses_xy(self, capsys):
+        assert main(["network", "--level", "16", "--rates", "0.05"]) == 0
+        assert "(xy)" in capsys.readouterr().out
+
+    def test_thermal(self, capsys):
+        assert main(["thermal", "dedup"]) == 0
+        out = capsys.readouterr().out
+        assert "full-sprinting" in out
+        assert "floorplan" in out
+
+    def test_duration(self, capsys):
+        assert main(["duration"]) == 0
+        out = capsys.readouterr().out
+        assert "paper +55.4" in out
+
+    def test_figure_unknown_id(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        out = capsys.readouterr().out
+        assert "no bench matches" in out
+        assert "fig03" in out  # lists what is available
+
+    def test_figure_runs_bench(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

@@ -1,0 +1,87 @@
+"""Tests for repro.config (paper Table 1)."""
+
+import pytest
+
+from repro.config import NoCConfig, SystemConfig, default_config, table1_rows
+
+
+class TestNoCConfig:
+    def test_table1_defaults(self):
+        cfg = NoCConfig()
+        assert (cfg.mesh_width, cfg.mesh_height) == (4, 4)
+        assert cfg.router_pipeline_stages == 5
+        assert cfg.vcs_per_port == 4
+        assert cfg.buffers_per_vc == 4
+        assert cfg.packet_length_flits == 5
+        assert cfg.flit_length_bytes == 16
+
+    def test_derived_fields(self):
+        cfg = NoCConfig()
+        assert cfg.node_count == 16
+        assert cfg.flit_width_bits == 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mesh_width": 0},
+            {"vcs_per_port": 0},
+            {"buffers_per_vc": 0},
+            {"packet_length_flits": 0},
+            {"router_pipeline_stages": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NoCConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NoCConfig().mesh_width = 8  # type: ignore[misc]
+
+
+class TestSystemConfig:
+    def test_table1_defaults(self):
+        cfg = default_config()
+        assert cfg.core_count == 16
+        assert cfg.core_frequency_ghz == 2.0
+        assert cfg.l1_cache_kb == 64
+        assert cfg.l2_cache_mb == 4
+        assert cfg.cacheline_bytes == 64
+        assert cfg.memory_gb == 1
+        assert cfg.coherency_protocol == "MESI"
+        assert cfg.master_node == 0
+
+    def test_l2_bank_size(self):
+        # 4 MB shared over 16 tiles = 256 KB per bank
+        assert default_config().l2_bank_kb == 256
+
+    def test_core_count_must_tile_mesh(self):
+        with pytest.raises(ValueError):
+            SystemConfig(core_count=8)
+
+    def test_master_must_be_valid(self):
+        with pytest.raises(ValueError):
+            SystemConfig(master_node=16)
+
+    def test_frequency_positive(self):
+        with pytest.raises(ValueError):
+            SystemConfig(core_frequency_ghz=0)
+
+    def test_larger_mesh(self):
+        cfg = SystemConfig(core_count=64, noc=NoCConfig(mesh_width=8, mesh_height=8))
+        assert cfg.core_count == cfg.noc.node_count
+
+
+class TestTable1Rows:
+    def test_has_six_rows_of_four(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert all(len(r) == 4 for r in rows)
+
+    def test_matches_paper_values(self):
+        flat = " | ".join(" ".join(r) for r in table1_rows())
+        for expected in (
+            "16, 2GHz", "4 x 4 2D Mesh", "classic 5-stage", "4 VCs per port",
+            "4 buffers per VC", "5 flits", "16 bytes", "MESI protocol",
+        ):
+            assert expected in flat

@@ -1,0 +1,109 @@
+"""Tests for spatial co-scheduling of multiple sprints."""
+
+import pytest
+
+from repro.cmp import get_profile
+from repro.core.cdor import CdorRouter
+from repro.core.coschedule import (
+    CoScheduleError,
+    co_sprint_regions,
+    plan_co_sprint,
+)
+from repro.core.deadlock import check_deadlock_freedom
+
+
+class TestValidation:
+    def test_empty_demands(self):
+        with pytest.raises(CoScheduleError):
+            co_sprint_regions(4, 4, [])
+
+    def test_duplicate_masters(self):
+        with pytest.raises(CoScheduleError):
+            co_sprint_regions(4, 4, [(0, 2), (0, 2)])
+
+    def test_overcommitted_mesh(self):
+        with pytest.raises(CoScheduleError):
+            co_sprint_regions(4, 4, [(0, 10), (15, 10)])
+
+    def test_master_outside_mesh(self):
+        with pytest.raises(CoScheduleError):
+            co_sprint_regions(4, 4, [(16, 2)])
+
+    def test_zero_level(self):
+        with pytest.raises(CoScheduleError):
+            co_sprint_regions(4, 4, [(0, 0)])
+
+    def test_colliding_masters_rejected(self):
+        """Adjacent masters with large demands produce fragmented regions;
+        the planner must refuse rather than hand back something unroutable."""
+        with pytest.raises(CoScheduleError):
+            co_sprint_regions(4, 4, [(0, 8), (1, 8)])
+
+
+class TestRegions:
+    def test_opposite_corners_four_four(self):
+        a, b = co_sprint_regions(4, 4, [(0, 4), (15, 4)])
+        assert a.topology.active_nodes == (0, 1, 4, 5)
+        assert b.topology.active_nodes == (10, 11, 14, 15)
+
+    def test_regions_disjoint(self):
+        sprints = co_sprint_regions(4, 4, [(0, 6), (15, 6)])
+        sets = [set(s.topology.active_nodes) for s in sprints]
+        assert not (sets[0] & sets[1])
+
+    def test_masters_inside_their_regions(self):
+        for demands in ([(0, 4), (15, 4)], [(3, 5), (12, 5)], [(0, 2), (15, 2), (3, 2)]):
+            for sprint in co_sprint_regions(4, 4, demands):
+                assert sprint.topology.is_active(sprint.master)
+
+    def test_full_split(self):
+        a, b = co_sprint_regions(4, 4, [(0, 8), (15, 8)])
+        assert set(a.topology.active_nodes) | set(b.topology.active_nodes) == set(range(16))
+
+    def test_single_workload_matches_algorithm1(self):
+        from repro.core.topological import sprint_region
+
+        (sprint,) = co_sprint_regions(4, 4, [(0, 6)])
+        assert list(sprint.topology.active_nodes) == sorted(sprint_region(4, 4, 6))
+
+    def test_three_way_split(self):
+        sprints = co_sprint_regions(4, 4, [(0, 4), (3, 4), (12, 4)])
+        assert len(sprints) == 3
+        for sprint in sprints:
+            assert sprint.topology.is_connected()
+            assert sprint.topology.is_orthogonally_convex()
+
+
+class TestRoutingGuarantees:
+    def test_each_region_deadlock_free(self):
+        for demands in ([(0, 4), (15, 4)], [(0, 8), (15, 8)], [(0, 6), (15, 6)]):
+            for sprint in co_sprint_regions(4, 4, demands):
+                report = check_deadlock_freedom(CdorRouter(sprint.topology))
+                assert report.acyclic, f"master {sprint.master}: {report.cycle}"
+
+    def test_cdor_routes_within_each_region(self):
+        sprints = co_sprint_regions(4, 4, [(0, 8), (15, 8)])
+        for sprint in sprints:
+            router = CdorRouter(sprint.topology)
+            active = sprint.topology.active_set
+            for src in sprint.topology.active_nodes:
+                for dst in sprint.topology.active_nodes:
+                    assert all(n in active for n in router.walk(src, dst))
+
+
+class TestPlanCoSprint:
+    def test_optimal_levels_respected(self):
+        pairs = plan_co_sprint(4, 4, [(get_profile("dedup"), 0),
+                                      (get_profile("canneal"), 15)])
+        by_name = {p.name: s for p, s in pairs}
+        assert by_name["dedup"].level == 4
+        assert by_name["canneal"].level == 2
+
+    def test_oversubscription_halves_largest(self):
+        """Two 16-optimal workloads cannot both have the mesh: the planner
+        halves the larger request until the demands fit."""
+        pairs = plan_co_sprint(4, 4, [(get_profile("blackscholes"), 0),
+                                      (get_profile("bodytrack"), 15)])
+        total = sum(s.level for _, s in pairs)
+        assert total <= 16
+        assert all(s.level >= 4 for _, s in pairs)

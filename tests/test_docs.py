@@ -1,0 +1,75 @@
+"""Documentation consistency: the docs must track the code."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design_md():
+    return (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def experiments_md():
+    return (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def readme_md():
+    return (ROOT / "README.md").read_text(encoding="utf-8")
+
+
+class TestDesignDoc:
+    def test_mentions_every_source_module(self, design_md):
+        for path in (ROOT / "src" / "repro").rglob("*.py"):
+            name = path.name
+            if name in ("__init__.py", "__main__.py"):
+                continue
+            assert name in design_md, f"DESIGN.md does not mention {name}"
+
+    def test_confirms_paper_text_checked(self, design_md):
+        assert "Paper-text check" in design_md
+
+    def test_maps_every_figure(self, design_md):
+        for figure in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5",
+                       "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11",
+                       "Fig. 12", "Table 1"):
+            assert figure in design_md, f"DESIGN.md does not map {figure}"
+
+
+class TestExperimentsDoc:
+    def test_mentions_every_bench(self, experiments_md):
+        for path in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert path.name in experiments_md, (
+                f"EXPERIMENTS.md does not reference {path.name}"
+            )
+
+    def test_reports_paper_numbers(self, experiments_md):
+        for number in ("3.6", "1.9", "25.5", "69.1", "24.5", "71.9",
+                       "358.3", "347.79", "343.81", "55.4"):
+            assert number in experiments_md, (
+                f"EXPERIMENTS.md lost the paper value {number}"
+            )
+
+
+class TestReadme:
+    def test_mentions_every_example(self, readme_md):
+        for path in (ROOT / "examples").glob("*.py"):
+            assert path.name in readme_md, f"README.md does not list {path.name}"
+
+    def test_cites_the_paper(self, readme_md):
+        assert "DAC 2014" in readme_md
+        assert "10.1145/2593069.2593165" in readme_md
+
+    def test_install_and_run_commands(self, readme_md):
+        for command in ("pip install -e .", "pytest tests/",
+                        "pytest benchmarks/ --benchmark-only", "python -m repro"):
+            assert command in readme_md
+
+    def test_docs_directory_exists(self):
+        assert (ROOT / "docs" / "architecture.md").exists()
+        assert (ROOT / "docs" / "algorithms.md").exists()
+        assert (ROOT / "docs" / "api.md").exists()

@@ -1,0 +1,119 @@
+"""Tests for DVFS operating points and dim-silicon sprinting."""
+
+import pytest
+
+from repro.cmp.workloads import get_profile
+from repro.power.dvfs import (
+    DIM_POINTS,
+    NOMINAL_POINT,
+    DvfsPlanner,
+    OperatingPoint,
+)
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DvfsPlanner()
+
+
+class TestOperatingPoints:
+    def test_nominal_matches_paper(self):
+        assert NOMINAL_POINT.vdd == 1.0
+        assert NOMINAL_POINT.frequency_hz == 2.0e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint("bad", 0.0, 1e9)
+        with pytest.raises(ValueError):
+            OperatingPoint("bad", 1.0, 0.0)
+
+    def test_dim_points_ordered(self):
+        vdds = [p.vdd for p in DIM_POINTS]
+        assert vdds == sorted(vdds, reverse=True)
+
+
+class TestChipPower:
+    def test_dim_point_cheaper(self, planner):
+        for level in (2, 4, 8, 16):
+            nominal = planner.chip_power(level, DIM_POINTS[0])
+            dim = planner.chip_power(level, DIM_POINTS[2])
+            assert dim < nominal
+
+    def test_matches_chip_model_at_nominal(self, planner):
+        from repro.power.chip_power import ChipPowerModel
+
+        expected = ChipPowerModel(16).sprint_chip_power(4, "noc_sprinting").total
+        assert planner.chip_power(4, NOMINAL_POINT) == pytest.approx(expected)
+
+    def test_power_grows_with_level(self, planner):
+        for point in DIM_POINTS:
+            powers = [planner.chip_power(level, point) for level in (1, 2, 4, 8, 16)]
+            assert powers == sorted(powers)
+
+
+class TestSpeedup:
+    def test_nominal_matches_profile(self, planner):
+        profile = get_profile("dedup")
+        assert planner.speedup(profile, 4, NOMINAL_POINT) == pytest.approx(
+            profile.speedup(4)
+        )
+
+    def test_frequency_scaling(self, planner):
+        profile = get_profile("dedup")
+        half = planner.speedup(profile, 4, DIM_POINTS[2])  # 1 GHz
+        assert half == pytest.approx(profile.speedup(4) / 2)
+
+
+class TestBestConfiguration:
+    def test_generous_budget_matches_paper_scheme(self, planner):
+        """With power to spare, dim sprinting adds nothing: nominal V/f at
+        the profile's optimal level wins."""
+        profile = get_profile("dedup")
+        best = planner.best_configuration(profile, power_budget_w=200.0)
+        assert best is not None
+        assert best.point == NOMINAL_POINT
+        assert best.level == profile.optimal_level()
+
+    def test_dim_wins_under_tight_budget(self, planner):
+        """The extension result: under a tight budget a scalable workload
+        runs faster on more, dimmer cores."""
+        profile = get_profile("blackscholes")
+        budget = 30.0
+        best = planner.best_configuration(profile, budget)
+        nominal_only = planner.nominal_only_best(profile, budget)
+        assert best is not None and nominal_only is not None
+        assert best.is_dim
+        assert best.speedup > nominal_only.speedup
+
+    def test_serial_workload_never_dims(self, planner):
+        """freqmine gains nothing from extra cores, so dimming only slows
+        it down at any budget that fits nominal single-core."""
+        profile = get_profile("freqmine")
+        for budget in (30.0, 60.0, 120.0):
+            best = planner.best_configuration(profile, budget)
+            assert best is not None
+            assert best.point == NOMINAL_POINT
+            assert best.level == 1
+
+    def test_impossible_budget(self, planner):
+        assert planner.best_configuration(get_profile("dedup"), 1.0) is None
+        assert planner.nominal_only_best(get_profile("dedup"), 1.0) is None
+
+    def test_configuration_count(self, planner):
+        configs = planner.configurations(get_profile("dedup"))
+        assert len(configs) == 5 * len(DIM_POINTS)
+
+    def test_budget_respected(self, planner):
+        profile = get_profile("bodytrack")
+        for budget in (25.0, 50.0, 100.0, 200.0):
+            best = planner.best_configuration(profile, budget)
+            if best is not None:
+                assert best.chip_power_w <= budget
+
+    def test_speedup_monotone_in_budget(self, planner):
+        profile = get_profile("bodytrack")
+        speedups = []
+        for budget in (25.0, 50.0, 100.0, 200.0):
+            best = planner.best_configuration(profile, budget)
+            speedups.append(best.speedup if best else 0.0)
+        assert speedups == sorted(speedups)

@@ -1,0 +1,104 @@
+"""Edge-case meshes: degenerate shapes the algorithms must still handle."""
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.core.cdor import CdorRouter
+from repro.core.deadlock import check_all_sprint_levels
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology, sprint_order
+from repro.noc.sim import run_simulation
+from repro.noc.traffic import TrafficGenerator
+
+
+class TestOneByNMesh:
+    """A 1xN 'mesh' is a line: only EAST/WEST links exist."""
+
+    def test_sprint_order(self):
+        assert sprint_order(4, 1) == [0, 1, 2, 3]
+
+    def test_all_levels_valid(self):
+        for level in range(1, 5):
+            topo = SprintTopology.for_level(4, 1, level)
+            assert topo.is_connected()
+            assert topo.is_orthogonally_convex()
+
+    def test_cdor_routes(self):
+        topo = SprintTopology.for_level(4, 1, 4)
+        router = CdorRouter(topo)
+        assert router.walk(0, 3) == [0, 1, 2, 3]
+        assert router.walk(3, 0) == [3, 2, 1, 0]
+
+    def test_deadlock_free(self):
+        assert all(bool(r) for r in check_all_sprint_levels(4, 1).values())
+
+    def test_simulates(self):
+        cfg = NoCConfig(mesh_width=4, mesh_height=1)
+        topo = SprintTopology.for_level(4, 1, 4)
+        traffic = TrafficGenerator(list(range(4)), 0.1, cfg.packet_length_flits, seed=1)
+        result = run_simulation(topo, traffic, cfg, routing="cdor",
+                                warmup_cycles=200, measure_cycles=600)
+        assert not result.saturated
+        assert result.packets_ejected == result.packets_measured
+
+
+class TestNx1Mesh:
+    """An Nx1 mesh is a column: only NORTH/SOUTH links."""
+
+    def test_cdor_routes(self):
+        topo = SprintTopology.for_level(1, 4, 4)
+        router = CdorRouter(topo)
+        assert router.walk(0, 3) == [0, 1, 2, 3]
+
+    def test_deadlock_free(self):
+        assert all(bool(r) for r in check_all_sprint_levels(1, 4).values())
+
+
+class TestTwoByTwo:
+    def test_everything_works(self):
+        topo = SprintTopology.for_level(2, 2, 4)
+        router = CdorRouter(topo)
+        for src in range(4):
+            for dst in range(4):
+                assert router.walk(src, dst)[-1] == dst
+        assert all(bool(r) for r in check_all_sprint_levels(2, 2).values())
+
+    def test_floorplan(self):
+        fp = thermal_aware_floorplan(2, 2)
+        assert sorted(fp.position) == [0, 1, 2, 3]
+        assert fp.position[0] == 0
+        # the master's first co-sprinter goes to the opposite corner
+        assert fp.position[1] == 3
+
+
+class TestSingleNode:
+    def test_trivial_topology(self):
+        topo = SprintTopology.for_level(1, 1, 1)
+        assert topo.active_nodes == (0,)
+        assert topo.active_links() == []
+        assert CdorRouter(topo).walk(0, 0) == [0]
+
+    def test_floorplan(self):
+        fp = thermal_aware_floorplan(1, 1)
+        assert fp.position == (0,)
+
+
+class TestNonSquareMesh:
+    def test_4x2(self):
+        order = sprint_order(4, 2)
+        assert order[0] == 0
+        assert sorted(order) == list(range(8))
+        for level in range(1, 9):
+            topo = SprintTopology.for_level(4, 2, level)
+            assert topo.is_connected()
+            assert topo.is_orthogonally_convex()
+        assert all(bool(r) for r in check_all_sprint_levels(4, 2).values())
+
+    def test_2x4_simulation(self):
+        cfg = NoCConfig(mesh_width=2, mesh_height=4)
+        topo = SprintTopology.for_level(2, 4, 6)
+        traffic = TrafficGenerator(list(topo.active_nodes), 0.1,
+                                   cfg.packet_length_flits, seed=1)
+        result = run_simulation(topo, traffic, cfg, routing="cdor",
+                                warmup_cycles=200, measure_cycles=600)
+        assert not result.saturated

@@ -1,0 +1,71 @@
+"""Tests for energy / EDP metrics."""
+
+import pytest
+
+from repro.core.system import NoCSprintingSystem
+from repro.power.energy import burst_energy, energy_comparison
+
+
+@pytest.fixture(scope="module")
+def system():
+    return NoCSprintingSystem()
+
+
+class TestEnergyReport:
+    def test_energy_is_power_times_time(self, system):
+        report = burst_energy(system, "dedup", "noc_sprinting", burst_work_s=2.0)
+        assert report.energy_j == pytest.approx(
+            report.avg_power_w * report.execution_time_s
+        )
+
+    def test_edp_chain(self, system):
+        report = burst_energy(system, "dedup", "full_sprinting")
+        assert report.edp_js == pytest.approx(report.energy_j * report.execution_time_s)
+        assert report.ed2p_js2 == pytest.approx(report.edp_js * report.execution_time_s)
+
+    def test_work_scales_linearly(self, system):
+        one = burst_energy(system, "vips", "noc_sprinting", 1.0)
+        two = burst_energy(system, "vips", "noc_sprinting", 2.0)
+        assert two.energy_j == pytest.approx(2 * one.energy_j)
+
+    def test_invalid_work(self, system):
+        with pytest.raises(ValueError):
+            burst_energy(system, "dedup", "noc_sprinting", 0.0)
+
+
+class TestSchemeEnergetics:
+    def test_noc_sprinting_lowest_energy_for_peaking_workloads(self, system):
+        """For a workload whose optimum is 4 cores, NoC-sprinting beats
+        both baselines on raw energy *and* on EDP."""
+        for name in ("dedup", "vips", "canneal", "streamcluster"):
+            reports = energy_comparison(system, name)
+            noc = reports["noc_sprinting"]
+            assert noc.energy_j < reports["full_sprinting"].energy_j, name
+            assert noc.energy_j < reports["non_sprinting"].energy_j, name
+            assert noc.edp_js < reports["full_sprinting"].edp_js, name
+            assert noc.edp_js < reports["non_sprinting"].edp_js, name
+
+    def test_scalable_workload_sprint_beats_nominal_on_edp(self, system):
+        """Sprinting burns more power but for so much less time that EDP
+        still favours it (the race-to-idle argument for sprinting)."""
+        reports = energy_comparison(system, "blackscholes")
+        assert reports["noc_sprinting"].edp_js < reports["non_sprinting"].edp_js
+
+    def test_full_sprint_energy_disaster_for_serial_workloads(self, system):
+        """freqmine on 16 cores: more power for *longer* execution --
+        strictly worse energy than single-core nominal."""
+        reports = energy_comparison(system, "freqmine")
+        assert reports["full_sprinting"].energy_j > 3 * reports["non_sprinting"].energy_j
+
+    def test_suite_mean_energy_saving(self, system):
+        """Averaged over PARSEC, NoC-sprinting cuts burst energy by more
+        than half relative to full-sprinting."""
+        from repro.cmp import all_profiles
+
+        noc_total = 0.0
+        full_total = 0.0
+        for profile in all_profiles():
+            reports = energy_comparison(system, profile)
+            noc_total += reports["noc_sprinting"].energy_j
+            full_total += reports["full_sprinting"].energy_j
+        assert noc_total < 0.5 * full_total

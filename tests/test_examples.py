@@ -1,0 +1,57 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is executed as a subprocess (as a user would run it); the
+slow full-sweep examples are exercised through their faster entry points
+elsewhere (the CLI tests cover the same code paths).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", ["canneal"]),
+    ("custom_workload.py", []),
+    ("online_monitor.py", ["0.02"]),
+    ("co_scheduling.py", ["dedup", "canneal"]),
+    ("thermal_analysis.py", ["vips"]),
+    ("llc_bypass.py", ["4", "0.04"]),
+]
+
+
+@pytest.mark.parametrize("script,args", FAST_EXAMPLES)
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_all_schemes():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py"), "dedup"],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    for scheme in ("non_sprinting", "full_sprinting", "noc_sprinting"):
+        assert scheme in result.stdout
+    assert "duration gain" in result.stdout
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py", "parsec_sweep.py", "network_explorer.py",
+        "thermal_analysis.py", "custom_workload.py", "online_monitor.py",
+        "llc_bypass.py", "co_scheduling.py",
+    }
+    assert {p.name for p in EXAMPLES.glob("*.py")} == expected

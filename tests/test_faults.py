@@ -1,0 +1,105 @@
+"""Tests for fault-aware topological sprinting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdor import CdorRouter
+from repro.core.deadlock import check_deadlock_freedom
+from repro.core.faults import FaultError, fault_aware_sprint_region, fault_aware_topology
+from repro.core.topological import sprint_region
+
+
+class TestBasics:
+    def test_no_faults_matches_algorithm1(self):
+        for level in (1, 4, 8, 16):
+            assert fault_aware_sprint_region(4, 4, level, frozenset()) == (
+                sprint_region(4, 4, level)
+            )
+
+    def test_faulty_master_rejected(self):
+        with pytest.raises(FaultError):
+            fault_aware_sprint_region(4, 4, 4, {0})
+
+    def test_level_exceeding_healthy_nodes(self):
+        with pytest.raises(FaultError):
+            fault_aware_sprint_region(4, 4, 16, {5})
+
+    def test_avoids_the_fault(self):
+        region = fault_aware_sprint_region(4, 4, 4, {5})
+        assert 5 not in region
+        assert len(region) == 4
+        assert region[0] == 0
+
+    def test_fault_in_paper_region_reroutes(self):
+        """With node 1 faulty, the 4-core region must grow differently but
+        keep its invariants."""
+        topo = fault_aware_topology(4, 4, 4, {1})
+        assert 1 not in topo.active_nodes
+        assert topo.is_connected()
+        assert topo.is_orthogonally_convex()
+
+    def test_region_properties_with_scattered_faults(self):
+        topo = fault_aware_topology(4, 4, 8, {2, 7, 10})
+        assert topo.is_connected()
+        assert topo.is_orthogonally_convex()
+        assert not set(topo.active_nodes) & {2, 7, 10}
+
+
+class TestRoutingOnFaultyRegions:
+    def test_cdor_still_works(self):
+        topo = fault_aware_topology(4, 4, 6, {5, 6})
+        router = CdorRouter(topo)
+        for src in topo.active_nodes:
+            for dst in topo.active_nodes:
+                path = router.walk(src, dst)
+                assert path[-1] == dst
+
+    def test_still_deadlock_free(self):
+        for faults in ({5}, {1, 6}, {4, 9}, {2, 7, 10}):
+            try:
+                topo = fault_aware_topology(4, 4, 8, faults)
+            except FaultError:
+                continue
+            report = check_deadlock_freedom(CdorRouter(topo))
+            assert report.acyclic, f"faults {faults}: {report.cycle}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        faults=st.sets(st.integers(1, 15), max_size=4),
+        level=st.integers(1, 8),
+    )
+    def test_property_invariants_or_clean_error(self, faults, level):
+        """Any fault set either yields a valid region or a FaultError --
+        never a silently-broken region."""
+        try:
+            topo = fault_aware_topology(4, 4, level, faults)
+        except FaultError:
+            return
+        assert topo.is_connected()
+        assert topo.is_orthogonally_convex()
+        assert not set(topo.active_nodes) & faults
+        assert topo.level == level
+        assert check_deadlock_freedom(CdorRouter(topo)).acyclic
+
+
+class TestSkippedNodesRecovered:
+    def test_interior_hole_worked_around(self):
+        """A fault adjacent to the master forces the region to grow around
+        it -- downward and then east through row 1."""
+        region = fault_aware_sprint_region(4, 4, 10, {1})
+        assert len(region) == 10
+        assert 1 not in region
+        # row 1 east of the hole is reachable...
+        assert {5, 6, 7} <= set(region)
+        # ...but row 0 east of the fault is shadowed: {0, 2} with 1 dark
+        # would break orthogonal convexity, so 2 and 3 stay out
+        assert 2 not in region and 3 not in region
+
+    def test_maximum_reachable_region(self):
+        """With node 1 faulty, 13 of the 15 healthy nodes are reachable
+        (all but the shadowed 2 and 3); asking for more raises."""
+        region = fault_aware_sprint_region(4, 4, 13, {1})
+        assert set(region) == set(range(16)) - {1, 2, 3}
+        with pytest.raises(FaultError):
+            fault_aware_sprint_region(4, 4, 14, {1})

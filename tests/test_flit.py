@@ -1,0 +1,39 @@
+"""Tests for packets and flits."""
+
+import pytest
+
+from repro.noc.flit import Packet, make_flits
+
+
+class TestPacket:
+    def test_latency_requires_ejection(self):
+        p = Packet(pid=0, source=0, destination=1, length=5, created_at=10)
+        with pytest.raises(ValueError):
+            p.latency
+        p.ejected_at = 42
+        assert p.latency == 32
+
+    def test_defaults(self):
+        p = Packet(pid=0, source=0, destination=1, length=5, created_at=0)
+        assert not p.measured
+        assert p.hops == 0
+
+
+class TestFlits:
+    def test_make_flits(self):
+        p = Packet(pid=3, source=0, destination=2, length=5, created_at=0)
+        flits = make_flits(p)
+        assert len(flits) == 5
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(f.packet is p for f in flits)
+        assert [f.index for f in flits] == list(range(5))
+
+    def test_single_flit_packet(self):
+        p = Packet(pid=0, source=0, destination=1, length=1, created_at=0)
+        (flit,) = make_flits(p)
+        assert flit.is_head and flit.is_tail
+
+    def test_destination_delegates(self):
+        p = Packet(pid=0, source=0, destination=9, length=2, created_at=0)
+        assert make_flits(p)[1].destination == 9

@@ -1,0 +1,104 @@
+"""Tests for Algorithms 3-4 (thermal-aware floorplanning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.floorplanning import (
+    Floorplan,
+    identity_floorplan,
+    thermal_aware_floorplan,
+    thermal_spread,
+)
+from repro.core.topological import SprintTopology
+from repro.util.geometry import Coord
+
+
+class TestFloorplanValidation:
+    def test_identity(self):
+        fp = identity_floorplan(4, 4)
+        assert fp.position == tuple(range(16))
+        assert fp.physical_coord(5) == Coord(1, 1)
+
+    def test_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            Floorplan(2, 2, (0, 1, 2, 2))
+        with pytest.raises(ValueError):
+            Floorplan(2, 2, (0, 1, 2))
+
+    def test_logical_at_slot_inverse(self):
+        fp = thermal_aware_floorplan(4, 4)
+        for node in range(16):
+            assert fp.logical_at_slot(fp.position[node]) == node
+
+
+class TestThermalAwareFloorplan:
+    def test_is_permutation(self):
+        fp = thermal_aware_floorplan(4, 4)
+        assert sorted(fp.position) == list(range(16))
+
+    def test_master_keeps_its_slot(self):
+        fp = thermal_aware_floorplan(4, 4)
+        assert fp.position[0] == 0
+        fp5 = thermal_aware_floorplan(4, 4, master=5)
+        assert fp5.position[5] == 5
+
+    def test_first_cosprinter_pushed_far(self):
+        """Node 1 sprints with the master at level 2, so Algorithm 4 sends
+        it to the farthest free slot -- the opposite corner."""
+        fp = thermal_aware_floorplan(4, 4)
+        assert fp.position[1] == 15
+
+    def test_four_core_region_lands_on_corners(self):
+        """The level-4 region {0,1,4,5} maps to the four die corners --
+        the paper's 'four scattered corner nodes' intuition."""
+        fp = thermal_aware_floorplan(4, 4)
+        slots = {fp.position[n] for n in (0, 1, 4, 5)}
+        assert slots == {0, 3, 12, 15}
+
+    def test_spread_beats_identity_at_low_levels(self):
+        fp = thermal_aware_floorplan(4, 4)
+        ident = identity_floorplan(4, 4)
+        for level in (2, 3, 4, 6, 8):
+            topo = SprintTopology.for_level(4, 4, level)
+            assert thermal_spread(fp, topo) > thermal_spread(ident, topo), (
+                f"level {level}: floorplan does not spread the sprint region"
+            )
+
+    def test_spread_equal_at_full_level(self):
+        """At full sprint every node is active; a permutation cannot change
+        the pairwise-distance multiset of the complete set."""
+        fp = thermal_aware_floorplan(4, 4)
+        ident = identity_floorplan(4, 4)
+        topo = SprintTopology.for_level(4, 4, 16)
+        assert thermal_spread(fp, topo) == pytest.approx(thermal_spread(ident, topo))
+
+    def test_single_node_spread_zero(self):
+        fp = thermal_aware_floorplan(4, 4)
+        assert thermal_spread(fp, SprintTopology.for_level(4, 4, 1)) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(2, 5), height=st.integers(2, 5), data=st.data())
+    def test_property_valid_permutation_any_mesh(self, width, height, data):
+        master = data.draw(st.integers(0, width * height - 1))
+        fp = thermal_aware_floorplan(width, height, master)
+        assert sorted(fp.position) == list(range(width * height))
+        assert fp.position[master] == master
+
+
+class TestWireLengths:
+    def test_identity_unit_links(self):
+        fp = identity_floorplan(4, 4)
+        assert fp.wire_length(0, 1) == pytest.approx(1.0)
+        assert fp.wire_length(0, 4) == pytest.approx(1.0)
+        assert fp.total_wire_length() == pytest.approx(24.0)  # 24 mesh links
+
+    def test_thermal_floorplan_stretches_wires(self):
+        """Spreading co-sprinting nodes costs wiring -- the trade-off the
+        paper pays with SMART-style repeated links."""
+        fp = thermal_aware_floorplan(4, 4)
+        assert fp.total_wire_length() > identity_floorplan(4, 4).total_wire_length()
+
+    def test_wire_length_symmetric(self):
+        fp = thermal_aware_floorplan(4, 4)
+        assert fp.wire_length(0, 1) == pytest.approx(fp.wire_length(1, 0))

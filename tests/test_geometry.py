@@ -1,0 +1,208 @@
+"""Tests for repro.util.geometry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.geometry import (
+    Coord,
+    average_pairwise_manhattan,
+    centroid,
+    convex_hull,
+    coord_to_node,
+    euclidean,
+    euclidean_sq,
+    is_connected,
+    is_discretely_convex,
+    is_orthogonally_convex,
+    lattice_points_in_hull,
+    manhattan,
+    node_to_coord,
+    point_in_hull,
+)
+
+coords = st.builds(
+    Coord, st.integers(min_value=-6, max_value=6), st.integers(min_value=-6, max_value=6)
+)
+
+
+class TestCoord:
+    def test_add(self):
+        assert Coord(1, 2) + Coord(3, -1) == Coord(4, 1)
+
+    def test_sub(self):
+        assert Coord(1, 2) - Coord(3, -1) == Coord(-2, 3)
+
+    def test_is_tuple(self):
+        x, y = Coord(5, 7)
+        assert (x, y) == (5, 7)
+
+
+class TestNodeCoordMapping:
+    def test_row_major(self):
+        assert node_to_coord(0, 4) == Coord(0, 0)
+        assert node_to_coord(1, 4) == Coord(1, 0)
+        assert node_to_coord(4, 4) == Coord(0, 1)
+        assert node_to_coord(15, 4) == Coord(3, 3)
+
+    def test_roundtrip(self):
+        for node in range(16):
+            assert coord_to_node(node_to_coord(node, 4), 4) == node
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            node_to_coord(-1, 4)
+
+    def test_out_of_mesh_coord_rejected(self):
+        with pytest.raises(ValueError):
+            coord_to_node(Coord(4, 0), 4)
+        with pytest.raises(ValueError):
+            coord_to_node(Coord(-1, 0), 4)
+
+
+class TestDistances:
+    def test_euclidean_sq_exact(self):
+        assert euclidean_sq(Coord(0, 0), Coord(3, 4)) == 25
+
+    def test_euclidean(self):
+        assert euclidean(Coord(0, 0), Coord(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan(Coord(0, 0), Coord(3, 4)) == 7
+
+    @given(coords, coords)
+    def test_symmetry(self, a, b):
+        assert euclidean_sq(a, b) == euclidean_sq(b, a)
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(coords, coords)
+    def test_euclidean_le_manhattan(self, a, b):
+        assert euclidean(a, b) <= manhattan(a, b) + 1e-9
+
+    @given(coords, coords, coords)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+
+class TestConvexHull:
+    def test_single_point(self):
+        assert convex_hull([Coord(2, 3)]) == [Coord(2, 3)]
+
+    def test_two_points(self):
+        assert set(convex_hull([Coord(0, 0), Coord(2, 2)])) == {Coord(0, 0), Coord(2, 2)}
+
+    def test_square(self):
+        pts = [Coord(0, 0), Coord(2, 0), Coord(0, 2), Coord(2, 2), Coord(1, 1)]
+        hull = convex_hull(pts)
+        assert set(hull) == {Coord(0, 0), Coord(2, 0), Coord(0, 2), Coord(2, 2)}
+
+    def test_collinear_degenerates(self):
+        hull = convex_hull([Coord(0, 0), Coord(1, 1), Coord(2, 2)])
+        assert set(hull) == {Coord(0, 0), Coord(2, 2)}
+
+    @given(st.lists(coords, min_size=1, max_size=12))
+    def test_all_points_inside_hull(self, pts):
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_hull(p, hull)
+
+    @given(st.lists(coords, min_size=3, max_size=12))
+    def test_hull_vertices_subset_of_points(self, pts):
+        assert set(convex_hull(pts)) <= set(pts)
+
+
+class TestPointInHull:
+    def test_empty_hull(self):
+        assert not point_in_hull(Coord(0, 0), [])
+
+    def test_boundary_inclusive(self):
+        hull = convex_hull([Coord(0, 0), Coord(4, 0), Coord(0, 4)])
+        assert point_in_hull(Coord(2, 0), hull)
+        assert point_in_hull(Coord(2, 2), hull)  # on the hypotenuse
+
+    def test_outside(self):
+        hull = convex_hull([Coord(0, 0), Coord(4, 0), Coord(0, 4)])
+        assert not point_in_hull(Coord(3, 3), hull)
+
+    def test_segment_hull_off_line(self):
+        hull = convex_hull([Coord(0, 0), Coord(2, 2)])
+        assert not point_in_hull(Coord(1, 0), hull)
+        assert point_in_hull(Coord(1, 1), hull)
+
+
+class TestLatticePointsInHull:
+    def test_unit_square(self):
+        hull = convex_hull([Coord(0, 0), Coord(1, 0), Coord(0, 1), Coord(1, 1)])
+        assert len(lattice_points_in_hull(hull)) == 4
+
+    def test_triangle(self):
+        hull = convex_hull([Coord(0, 0), Coord(2, 0), Coord(0, 2)])
+        assert set(lattice_points_in_hull(hull)) == {
+            Coord(0, 0), Coord(1, 0), Coord(2, 0), Coord(0, 1), Coord(1, 1), Coord(0, 2),
+        }
+
+
+class TestDiscreteConvexity:
+    def test_empty_and_singleton(self):
+        assert is_discretely_convex([])
+        assert is_discretely_convex([Coord(3, 3)])
+
+    def test_square_block(self):
+        assert is_discretely_convex([Coord(x, y) for x in range(2) for y in range(2)])
+
+    def test_missing_interior_point(self):
+        pts = [Coord(x, y) for x in range(3) for y in range(3) if (x, y) != (1, 1)]
+        assert not is_discretely_convex(pts)
+
+    def test_diagonal_pair_is_convex(self):
+        # no lattice point lies strictly between them
+        assert is_discretely_convex([Coord(0, 0), Coord(1, 1)])
+
+    def test_l_shape_not_convex(self):
+        assert not is_discretely_convex([Coord(0, 0), Coord(2, 0), Coord(0, 2)])
+
+
+class TestOrthogonalConvexity:
+    def test_diagonal_pair(self):
+        # discretely convex but NOT orthogonally closed... both members
+        # share no row/column, so orthogonal convexity trivially holds
+        assert is_orthogonally_convex([Coord(0, 0), Coord(1, 1)])
+
+    def test_row_with_gap(self):
+        assert not is_orthogonally_convex([Coord(0, 0), Coord(2, 0)])
+
+    def test_column_with_gap(self):
+        assert not is_orthogonally_convex([Coord(0, 0), Coord(0, 2)])
+
+    def test_full_row(self):
+        assert is_orthogonally_convex([Coord(x, 0) for x in range(4)])
+
+
+class TestConnectivity:
+    def test_connected_block(self):
+        assert is_connected([Coord(0, 0), Coord(1, 0), Coord(1, 1)])
+
+    def test_disconnected(self):
+        assert not is_connected([Coord(0, 0), Coord(2, 2)])
+
+    def test_empty(self):
+        assert is_connected([])
+
+
+class TestAggregates:
+    def test_centroid(self):
+        assert centroid([Coord(0, 0), Coord(2, 4)]) == (1.0, 2.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_average_pairwise_manhattan(self):
+        pts = [Coord(0, 0), Coord(1, 0), Coord(0, 1)]
+        # pairs: 1, 1, 2 -> mean 4/3
+        assert average_pairwise_manhattan(pts) == pytest.approx(4 / 3)
+
+    def test_average_pairwise_single(self):
+        assert average_pairwise_manhattan([Coord(0, 0)]) == 0.0

@@ -1,0 +1,107 @@
+"""Cross-module integration tests: the whole stack against the paper's
+headline claims, at reduced simulation windows for speed."""
+
+import pytest
+
+from repro.cmp.workloads import all_profiles
+from repro.core.system import NoCSprintingSystem
+from repro.noc.sim import zero_load_latency
+from repro.core.topological import SprintTopology
+from repro.config import NoCConfig
+
+
+@pytest.fixture(scope="module")
+def system():
+    return NoCSprintingSystem()
+
+
+class TestFig9Fig10Aggregates:
+    @pytest.fixture(scope="class")
+    def network_rows(self, system):
+        rows = []
+        for profile in all_profiles():
+            level = system.scheme_level(profile, "noc_sprinting")
+            if level < 2:
+                continue
+            noc = system.evaluate_network(profile, "noc_sprinting",
+                                          warmup_cycles=200, measure_cycles=700)
+            full = system.evaluate_network(profile, "full_sprinting",
+                                           warmup_cycles=200, measure_cycles=700)
+            rows.append((profile.name, level, noc, full))
+        return rows
+
+    def test_latency_reduction_scale(self, network_rows):
+        """Figure 9: ~24.5 % average network latency reduction."""
+        reductions = [1 - noc.avg_latency / full.avg_latency
+                      for _, _, noc, full in network_rows]
+        mean = sum(reductions) / len(reductions)
+        assert 0.15 < mean < 0.40
+
+    def test_power_reduction_scale(self, network_rows):
+        """Figure 10: ~71.9 % average network power reduction."""
+        reductions = [1 - noc.total_power_w / full.total_power_w
+                      for _, _, noc, full in network_rows]
+        mean = sum(reductions) / len(reductions)
+        assert 0.55 < mean < 0.85
+
+    def test_full_level_benchmarks_identical(self, network_rows):
+        for name, level, noc, full in network_rows:
+            if level == 16:
+                assert noc.avg_latency == pytest.approx(full.avg_latency)
+
+    def test_no_run_saturates_at_parsec_loads(self, network_rows):
+        """The paper: PARSEC rates (<0.3) never saturate the network."""
+        for name, _, noc, full in network_rows:
+            assert not noc.sim.saturated, name
+            assert not full.sim.saturated, name
+
+
+class TestSimVsAnalyticConsistency:
+    def test_zero_load_model_tracks_sim(self, system):
+        """The analytic latency the perf model uses must track the cycle
+        simulator at light load for every sprint level."""
+        cfg = NoCConfig()
+        from repro.noc.sim import run_simulation
+        from repro.noc.traffic import TrafficGenerator
+
+        for level in (2, 4, 8, 16):
+            topo = SprintTopology.for_level(4, 4, level)
+            traffic = TrafficGenerator(list(topo.active_nodes), 0.02,
+                                       cfg.packet_length_flits, seed=1)
+            routing = "cdor" if level < 16 else "xy"
+            res = run_simulation(topo, traffic, cfg, routing=routing,
+                                 warmup_cycles=300, measure_cycles=1500)
+            analytic = zero_load_latency(topo, cfg, routing)
+            assert res.avg_latency == pytest.approx(analytic, rel=0.15), level
+
+
+class TestEndToEndStory:
+    def test_dedup_walkthrough(self, system):
+        """The paper's running example: dedup sprints at level 4, beats
+        full sprint on every axis."""
+        noc = system.evaluate("dedup", "noc_sprinting",
+                              simulate_network=True, thermal=True)
+        full = system.evaluate("dedup", "full_sprinting",
+                               simulate_network=True, thermal=True)
+        assert noc.speedup > full.speedup
+        assert noc.core_power_w < full.core_power_w
+        assert noc.network.avg_latency < full.network.avg_latency
+        assert noc.network.total_power_w < full.network.total_power_w
+        assert noc.peak_temperature_k < full.peak_temperature_k
+        assert noc.sprint_duration_s > 1.0
+
+    def test_scalable_workload_equivalence(self, system):
+        """For blackscholes the optimum IS full sprint: the schemes agree."""
+        noc = system.evaluate("blackscholes", "noc_sprinting")
+        full = system.evaluate("blackscholes", "full_sprinting")
+        assert noc.level == full.level == 16
+        assert noc.speedup == pytest.approx(full.speedup)
+        assert noc.core_power_w == pytest.approx(full.core_power_w)
+
+    def test_controller_consistent_with_system(self, system):
+        from repro.core.sprinting import SprintController
+
+        controller = SprintController()
+        for profile in all_profiles():
+            plan = controller.plan(profile)
+            assert plan.level == system.scheme_level(profile, "noc_sprinting")

@@ -1,0 +1,122 @@
+"""Tests for LBDR (the 12-bit general scheme CDOR specializes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdor import CdorRouter, RoutingError
+from repro.core.lbdr import (
+    BITS_PER_SWITCH,
+    LbdrRouter,
+    bit_cost_comparison,
+    derive_lbdr_bits,
+)
+from repro.core.topological import SprintTopology
+from repro.util.directions import Direction
+
+
+class TestBitDerivation:
+    def test_bit_count_is_twelve(self):
+        assert BITS_PER_SWITCH == 12
+        assert bit_cost_comparison() == {"lbdr_bits": 12, "cdor_bits": 2}
+
+    def test_connectivity_matches_topology(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        bits = derive_lbdr_bits(topo, 0)
+        assert bits.connectivity[Direction.EAST]
+        assert bits.connectivity[Direction.SOUTH]
+        assert not bits.connectivity[Direction.WEST]
+
+    def test_xy_turns_always_enabled(self):
+        topo = SprintTopology.for_level(4, 4, 8)
+        for node in topo.active_nodes:
+            bits = derive_lbdr_bits(topo, node)
+            for leave in (Direction.EAST, Direction.WEST):
+                for turn in (Direction.NORTH, Direction.SOUTH):
+                    assert bits.routing[(leave, turn)]
+
+    def test_detour_turns_track_dark_x_ports(self):
+        """In the 8-core region, node 9's east port is dark, so its
+        north/south exits may turn east (the paper's NE-turn site)."""
+        topo = SprintTopology.for_level(4, 4, 8)
+        bits9 = derive_lbdr_bits(topo, 9)
+        assert bits9.routing[(Direction.NORTH, Direction.EAST)]
+        # node 5 has a live east port: no NE detour bit needed there
+        bits5 = derive_lbdr_bits(topo, 5)
+        assert not bits5.routing[(Direction.NORTH, Direction.EAST)]
+
+    def test_full_mesh_reduces_to_pure_xy(self):
+        """With every link present, all Y->X bits are off: plain XY."""
+        topo = SprintTopology.for_level(4, 4, 16)
+        for node in range(16):
+            bits = derive_lbdr_bits(topo, node)
+            for leave in (Direction.NORTH, Direction.SOUTH):
+                for turn in (Direction.EAST, Direction.WEST):
+                    if bits.connectivity[turn]:
+                        assert not bits.routing[(leave, turn)]
+
+
+class TestLbdrRouting:
+    def test_equivalent_to_cdor_on_all_regions(self):
+        """CDOR is the 2-bit specialization: on every Algorithm-1 region
+        both routers walk identical paths for every pair."""
+        for level in range(1, 17):
+            topo = SprintTopology.for_level(4, 4, level)
+            lbdr = LbdrRouter(topo)
+            cdor = CdorRouter(topo)
+            for src in topo.active_nodes:
+                for dst in topo.active_nodes:
+                    assert lbdr.walk(src, dst) == cdor.walk(src, dst), (
+                        f"level {level}: {src}->{dst}"
+                    )
+
+    def test_paper_example_path(self):
+        topo = SprintTopology.for_level(4, 4, 8)
+        assert LbdrRouter(topo).walk(9, 2) == [9, 5, 6, 2]
+
+    def test_dark_destination_rejected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        with pytest.raises(RoutingError):
+            LbdrRouter(topo).next_port(0, 15)
+
+    def test_dark_source_rejected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        with pytest.raises(RoutingError):
+            LbdrRouter(topo).walk(15, 0)
+
+    def test_local_delivery(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        assert LbdrRouter(topo).next_port(5, 5) is Direction.LOCAL
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(2, 5), height=st.integers(2, 5), data=st.data())
+    def test_property_cdor_equivalence(self, width, height, data):
+        master = data.draw(st.integers(0, width * height - 1))
+        level = data.draw(st.integers(1, width * height))
+        topo = SprintTopology.for_level(width, height, level, master)
+        lbdr = LbdrRouter(topo)
+        cdor = CdorRouter(topo)
+        for src in topo.active_nodes:
+            for dst in topo.active_nodes:
+                assert lbdr.walk(src, dst) == cdor.walk(src, dst)
+
+
+class TestLbdrDeadlockFreedom:
+    def test_all_levels_acyclic(self):
+        """Since LBDR == CDOR on these regions, its channel dependency
+        graph is the same; still, verify directly through LBDR walks."""
+        import networkx as nx
+
+        for level in range(2, 17):
+            topo = SprintTopology.for_level(4, 4, level)
+            router = LbdrRouter(topo)
+            graph = nx.DiGraph()
+            for src in topo.active_nodes:
+                for dst in topo.active_nodes:
+                    if src == dst:
+                        continue
+                    path = router.walk(src, dst)
+                    channels = list(zip(path, path[1:]))
+                    for held, wanted in zip(channels, channels[1:]):
+                        graph.add_edge(held, wanted)
+            assert nx.is_directed_acyclic_graph(graph), f"level {level}"

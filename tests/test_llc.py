@@ -1,0 +1,141 @@
+"""Tests for LLC architectures and the request/reply LLC simulation."""
+
+import pytest
+
+from repro.cmp.llc import LlcAccessStream, LlcArchitecture, home_bank
+from repro.config import NoCConfig
+from repro.core.bypass import plan_bypass
+from repro.core.topological import SprintTopology
+from repro.noc.llc_sim import run_llc_simulation
+
+CFG = NoCConfig()
+
+
+class TestHomeBank:
+    def test_interleaving(self):
+        assert [home_bank(line, 16) for line in range(18)] == list(range(16)) + [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            home_bank(0, 0)
+        with pytest.raises(ValueError):
+            home_bank(-1, 16)
+
+
+class TestAccessStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LlcAccessStream([], LlcArchitecture.TILED, 0.1)
+        with pytest.raises(ValueError):
+            LlcAccessStream([0], LlcArchitecture.TILED, 1.5)
+
+    def test_rate_honored(self):
+        stream = LlcAccessStream(list(range(4)), LlcArchitecture.TILED, 0.2, seed=1)
+        count = sum(len(stream.requests_for_cycle(c)) for c in range(4000))
+        assert count / (4000 * 4) == pytest.approx(0.2, rel=0.07)
+
+    def test_centralized_targets_master(self):
+        stream = LlcAccessStream([0, 1, 4, 5], LlcArchitecture.CENTRALIZED, 0.9, seed=1)
+        for cycle in range(100):
+            for request in stream.requests_for_cycle(cycle):
+                assert request.bank == 0
+
+    def test_private_miss_stream_targets_master(self):
+        stream = LlcAccessStream([5], LlcArchitecture.PRIVATE, 0.9, seed=1, master_node=0)
+        for cycle in range(50):
+            for request in stream.requests_for_cycle(cycle):
+                assert request.bank == 0
+
+    def test_tiled_covers_all_banks(self):
+        stream = LlcAccessStream([0, 1], LlcArchitecture.TILED, 1.0, seed=1)
+        banks = set()
+        for cycle in range(500):
+            banks.update(r.bank for r in stream.requests_for_cycle(cycle))
+        assert banks == set(range(16))
+
+    def test_dark_access_probability(self):
+        stream = LlcAccessStream([0, 1, 4, 5], LlcArchitecture.TILED, 0.1)
+        assert stream.dark_access_probability(frozenset({0, 1, 4, 5})) == 0.75
+        central = LlcAccessStream([0], LlcArchitecture.CENTRALIZED, 0.1)
+        assert central.dark_access_probability(frozenset({0})) == 0.0
+
+
+class TestLlcSimulation:
+    @pytest.fixture(scope="class")
+    def region(self):
+        return SprintTopology.for_level(4, 4, 4)
+
+    def test_tiled_bypass_completes(self, region):
+        stream = LlcAccessStream(list(region.active_nodes), LlcArchitecture.TILED,
+                                 0.05, seed=1)
+        result = run_llc_simulation(region, stream, CFG, "cdor",
+                                    bypass=plan_bypass(region),
+                                    warmup_cycles=300, measure_cycles=800)
+        assert not result.saturated
+        assert result.requests_completed > 0
+        assert result.dark_bank_accesses > 0
+        assert result.dark_access_fraction == pytest.approx(0.75, abs=0.1)
+        assert result.bypass_flits > 0
+
+    def test_tiled_without_bypass_raises(self, region):
+        stream = LlcAccessStream(list(region.active_nodes), LlcArchitecture.TILED,
+                                 0.05, seed=1)
+        with pytest.raises(RuntimeError, match="bypass"):
+            run_llc_simulation(region, stream, CFG, "cdor",
+                               warmup_cycles=100, measure_cycles=200)
+
+    def test_centralized_needs_no_bypass(self, region):
+        stream = LlcAccessStream(list(region.active_nodes),
+                                 LlcArchitecture.CENTRALIZED, 0.05, seed=1)
+        result = run_llc_simulation(region, stream, CFG, "cdor",
+                                    warmup_cycles=300, measure_cycles=800)
+        assert not result.saturated
+        assert result.dark_bank_accesses == 0
+        # the master's own accesses are local
+        assert result.local_accesses > 0
+
+    def test_full_network_reaches_dark_banks_directly(self, region):
+        full = SprintTopology.for_level(4, 4, 16)
+        stream = LlcAccessStream(list(region.active_nodes), LlcArchitecture.TILED,
+                                 0.05, seed=1)
+        result = run_llc_simulation(full, stream, CFG, "xy",
+                                    warmup_cycles=300, measure_cycles=800)
+        assert not result.saturated
+        assert result.dark_bank_accesses == 0  # nothing is dark
+        assert len(result.activity.routers) == 16
+
+    def test_round_trip_includes_reply(self, region):
+        """Round trips must exceed twice the one-way zero-load latency of
+        a request (request there + service + 5-flit reply back)."""
+        stream = LlcAccessStream(list(region.active_nodes),
+                                 LlcArchitecture.CENTRALIZED, 0.02, seed=2)
+        result = run_llc_simulation(region, stream, CFG, "cdor",
+                                    warmup_cycles=300, measure_cycles=800)
+        assert result.avg_round_trip > 15
+
+    def test_gated_vs_full_power_contrast(self, region):
+        """The Section 3.4 trade-off: bypass keeps only the region powered
+        while the no-bypass fallback powers the whole mesh."""
+        from repro.power.activity import network_power
+
+        stream_a = LlcAccessStream(list(region.active_nodes), LlcArchitecture.TILED,
+                                   0.05, seed=1)
+        gated = run_llc_simulation(region, stream_a, CFG, "cdor",
+                                   bypass=plan_bypass(region),
+                                   warmup_cycles=300, measure_cycles=800)
+        stream_b = LlcAccessStream(list(region.active_nodes), LlcArchitecture.TILED,
+                                   0.05, seed=1)
+        full_topo = SprintTopology.for_level(4, 4, 16)
+        full = run_llc_simulation(full_topo, stream_b, CFG, "xy",
+                                  warmup_cycles=300, measure_cycles=800)
+        gated_power = network_power(gated, region, CFG)
+        full_power = network_power(full, full_topo, CFG)
+        assert gated_power.total < 0.5 * full_power.total
+
+    def test_saturation_flag(self, region):
+        stream = LlcAccessStream(list(region.active_nodes),
+                                 LlcArchitecture.CENTRALIZED, 0.9, seed=1)
+        result = run_llc_simulation(region, stream, CFG, "cdor",
+                                    warmup_cycles=200, measure_cycles=600,
+                                    drain_cycles=400)
+        assert result.saturated

@@ -1,0 +1,101 @@
+"""Tests for the run-time parallelism monitor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp.monitor import (
+    MonitorResult,
+    OnlineParallelismMonitor,
+    monitor_agrees_with_profile,
+    noisy_profile_measure,
+)
+from repro.cmp.workloads import all_profiles, get_profile
+
+
+class TestValidation:
+    def test_levels_must_ascend(self):
+        with pytest.raises(ValueError):
+            OnlineParallelismMonitor(levels=[4, 2, 1])
+
+    def test_levels_nonempty(self):
+        with pytest.raises(ValueError):
+            OnlineParallelismMonitor(levels=[])
+
+    def test_threshold_non_negative(self):
+        with pytest.raises(ValueError):
+            OnlineParallelismMonitor(improvement_threshold=-0.1)
+
+    def test_samples_positive(self):
+        with pytest.raises(ValueError):
+            OnlineParallelismMonitor(samples_per_level=0)
+
+    def test_negative_observation_rejected(self):
+        monitor = OnlineParallelismMonitor()
+        with pytest.raises(ValueError):
+            monitor.calibrate(lambda level: -1.0)
+
+
+class TestNoiselessCalibration:
+    def test_finds_profile_optimum_for_every_benchmark(self):
+        """With exact observations, online monitoring reproduces the
+        off-line profiling decision for all 13 PARSEC workloads."""
+        monitor = OnlineParallelismMonitor(samples_per_level=1)
+        for profile in all_profiles():
+            result = monitor.calibrate(lambda level, p=profile: p.speedup(level))
+            assert result.level == profile.optimal_level(), profile.name
+
+    def test_early_stop_saves_epochs(self):
+        """freqmine stops after probing levels 1 and 2 only."""
+        monitor = OnlineParallelismMonitor(samples_per_level=1)
+        result = monitor.calibrate(lambda level: get_profile("freqmine").speedup(level))
+        assert result.level == 1
+        assert result.epochs == 2
+
+    def test_scalable_probes_every_level(self):
+        monitor = OnlineParallelismMonitor(samples_per_level=1)
+        result = monitor.calibrate(
+            lambda level: get_profile("blackscholes").speedup(level)
+        )
+        assert result.level == 16
+        assert result.epochs == 5
+
+
+class TestNoisyCalibration:
+    def test_moderate_noise_still_converges(self):
+        for profile in all_profiles():
+            assert monitor_agrees_with_profile(profile, noise=0.03, seed=11), (
+                profile.name
+            )
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            noisy_profile_measure(get_profile("dedup"), noise=-0.1)
+
+    def test_measure_deterministic_per_seed(self):
+        m1 = noisy_profile_measure(get_profile("dedup"), noise=0.1, seed=5)
+        m2 = noisy_profile_measure(get_profile("dedup"), noise=0.1, seed=5)
+        assert [m1(level) for level in (1, 2, 4)] == [m2(level) for level in (1, 2, 4)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_dedup_converges_across_seeds(self, seed):
+        """Averaging three epochs per level tolerates 3 % throughput noise
+        for dedup's clear peak."""
+        assert monitor_agrees_with_profile(
+            get_profile("dedup"), noise=0.03, seed=seed, samples_per_level=3
+        )
+
+
+class TestMonitorResult:
+    def test_mean_throughput(self):
+        monitor = OnlineParallelismMonitor(samples_per_level=2)
+        result = monitor.calibrate(lambda level: float(level))
+        assert result.mean_throughput(1) == pytest.approx(1.0)
+        assert isinstance(result, MonitorResult)
+
+    def test_mean_throughput_missing_level(self):
+        monitor = OnlineParallelismMonitor(samples_per_level=1)
+        result = monitor.calibrate(lambda level: get_profile("freqmine").speedup(level))
+        with pytest.raises(ValueError):
+            result.mean_throughput(16)  # never probed

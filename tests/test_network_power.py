@@ -1,0 +1,74 @@
+"""Tests for the activity -> network power bridge."""
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.noc.sim import run_simulation
+from repro.noc.traffic import TrafficGenerator
+from repro.power.activity import network_power
+
+CFG = NoCConfig()
+
+
+def simulate(level, rate=0.2, routing=None, seed=0):
+    topo = SprintTopology.for_level(4, 4, level)
+    routing = routing or ("cdor" if level < 16 else "xy")
+    traffic = TrafficGenerator(
+        list(topo.active_nodes), rate, CFG.packet_length_flits, seed=seed
+    )
+    result = run_simulation(topo, traffic, CFG, routing=routing,
+                            warmup_cycles=300, measure_cycles=1000)
+    return result, topo
+
+
+class TestNetworkPower:
+    def test_components_positive(self):
+        result, topo = simulate(16)
+        report = network_power(result, topo, CFG)
+        assert report.routers.dynamic > 0
+        assert report.routers.leakage > 0
+        assert report.links.dynamic > 0
+        assert report.links.leakage > 0
+        assert report.total == pytest.approx(report.dynamic + report.leakage)
+
+    def test_per_router_sums_to_total(self):
+        result, topo = simulate(8)
+        report = network_power(result, topo, CFG)
+        assert sum(b.total for b in report.per_router.values()) == pytest.approx(
+            report.routers.total
+        )
+        assert report.powered_router_count == 8
+
+    def test_power_scales_with_region_size(self):
+        """The essence of Figure 10: fewer powered routers, less power."""
+        totals = []
+        for level in (2, 4, 8, 16):
+            result, topo = simulate(level, rate=0.15)
+            totals.append(network_power(result, topo, CFG).total)
+        assert totals == sorted(totals)
+
+    def test_leakage_dominates_at_low_load(self):
+        result, topo = simulate(16, rate=0.02)
+        report = network_power(result, topo, CFG)
+        assert report.leakage > report.dynamic * 0.3
+
+    def test_dynamic_grows_with_load(self):
+        low, topo = simulate(16, rate=0.05)
+        high, _ = simulate(16, rate=0.5)
+        assert network_power(high, topo, CFG).dynamic > network_power(low, topo, CFG).dynamic
+
+    def test_floorplan_increases_link_power(self):
+        """Stretched physical links make the floorplanned network pay more
+        link energy -- the wiring cost Section 3.3 acknowledges."""
+        result, topo = simulate(4, rate=0.3)
+        plain = network_power(result, topo, CFG)
+        planned = network_power(result, topo, CFG, floorplan=thermal_aware_floorplan(4, 4))
+        assert planned.links.total > plain.links.total
+        assert planned.routers.total == pytest.approx(plain.routers.total)
+
+    def test_link_count(self):
+        result, topo = simulate(4)
+        report = network_power(result, topo, CFG)
+        assert report.powered_link_count == 4

@@ -1,0 +1,73 @@
+"""Property-based end-to-end network invariants.
+
+Hypothesis drives the simulator across random sprint levels, loads and
+patterns; the invariants (conservation, in-order flows, latency floor)
+must hold for every draw.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.sim import run_simulation, zero_load_latency
+from repro.noc.traffic import TrafficGenerator
+
+CFG = NoCConfig()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    level=st.integers(2, 16),
+    rate=st.floats(0.02, 0.35),
+    seed=st.integers(0, 1000),
+)
+def test_property_no_loss_no_invention(level, rate, seed):
+    """Every measured packet injected below saturation is delivered,
+    exactly once."""
+    topo = SprintTopology.for_level(4, 4, level)
+    routing = "cdor" if level < 16 else "xy"
+    traffic = TrafficGenerator(list(topo.active_nodes), rate,
+                               CFG.packet_length_flits, seed=seed)
+    result = run_simulation(topo, traffic, CFG, routing=routing,
+                            warmup_cycles=200, measure_cycles=600)
+    assert not result.saturated
+    assert result.packets_ejected == result.packets_measured
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    level=st.integers(2, 16),
+    rate=st.floats(0.02, 0.3),
+    seed=st.integers(0, 1000),
+)
+def test_property_latency_floor(level, rate, seed):
+    """No packet beats the pipeline: average latency is bounded below by
+    the minimum local-delivery latency and above by a sane multiple of the
+    zero-load latency at these sub-saturation rates."""
+    topo = SprintTopology.for_level(4, 4, level)
+    routing = "cdor" if level < 16 else "xy"
+    traffic = TrafficGenerator(list(topo.active_nodes), rate,
+                               CFG.packet_length_flits, seed=seed)
+    result = run_simulation(topo, traffic, CFG, routing=routing,
+                            warmup_cycles=200, measure_cycles=600)
+    if result.packets_measured == 0:
+        return
+    floor = CFG.router_pipeline_stages + CFG.packet_length_flits - 1
+    assert result.avg_latency >= floor - 1
+    assert result.avg_latency <= 5 * zero_load_latency(topo, CFG, routing)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pattern=st.sampled_from(["uniform", "neighbor", "tornado", "shuffle"]),
+    seed=st.integers(0, 500),
+)
+def test_property_patterns_deliver_on_full_mesh(pattern, seed):
+    traffic = TrafficGenerator(list(range(16)), 0.2,
+                               CFG.packet_length_flits, pattern, seed=seed)
+    topo = SprintTopology.for_level(4, 4, 16)
+    result = run_simulation(topo, traffic, CFG, routing="xy",
+                            warmup_cycles=200, measure_cycles=600)
+    assert not result.saturated
+    assert result.packets_ejected == result.packets_measured

@@ -1,0 +1,94 @@
+"""Tests for the PCM sprint-thermal model (Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.thermal.pcm import (
+    DEFAULT_PCM,
+    PCMParams,
+    sprint_duration,
+    sprint_phases,
+    temperature_timeline,
+)
+
+
+class TestParams:
+    def test_default_ordering(self):
+        p = DEFAULT_PCM
+        assert p.start_temperature_k < p.melt_temperature_k < p.max_temperature_k
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            PCMParams(melt_temperature_k=300.0)
+
+    def test_bad_energy_rejected(self):
+        with pytest.raises(ValueError):
+            PCMParams(latent_energy_j=0.0)
+
+
+class TestPhases:
+    def test_full_sprint_lasts_about_one_second(self):
+        """The paper (after Raghavan et al.) assumes the chip sustains a
+        full sprint for ~1 s in the worst case."""
+        from repro.power.chip_power import ChipPowerModel
+
+        full_power = ChipPowerModel(16).sprint_chip_power(16, "full").total
+        assert sprint_duration(full_power) == pytest.approx(1.0, abs=0.1)
+
+    def test_melting_dominates(self):
+        phases = sprint_phases(150.0)
+        assert phases.melting_s > phases.heat_to_melt_s
+        assert phases.melting_s > phases.melt_to_max_s
+
+    def test_durations_shrink_with_power(self):
+        durations = [sprint_duration(p) for p in (60.0, 100.0, 150.0, 200.0)]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_sub_tdp_sprint_unconstrained(self):
+        phases = sprint_phases(DEFAULT_PCM.sustainable_power_w - 1.0)
+        assert math.isinf(phases.total_s)
+
+    def test_total_is_sum(self):
+        phases = sprint_phases(120.0)
+        assert phases.total_s == pytest.approx(
+            phases.heat_to_melt_s + phases.melting_s + phases.melt_to_max_s
+        )
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            sprint_phases(0.0)
+
+    def test_excess_power_scaling(self):
+        """All phases scale as 1/(P - P_sustainable)."""
+        p = DEFAULT_PCM
+        a = sprint_phases(p.sustainable_power_w + 50.0)
+        b = sprint_phases(p.sustainable_power_w + 100.0)
+        assert a.melting_s == pytest.approx(2 * b.melting_s)
+        assert a.heat_to_melt_s == pytest.approx(2 * b.heat_to_melt_s)
+
+
+class TestTimeline:
+    def test_shape(self):
+        samples = temperature_timeline(150.0, points_per_phase=10)
+        times = [t for t, _ in samples]
+        temps = [k for _, k in samples]
+        assert times == sorted(times)
+        assert temps[0] == DEFAULT_PCM.start_temperature_k
+        assert max(temps) == DEFAULT_PCM.max_temperature_k
+        assert temps[-1] == DEFAULT_PCM.max_temperature_k
+
+    def test_melt_plateau_present(self):
+        samples = temperature_timeline(150.0, points_per_phase=10)
+        melt = sum(1 for _, k in samples if k == DEFAULT_PCM.melt_temperature_k)
+        assert melt >= 10  # the whole phase-2 segment sits at T_melt
+
+    def test_cooldown_tail(self):
+        samples = temperature_timeline(150.0, points_per_phase=10, cooldown_s=2.0)
+        final = samples[-1][1]
+        assert final < DEFAULT_PCM.melt_temperature_k
+        assert final > DEFAULT_PCM.start_temperature_k
+
+    def test_unconstrained_raises(self):
+        with pytest.raises(ValueError):
+            temperature_timeline(10.0)

@@ -1,0 +1,83 @@
+"""Tests for latency percentiles (util.stats.percentile + sim fields)."""
+
+import pytest
+
+from repro.util.stats import percentile
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        data = [4.2, 1.1, 9.9, 3.3, 7.7, 2.2, 8.8]
+        for q in (10, 25, 50, 75, 90, 95, 99):
+            assert percentile(data, q) == pytest.approx(np.percentile(data, q))
+
+
+class TestSimulationPercentiles:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.config import NoCConfig
+        from repro.core.topological import SprintTopology
+        from repro.noc.sim import run_simulation
+        from repro.noc.traffic import TrafficGenerator
+
+        cfg = NoCConfig()
+        topo = SprintTopology.for_level(4, 4, 16)
+        traffic = TrafficGenerator(list(range(16)), 0.3, cfg.packet_length_flits, seed=2)
+        return run_simulation(topo, traffic, cfg, routing="xy",
+                              warmup_cycles=300, measure_cycles=1500)
+
+    def test_ordering(self, result):
+        assert result.p50_latency <= result.avg_latency * 1.2
+        assert result.p50_latency <= result.p95_latency <= result.p99_latency
+        assert result.p99_latency <= result.max_latency
+
+    def test_p50_near_mean_at_moderate_load(self, result):
+        assert result.p50_latency == pytest.approx(result.avg_latency, rel=0.35)
+
+    def test_tail_grows_with_load(self):
+        from repro.config import NoCConfig
+        from repro.core.topological import SprintTopology
+        from repro.noc.sim import run_simulation
+        from repro.noc.traffic import TrafficGenerator
+
+        cfg = NoCConfig()
+        topo = SprintTopology.for_level(4, 4, 16)
+
+        def run(rate):
+            traffic = TrafficGenerator(list(range(16)), rate,
+                                       cfg.packet_length_flits, seed=2)
+            return run_simulation(topo, traffic, cfg, routing="xy",
+                                  warmup_cycles=300, measure_cycles=1200)
+
+        low = run(0.05)
+        high = run(0.6)
+        # tails disperse faster than means as the network loads up
+        assert (high.p99_latency - high.p50_latency) > (
+            low.p99_latency - low.p50_latency
+        )

@@ -1,0 +1,131 @@
+"""Tests for the CMP execution-time model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cmp.perf_model import (
+    SPRINT_LEVELS,
+    BenchmarkProfile,
+    profile_workload,
+)
+
+
+def make_profile(**overrides):
+    kwargs = dict(
+        name="toy",
+        scaling={1: 1.0, 2: 0.6, 4: 0.4, 8: 0.5, 16: 0.9},
+        comm_sensitivity=0.3,
+        injection_rate=0.1,
+    )
+    kwargs.update(overrides)
+    return BenchmarkProfile(**kwargs)
+
+
+class TestValidation:
+    def test_requires_all_levels(self):
+        with pytest.raises(ValueError):
+            make_profile(scaling={1: 1.0, 2: 0.5})
+
+    def test_requires_normalization(self):
+        with pytest.raises(ValueError):
+            make_profile(scaling={1: 0.9, 2: 0.6, 4: 0.4, 8: 0.5, 16: 0.9})
+
+    def test_requires_positive_times(self):
+        with pytest.raises(ValueError):
+            make_profile(scaling={1: 1.0, 2: -0.1, 4: 0.4, 8: 0.5, 16: 0.9})
+
+    def test_comm_sensitivity_bounds(self):
+        with pytest.raises(ValueError):
+            make_profile(comm_sensitivity=1.5)
+
+    def test_injection_bounds(self):
+        with pytest.raises(ValueError):
+            make_profile(injection_rate=2.0)
+
+
+class TestRelativeTime:
+    def test_table_lookup(self):
+        p = make_profile()
+        assert p.relative_time(4) == 0.4
+        assert p.speedup(4) == pytest.approx(2.5)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            make_profile().relative_time(3)
+
+    def test_latency_factor_penalty(self):
+        p = make_profile(comm_sensitivity=0.5)
+        base = p.relative_time(4)
+        worse = p.relative_time(4, latency_factor=2.0)
+        assert worse == pytest.approx(base * 1.5)
+
+    def test_latency_factor_bonus(self):
+        p = make_profile(comm_sensitivity=0.5)
+        assert p.relative_time(4, latency_factor=0.5) < p.relative_time(4)
+
+    def test_zero_sensitivity_ignores_latency(self):
+        p = make_profile(comm_sensitivity=0.0)
+        assert p.relative_time(4, latency_factor=3.0) == p.relative_time(4)
+
+    def test_invalid_latency_factor(self):
+        with pytest.raises(ValueError):
+            make_profile().relative_time(4, latency_factor=0.0)
+
+
+class TestOptimalLevel:
+    def test_clear_minimum(self):
+        assert make_profile().optimal_level() == 4
+
+    def test_tolerance_prefers_smaller(self):
+        p = make_profile(scaling={1: 1.0, 2: 0.404, 4: 0.400, 8: 0.5, 16: 0.9})
+        assert p.optimal_level(tolerance=0.02) == 2
+        assert p.optimal_level(tolerance=0.0) == 4
+
+    def test_flat_profile_chooses_one(self):
+        p = make_profile(scaling={1: 1.0, 2: 0.999, 4: 0.999, 8: 1.0, 16: 1.01})
+        assert p.optimal_level() == 1
+
+    def test_scalable_profile_chooses_sixteen(self):
+        p = make_profile(scaling={1: 1.0, 2: 0.5, 4: 0.26, 8: 0.14, 16: 0.08})
+        assert p.optimal_level() == 16
+
+    def test_saturates(self):
+        assert make_profile().saturates()
+        scalable = make_profile(scaling={1: 1.0, 2: 0.5, 4: 0.26, 8: 0.14, 16: 0.08})
+        assert not scalable.saturates()
+
+    @given(st.lists(st.floats(0.05, 2.0), min_size=4, max_size=4))
+    def test_property_optimal_within_tolerance_of_best(self, tail):
+        scaling = dict(zip(SPRINT_LEVELS, [1.0] + tail))
+        p = make_profile(scaling=scaling)
+        opt = p.optimal_level()
+        best = min(scaling.values())
+        assert scaling[opt] <= best * 1.02 + 1e-12
+
+
+class TestInterpolation:
+    def test_exact_at_levels(self):
+        p = make_profile()
+        for level in SPRINT_LEVELS:
+            assert p.interpolated_time(level) == pytest.approx(p.scaling[level])
+
+    def test_between_levels_bounded(self):
+        p = make_profile()
+        t3 = p.interpolated_time(3)
+        assert min(p.scaling[2], p.scaling[4]) <= t3 <= max(p.scaling[2], p.scaling[4])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_profile().interpolated_time(0.5)
+        with pytest.raises(ValueError):
+            make_profile().interpolated_time(32)
+
+
+class TestProfileWorkload:
+    def test_decision_fields(self):
+        d = profile_workload(make_profile())
+        assert d.level == 4
+        assert d.speedup_vs_nominal == pytest.approx(2.5)
+        assert d.speedup_full_sprint == pytest.approx(1 / 0.9)
+        assert d.beats_full_sprint

@@ -1,0 +1,105 @@
+"""Robustness checks: seed stability and cross-feature combinations."""
+
+import pytest
+
+from repro.cmp.llc import LlcAccessStream, LlcArchitecture
+from repro.config import NoCConfig
+from repro.core.bypass import plan_bypass
+from repro.core.system import NoCSprintingSystem
+from repro.core.topological import SprintTopology
+from repro.noc.llc_sim import run_llc_simulation
+
+
+class TestSeedStability:
+    def test_fig9_style_reduction_stable_across_seeds(self):
+        """The latency reduction of Figure 9 is a property, not a seed
+        artifact: two independent seeds agree within a few points."""
+        system = NoCSprintingSystem()
+
+        def reduction(seed):
+            noc = system.evaluate_network("dedup", "noc_sprinting", seed=seed,
+                                          warmup_cycles=250, measure_cycles=900)
+            full = system.evaluate_network("dedup", "full_sprinting", seed=seed,
+                                           warmup_cycles=250, measure_cycles=900)
+            return 1 - noc.avg_latency / full.avg_latency
+
+        a, b = reduction(1), reduction(2)
+        assert a == pytest.approx(b, abs=0.08)
+        assert a > 0.15 and b > 0.15
+
+    def test_fig10_style_saving_stable_across_seeds(self):
+        system = NoCSprintingSystem()
+
+        def saving(seed):
+            noc = system.evaluate_network("canneal", "noc_sprinting", seed=seed,
+                                          warmup_cycles=250, measure_cycles=900)
+            full = system.evaluate_network("canneal", "full_sprinting", seed=seed,
+                                           warmup_cycles=250, measure_cycles=900)
+            return 1 - noc.total_power_w / full.total_power_w
+
+        a, b = saving(3), saving(4)
+        assert a == pytest.approx(b, abs=0.05)
+        assert a > 0.7
+
+
+class TestCrossFeatureCombinations:
+    def test_llc_bypass_on_8x8(self):
+        """The Section 3.4 machinery scales to the 64-node mesh."""
+        cfg = NoCConfig(mesh_width=8, mesh_height=8)
+        region = SprintTopology.for_level(8, 8, 8)
+        stream = LlcAccessStream(list(region.active_nodes),
+                                 LlcArchitecture.TILED, 0.03,
+                                 bank_count=64, seed=1)
+        result = run_llc_simulation(region, stream, cfg, "cdor",
+                                    bypass=plan_bypass(region),
+                                    warmup_cycles=250, measure_cycles=800)
+        assert not result.saturated
+        assert result.dark_access_fraction == pytest.approx(56 / 64, abs=0.1)
+
+    def test_llc_bypass_on_fault_aware_region(self):
+        """Bypass planning composes with fault-aware regions."""
+        from repro.core.faults import fault_aware_topology
+
+        cfg = NoCConfig()
+        topo = fault_aware_topology(4, 4, 6, {5})
+        plan = plan_bypass(topo)
+        assert 5 in plan.proxy  # the faulty node's bank still has a proxy
+        stream = LlcAccessStream(list(topo.active_nodes),
+                                 LlcArchitecture.TILED, 0.04, seed=2)
+        result = run_llc_simulation(topo, stream, cfg, "cdor", bypass=plan,
+                                    warmup_cycles=250, measure_cycles=800)
+        assert not result.saturated
+
+    def test_coscheduled_regions_simulate_independently(self):
+        """Each co-scheduled region runs its own network simulation with
+        its own traffic; both complete without interference (they share no
+        routers by construction)."""
+        from repro.core.coschedule import co_sprint_regions
+        from repro.noc.sim import run_simulation
+        from repro.noc.traffic import TrafficGenerator
+
+        cfg = NoCConfig()
+        sprints = co_sprint_regions(4, 4, [(0, 4), (15, 4)])
+        for sprint in sprints:
+            traffic = TrafficGenerator(list(sprint.topology.active_nodes), 0.15,
+                                       cfg.packet_length_flits, seed=6)
+            result = run_simulation(sprint.topology, traffic, cfg, routing="cdor",
+                                    warmup_cycles=250, measure_cycles=800)
+            assert not result.saturated
+            assert result.packets_ejected == result.packets_measured
+
+    def test_dvfs_points_respect_fig2_trend(self):
+        """The DVFS planner's chip powers and the Figure 2 router powers
+        scale consistently: dimming always reduces both."""
+        from repro.power.dvfs import DIM_POINTS, DvfsPlanner
+        from repro.power.router_power import RouterPowerModel
+
+        planner = DvfsPlanner()
+        chip_powers = [planner.chip_power(4, p) for p in DIM_POINTS]
+        router_powers = [
+            RouterPowerModel(NoCConfig(), vdd=p.vdd, frequency_hz=p.frequency_hz)
+            .breakdown_at_injection(0.2).total
+            for p in DIM_POINTS
+        ]
+        assert chip_powers == sorted(chip_powers, reverse=True)
+        assert router_powers == sorted(router_powers, reverse=True)

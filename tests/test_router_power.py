@@ -1,0 +1,109 @@
+"""Tests for the DSENT-substitute router power model."""
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.noc.activity import RouterActivity
+from repro.power.router_power import PowerBreakdown, RouterPowerModel
+from repro.power.technology import FIG2_OPERATING_POINTS
+
+FIG2_CFG = NoCConfig(vcs_per_port=2)  # the paper's Figure 2 router
+
+
+class TestPowerBreakdown:
+    def test_total_and_fraction(self):
+        b = PowerBreakdown(dynamic=3.0, leakage=1.0)
+        assert b.total == 4.0
+        assert b.leakage_fraction == 0.25
+
+    def test_add_and_scale(self):
+        b = PowerBreakdown(1.0, 2.0) + PowerBreakdown(3.0, 4.0)
+        assert (b.dynamic, b.leakage) == (4.0, 6.0)
+        assert b.scaled(0.5).total == 5.0
+
+    def test_zero_total(self):
+        assert PowerBreakdown(0.0, 0.0).leakage_fraction == 0.0
+
+
+class TestAnalyticBreakdown:
+    def test_mw_scale_at_reference(self):
+        model = RouterPowerModel(FIG2_CFG)
+        b = model.breakdown_at_injection(0.4)
+        assert 10e-3 < b.total < 100e-3  # tens of mW, DSENT scale
+
+    def test_fig2_leakage_share_grows(self):
+        """The paper's Figure 2: leakage ratio rises as V/f scale down and
+        can exceed dynamic power."""
+        shares = []
+        for vdd, freq in FIG2_OPERATING_POINTS:
+            model = RouterPowerModel(FIG2_CFG, vdd=vdd, frequency_hz=freq)
+            shares.append(model.breakdown_at_injection(0.4).leakage_fraction)
+        assert shares == sorted(shares)
+        assert shares[-1] > 0.5  # leakage exceeds dynamic at (0.75 V, 1 GHz)
+
+    def test_dynamic_grows_with_injection(self):
+        model = RouterPowerModel(FIG2_CFG)
+        low = model.breakdown_at_injection(0.1)
+        high = model.breakdown_at_injection(0.8)
+        assert high.dynamic > low.dynamic
+        assert high.leakage == low.leakage
+
+    def test_idle_router_still_burns_clock_and_leakage(self):
+        b = RouterPowerModel(FIG2_CFG).breakdown_at_injection(0.0)
+        assert b.dynamic > 0  # clock tree
+        assert b.leakage > 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RouterPowerModel(FIG2_CFG).breakdown_at_injection(-0.1)
+
+    def test_more_vcs_more_power(self):
+        two = RouterPowerModel(NoCConfig(vcs_per_port=2)).breakdown_at_injection(0.4)
+        four = RouterPowerModel(NoCConfig(vcs_per_port=4)).breakdown_at_injection(0.4)
+        assert four.total > two.total
+        assert four.leakage > two.leakage
+
+
+class TestActivityBased:
+    def test_matches_analytic_at_same_rate(self):
+        """Feeding the analytic event mix through the activity path must
+        give the same answer."""
+        model = RouterPowerModel(FIG2_CFG)
+        cycles = 1000
+        flits = 400  # 0.4 flits/cycle
+        activity = RouterActivity(
+            buffer_writes=flits,
+            buffer_reads=flits,
+            crossbar_traversals=flits,
+            link_traversals=flits,
+            vc_allocations=0,
+            switch_arbitrations=flits,
+            cycles_powered=cycles,
+        )
+        from_activity = model.power_from_activity(activity, cycles)
+        analytic = model.breakdown_at_injection(0.4)
+        assert from_activity.total == pytest.approx(analytic.total, rel=0.01)
+
+    def test_gated_router_consumes_nothing(self):
+        model = RouterPowerModel(FIG2_CFG)
+        b = model.power_from_activity(RouterActivity(), 1000)
+        assert b.total == 0.0
+
+    def test_partial_powering_scales_leakage(self):
+        model = RouterPowerModel(FIG2_CFG)
+        half = model.power_from_activity(RouterActivity(cycles_powered=500), 1000)
+        full = model.power_from_activity(RouterActivity(cycles_powered=1000), 1000)
+        assert half.leakage == pytest.approx(full.leakage / 2)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            RouterPowerModel(FIG2_CFG).power_from_activity(RouterActivity(), 0)
+
+
+class TestWakeupEnergy:
+    def test_positive_and_sane(self):
+        model = RouterPowerModel(FIG2_CFG)
+        e = model.wakeup_energy()
+        assert e > 0
+        # should be tens of cycles of leakage, not seconds
+        assert e < model.leakage_power() * 1000 / model.frequency_hz

@@ -1,0 +1,129 @@
+"""Tests for the multi-burst sprint scheduler."""
+
+import pytest
+
+from repro.cmp.workloads import get_profile
+from repro.core.scheduler import Burst, SprintScheduler
+
+
+@pytest.fixture()
+def scheduler():
+    return SprintScheduler()
+
+
+def burst(name, arrival, work):
+    return Burst(workload=get_profile(name), arrival_s=arrival, work_s=work)
+
+
+class TestBurstValidation:
+    def test_negative_arrival(self):
+        with pytest.raises(ValueError):
+            burst("dedup", -1.0, 1.0)
+
+    def test_zero_work(self):
+        with pytest.raises(ValueError):
+            burst("dedup", 0.0, 0.0)
+
+    def test_unknown_scheme(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.run([burst("dedup", 0, 1)], scheme="warp")
+
+
+class TestSingleBurst:
+    def test_non_sprinting_runs_at_unit_speed(self, scheduler):
+        result = scheduler.run([burst("dedup", 0.0, 2.0)], "non_sprinting")
+        (s,) = result.sprints
+        assert s.level == 1
+        assert s.end_s == pytest.approx(2.0)
+        assert s.fell_back_to_nominal
+
+    def test_noc_sprint_accelerates(self, scheduler):
+        result = scheduler.run([burst("dedup", 0.0, 2.0)], "noc_sprinting")
+        (s,) = result.sprints
+        assert s.level == 4
+        # 2 s of work at 3.6x speedup, inside the thermal budget
+        assert s.end_s == pytest.approx(2.0 * get_profile("dedup").scaling[4], rel=1e-6)
+        assert not s.fell_back_to_nominal
+
+    def test_full_sprint_budget_exhaustion(self, scheduler):
+        """A long burst at full sprint burns the ~1 s budget and limps home
+        at nominal speed."""
+        result = scheduler.run([burst("blackscholes", 0.0, 20.0)], "full_sprinting")
+        (s,) = result.sprints
+        assert s.level == 16
+        assert s.sprint_seconds == pytest.approx(1.0, abs=0.1)
+        assert s.fell_back_to_nominal
+        # total time = sprint + leftover at 1x
+        done = s.sprint_seconds / get_profile("blackscholes").scaling[16]
+        assert s.nominal_seconds == pytest.approx(20.0 - done, rel=1e-6)
+
+    def test_level_two_unconstrained(self, scheduler):
+        """Level-2 sprint power is below sustainable TDP: never falls back."""
+        result = scheduler.run([burst("canneal", 0.0, 50.0)], "noc_sprinting")
+        (s,) = result.sprints
+        assert s.level == 2
+        assert not s.fell_back_to_nominal
+
+
+class TestSequences:
+    def test_fcfs_ordering(self, scheduler):
+        result = scheduler.run(
+            [burst("dedup", 5.0, 1.0), burst("canneal", 0.0, 1.0)], "noc_sprinting"
+        )
+        assert [s.burst.workload.name for s in result.sprints] == ["canneal", "dedup"]
+        assert result.sprints[1].start_s >= 5.0
+
+    def test_back_to_back_bursts_share_budget(self, scheduler):
+        """Two long full sprints in a row: the second starts with a drained
+        budget and gets (almost) no sprinting."""
+        bursts = [burst("blackscholes", 0.0, 20.0), burst("bodytrack", 0.0, 20.0)]
+        result = scheduler.run(bursts, "full_sprinting")
+        first, second = result.sprints
+        assert first.sprint_seconds > 0.5
+        # the first burst's nominal tail gives some re-solidification time,
+        # but far from a full budget
+        assert second.sprint_seconds < first.sprint_seconds
+
+    def test_idle_gap_refills_budget(self, scheduler):
+        """A long gap between bursts re-solidifies the PCM, so the second
+        burst sprints as long as the first."""
+        bursts = [burst("blackscholes", 0.0, 2.0), burst("blackscholes", 100.0, 2.0)]
+        result = scheduler.run(bursts, "full_sprinting")
+        first, second = result.sprints
+        assert second.sprint_seconds == pytest.approx(first.sprint_seconds, rel=0.05)
+
+    def test_makespan_and_totals(self, scheduler):
+        bursts = [burst("dedup", 0.0, 1.0), burst("vips", 1.0, 1.0)]
+        result = scheduler.run(bursts, "noc_sprinting")
+        assert result.makespan_s == max(s.end_s for s in result.sprints)
+        assert result.total_completion_s == sum(
+            s.completion_time_s for s in result.sprints
+        )
+
+    def test_empty_schedule(self, scheduler):
+        result = scheduler.run([], "noc_sprinting")
+        assert result.makespan_s == 0.0
+        assert result.fallback_count == 0
+
+
+class TestSchemeComparison:
+    def test_noc_sprinting_wins_interactive_mix(self, scheduler):
+        """An interactive mix of medium bursts: NoC-sprinting finishes
+        sooner than both baselines -- faster than non-sprinting, and it
+        outlasts full-sprinting's thermal budget."""
+        bursts = [
+            burst("dedup", 0.0, 3.0),
+            burst("canneal", 1.0, 3.0),
+            burst("vips", 2.0, 3.0),
+            burst("streamcluster", 3.0, 3.0),
+        ]
+        results = scheduler.compare_schemes(bursts)
+        noc = results["noc_sprinting"].total_completion_s
+        full = results["full_sprinting"].total_completion_s
+        non = results["non_sprinting"].total_completion_s
+        assert noc < full
+        assert noc < non
+
+    def test_all_schemes_present(self, scheduler):
+        results = scheduler.compare_schemes([burst("dedup", 0.0, 1.0)])
+        assert set(results) == {"non_sprinting", "full_sprinting", "noc_sprinting"}

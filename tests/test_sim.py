@@ -1,0 +1,107 @@
+"""Tests for the simulation driver (warmup/measure/drain methodology)."""
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.sim import run_simulation, zero_load_latency
+from repro.noc.traffic import TrafficGenerator
+
+CFG = NoCConfig()
+FULL = SprintTopology.for_level(4, 4, 16)
+
+
+def simulate(level=16, rate=0.1, routing="xy", seed=0, **kwargs):
+    topo = SprintTopology.for_level(4, 4, level)
+    traffic = TrafficGenerator(
+        list(topo.active_nodes), rate, CFG.packet_length_flits, seed=seed
+    )
+    return run_simulation(topo, traffic, CFG, routing=routing, **kwargs)
+
+
+class TestBasicRun:
+    def test_low_load_completes(self):
+        res = simulate(rate=0.05, warmup_cycles=200, measure_cycles=800)
+        assert not res.saturated
+        assert res.packets_ejected == res.packets_measured
+        assert res.avg_latency > 0
+        assert res.endpoint_count == 16
+
+    def test_latency_near_zero_load_analytic(self):
+        res = simulate(rate=0.02, warmup_cycles=300, measure_cycles=2000)
+        analytic = zero_load_latency(FULL, CFG, "xy")
+        assert res.avg_latency == pytest.approx(analytic, rel=0.10)
+
+    def test_deterministic_for_seed(self):
+        a = simulate(rate=0.2, seed=5, warmup_cycles=200, measure_cycles=600)
+        b = simulate(rate=0.2, seed=5, warmup_cycles=200, measure_cycles=600)
+        assert a.avg_latency == b.avg_latency
+        assert a.packets_measured == b.packets_measured
+
+    def test_latency_increases_with_load(self):
+        low = simulate(rate=0.05, warmup_cycles=300, measure_cycles=1200)
+        high = simulate(rate=0.6, warmup_cycles=300, measure_cycles=1200)
+        assert high.avg_latency > low.avg_latency
+
+    def test_accepted_tracks_offered_below_saturation(self):
+        res = simulate(rate=0.3, warmup_cycles=400, measure_cycles=2000)
+        assert res.accepted_flits_per_cycle == pytest.approx(0.3, rel=0.12)
+
+    def test_cdor_region_runs(self):
+        res = simulate(level=4, rate=0.2, routing="cdor",
+                       warmup_cycles=300, measure_cycles=1000)
+        assert not res.saturated
+        assert res.powered_router_count == 4
+
+    def test_hops_smaller_in_region(self):
+        full = simulate(rate=0.1, warmup_cycles=300, measure_cycles=1000)
+        region = simulate(level=4, rate=0.1, routing="cdor",
+                          warmup_cycles=300, measure_cycles=1000)
+        assert region.avg_hops < full.avg_hops
+
+
+class TestSaturation:
+    def test_overload_flags_saturated(self):
+        res = simulate(rate=1.8, warmup_cycles=200, measure_cycles=800,
+                       drain_cycles=800)
+        assert res.saturated
+        assert res.packets_ejected < res.packets_measured
+
+    def test_saturated_run_respects_deadline(self):
+        res = simulate(rate=1.8, warmup_cycles=200, measure_cycles=400,
+                       drain_cycles=500)
+        assert res.cycles_run <= 200 + 400 + 500 + 1
+
+
+class TestZeroLoadLatency:
+    def test_single_node(self):
+        topo = SprintTopology.for_level(4, 4, 1)
+        assert zero_load_latency(topo, CFG) == CFG.router_pipeline_stages + 4
+
+    def test_grows_with_region(self):
+        levels = [2, 4, 8, 16]
+        lats = [
+            zero_load_latency(SprintTopology.for_level(4, 4, level), CFG)
+            for level in levels
+        ]
+        assert lats == sorted(lats)
+
+    def test_full_mesh_value(self):
+        # avg distinct-pair hops on 4x4 = 40/15; latency = 5*(hops+1)+4
+        expected = 5 * (40 / 15 + 1) + 4
+        assert zero_load_latency(FULL, CFG, "xy") == pytest.approx(expected)
+
+
+class TestActivityWindow:
+    def test_cycles_powered_equals_measure_window(self):
+        res = simulate(rate=0.1, warmup_cycles=300, measure_cycles=1000)
+        for activity in res.activity.routers.values():
+            assert activity.cycles_powered == 1000
+
+    def test_activity_scales_with_rate(self):
+        low = simulate(rate=0.05, warmup_cycles=300, measure_cycles=1500)
+        high = simulate(rate=0.4, warmup_cycles=300, measure_cycles=1500)
+        assert (
+            high.activity.total.crossbar_traversals
+            > 3 * low.activity.total.crossbar_traversals
+        )

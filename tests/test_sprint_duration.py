@@ -1,0 +1,63 @@
+"""Tests for the sprint-duration analysis (Section 4.4)."""
+
+import pytest
+
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.sprint_duration import duration_gain, useful_sprint_duration
+
+
+class TestUsefulDuration:
+    def test_thermally_capped(self):
+        r = useful_sprint_duration(170.0, burst_duration_s=10.0)
+        assert r.thermally_capped
+        assert r.useful_duration_s == r.thermal_duration_s
+
+    def test_burst_completes(self):
+        r = useful_sprint_duration(170.0, burst_duration_s=0.2)
+        assert r.burst_completed
+        assert r.useful_duration_s == pytest.approx(0.2)
+
+    def test_unconstrained_sprint(self):
+        r = useful_sprint_duration(30.0, burst_duration_s=5.0)
+        assert r.burst_completed
+        assert r.useful_duration_s == 5.0
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            useful_sprint_duration(100.0, -1.0)
+
+
+class TestDurationGain:
+    def test_lower_power_longer_sprint(self):
+        chip = ChipPowerModel(16)
+        full = chip.sprint_chip_power(16, "full").total
+        noc = chip.sprint_chip_power(4, "noc_sprinting").total
+        gain = duration_gain(noc, full, noc_burst_s=100.0, full_burst_s=100.0)
+        assert gain > 2.0  # thermal budget stretches dramatically at level 4
+
+    def test_equal_configs_gain_one(self):
+        assert duration_gain(170.0, 170.0, 5.0, 5.0) == pytest.approx(1.0)
+
+    def test_burst_limits_gain(self):
+        """If the workload finishes quickly, the extra headroom is unused."""
+        unlimited = duration_gain(60.0, 170.0, 1000.0, 1000.0)
+        limited = duration_gain(60.0, 170.0, 1.5, 1000.0)
+        assert limited < unlimited
+
+    def test_paper_average(self):
+        """Section 4.4: +55.4 % average sprint duration over PARSEC."""
+        from repro.core import NoCSprintingSystem
+        from repro.cmp import all_profiles
+
+        system = NoCSprintingSystem()
+        gains = [system.sprint_duration_gain(p) for p in all_profiles()]
+        mean_gain = sum(gains) / len(gains)
+        assert 100 * (mean_gain - 1) == pytest.approx(55.4, abs=8.0)
+
+    def test_gains_never_below_one_via_system(self):
+        from repro.core import NoCSprintingSystem
+        from repro.cmp import all_profiles
+
+        system = NoCSprintingSystem()
+        for p in all_profiles():
+            assert system.sprint_duration_gain(p) >= 1.0

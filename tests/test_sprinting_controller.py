@@ -1,0 +1,99 @@
+"""Tests for the fine-grained sprint controller state machine."""
+
+import math
+
+import pytest
+
+from repro.cmp.workloads import get_profile
+from repro.core.sprinting import SprintController, SprintMode
+
+
+@pytest.fixture()
+def controller():
+    return SprintController()
+
+
+class TestPlanning:
+    def test_plan_matches_profile_optimum(self, controller):
+        plan = controller.plan(get_profile("dedup"))
+        assert plan.level == 4
+        assert plan.active_cores == (0, 1, 4, 5)
+        assert plan.expected_speedup == pytest.approx(3.6, abs=0.1)
+
+    def test_plan_gating_partition(self, controller):
+        plan = controller.plan(get_profile("canneal"))
+        assert len(plan.gating.powered) + len(plan.gating.gated) == 16
+        assert plan.gating.powered == plan.active_cores
+
+    def test_sprint_power_scales_with_level(self, controller):
+        p2 = controller.plan(get_profile("canneal")).sprint_power_w
+        p4 = controller.plan(get_profile("dedup")).sprint_power_w
+        p16 = controller.plan(get_profile("blackscholes")).sprint_power_w
+        assert p2 < p4 < p16
+
+
+class TestStateMachine:
+    def test_initial_state(self, controller):
+        assert controller.mode is SprintMode.NOMINAL
+        assert controller.thermal_headroom == pytest.approx(1.0)
+
+    def test_begin_and_end(self, controller):
+        controller.begin_sprint(get_profile("dedup"))
+        assert controller.mode is SprintMode.SPRINTING
+        controller.advance(0.5)
+        controller.end_sprint()
+        assert controller.mode is SprintMode.COOLDOWN
+        assert controller.thermal_headroom < 1.0
+
+    def test_level_one_does_not_sprint(self, controller):
+        plan = controller.begin_sprint(get_profile("freqmine"))
+        assert plan.level == 1
+        assert controller.mode is SprintMode.NOMINAL
+
+    def test_double_sprint_rejected(self, controller):
+        controller.begin_sprint(get_profile("dedup"))
+        with pytest.raises(RuntimeError):
+            controller.begin_sprint(get_profile("canneal"))
+
+    def test_budget_exhaustion_forces_nominal(self, controller):
+        controller.begin_sprint(get_profile("blackscholes"))  # full sprint
+        sustained = controller.advance(10.0)
+        assert sustained == pytest.approx(1.0, abs=0.1)  # ~1 s worst case
+        assert controller.mode is SprintMode.COOLDOWN
+        assert controller.thermal_headroom == 0.0
+
+    def test_low_level_sprint_lasts_longer(self, controller):
+        controller.begin_sprint(get_profile("dedup"))  # level 4
+        sustained = controller.advance(30.0)
+        assert sustained > 5.0
+
+    def test_unconstrained_sprint_never_ends(self, controller):
+        plan = controller.begin_sprint(get_profile("canneal"))  # level 2
+        assert math.isinf(controller.max_sprint_duration(plan))
+        sustained = controller.advance(100.0)
+        assert sustained == 100.0
+        assert controller.mode is SprintMode.SPRINTING
+
+    def test_cooldown_refills_budget(self, controller):
+        controller.begin_sprint(get_profile("blackscholes"))
+        controller.advance(10.0)  # exhaust
+        assert controller.mode is SprintMode.COOLDOWN
+        controller.advance(60.0)  # re-solidify
+        assert controller.mode is SprintMode.NOMINAL
+        assert controller.thermal_headroom == pytest.approx(1.0)
+
+    def test_cannot_sprint_during_cooldown(self, controller):
+        controller.begin_sprint(get_profile("blackscholes"))
+        controller.advance(10.0)
+        with pytest.raises(RuntimeError):
+            controller.begin_sprint(get_profile("dedup"))
+
+    def test_negative_time_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.advance(-1.0)
+
+    def test_end_sprint_with_full_budget_returns_nominal(self, controller):
+        controller.begin_sprint(get_profile("canneal"))  # unconstrained level 2
+        controller.end_sprint()
+        # level-2 sprint never drew on the budget
+        assert controller.mode is SprintMode.NOMINAL

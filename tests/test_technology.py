@@ -1,0 +1,51 @@
+"""Tests for technology scaling laws."""
+
+import pytest
+
+from repro.power.technology import FIG2_OPERATING_POINTS, TECH_45NM, TechNode
+
+
+class TestDynamicScaling:
+    def test_identity_at_nominal(self):
+        assert TECH_45NM.dynamic_scale(1.0, 2.0e9) == pytest.approx(1.0)
+
+    def test_cv2f_law(self):
+        # (0.75)^2 * 0.5 = 0.28125
+        assert TECH_45NM.dynamic_scale(0.75, 1.0e9) == pytest.approx(0.28125)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            TECH_45NM.dynamic_scale(0.0, 1e9)
+        with pytest.raises(ValueError):
+            TECH_45NM.dynamic_scale(1.0, 0.0)
+
+
+class TestLeakageScaling:
+    def test_identity_at_nominal(self):
+        assert TECH_45NM.leakage_scale(1.0) == pytest.approx(1.0)
+
+    def test_leakage_falls_slower_than_dynamic(self):
+        """The mechanism behind Figure 2: at every downscaled corner the
+        leakage share of total power grows."""
+        for vdd, freq in FIG2_OPERATING_POINTS[1:]:
+            dyn = TECH_45NM.dynamic_scale(vdd, freq)
+            leak = TECH_45NM.leakage_scale(vdd)
+            assert leak > dyn
+
+    def test_monotone_in_vdd(self):
+        scales = [TECH_45NM.leakage_scale(v) for v in (0.7, 0.8, 0.9, 1.0, 1.1)]
+        assert scales == sorted(scales)
+
+    def test_overdrive_exceeds_one(self):
+        assert TECH_45NM.leakage_scale(1.1) > 1.0
+
+
+class TestOperatingPoints:
+    def test_fig2_sweep(self):
+        assert FIG2_OPERATING_POINTS[0] == (1.0, 2.0e9)
+        assert FIG2_OPERATING_POINTS[-1] == (0.75, 1.0e9)
+
+    def test_custom_node(self):
+        node = TechNode("32nm", 32, 0.9, 2.5e9, 2.5)
+        assert node.dynamic_scale(0.9, 2.5e9) == pytest.approx(1.0)
+        assert node.leakage_scale(0.9) == pytest.approx(1.0)

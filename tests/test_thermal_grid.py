@@ -1,0 +1,128 @@
+"""Tests for the RC thermal grid (HotSpot substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.floorplan import (
+    power_density_summary,
+    sprint_tile_powers,
+    uniform_tile_powers,
+)
+from repro.thermal.grid import AMBIENT_K, ThermalGrid, ThermalParams
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ThermalGrid(4, 4, 4)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ChipPowerModel(16)
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self, grid):
+        temps = grid.steady_state([0.0] * 16)
+        assert np.allclose(temps, AMBIENT_K)
+
+    def test_uniform_power_center_hotspot(self, grid):
+        """Figure 12a: uniform power peaks at the die centre."""
+        temps = grid.steady_state(uniform_tile_powers(160.0))
+        ny, nx = temps.shape
+        center = temps[ny // 2, nx // 2]
+        corner = temps[0, 0]
+        assert center > corner
+        assert np.unravel_index(temps.argmax(), temps.shape)[0] in (ny // 2 - 1, ny // 2)
+
+    def test_symmetry_under_uniform_power(self, grid):
+        temps = grid.steady_state(uniform_tile_powers(100.0))
+        assert np.allclose(temps, np.flipud(temps), atol=1e-6)
+        assert np.allclose(temps, np.fliplr(temps), atol=1e-6)
+
+    def test_linearity(self, grid):
+        one = grid.steady_state(uniform_tile_powers(50.0)) - AMBIENT_K
+        two = grid.steady_state(uniform_tile_powers(100.0)) - AMBIENT_K
+        assert np.allclose(two, 2 * one, rtol=1e-6)
+
+    def test_hot_tile_is_hottest(self, grid):
+        powers = [0.0] * 16
+        powers[5] = 20.0
+        tiles = grid.tile_temperatures(powers)
+        assert tiles.argmax() == 5
+
+    def test_wrong_tile_count_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.steady_state([1.0] * 15)
+
+
+class TestFigure12Calibration:
+    def test_full_sprint_peak(self, grid, chip):
+        topo = SprintTopology.for_level(4, 4, 16)
+        peak = grid.peak_temperature(sprint_tile_powers(topo, chip))
+        assert peak == pytest.approx(358.3, abs=1.5)
+
+    def test_cluster_peak(self, grid, chip):
+        topo = SprintTopology.for_level(4, 4, 4)
+        peak = grid.peak_temperature(sprint_tile_powers(topo, chip))
+        assert peak == pytest.approx(347.79, abs=1.5)
+
+    def test_floorplanned_peak(self, grid, chip):
+        topo = SprintTopology.for_level(4, 4, 4)
+        fp = thermal_aware_floorplan(4, 4)
+        peak = grid.peak_temperature(sprint_tile_powers(topo, chip, fp))
+        assert peak == pytest.approx(343.81, abs=1.5)
+
+    def test_paper_ordering(self, grid, chip):
+        """full > clustered 4-core > floorplanned 4-core."""
+        topo16 = SprintTopology.for_level(4, 4, 16)
+        topo4 = SprintTopology.for_level(4, 4, 4)
+        fp = thermal_aware_floorplan(4, 4)
+        full = grid.peak_temperature(sprint_tile_powers(topo16, chip))
+        cluster = grid.peak_temperature(sprint_tile_powers(topo4, chip))
+        planned = grid.peak_temperature(sprint_tile_powers(topo4, chip, fp))
+        assert full > cluster > planned
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self):
+        params = ThermalParams(cell_heat_capacity_j_per_k=0.001)
+        grid = ThermalGrid(4, 4, 2, params)
+        powers = uniform_tile_powers(80.0)
+        steady = grid.steady_state(powers)
+        transient = grid.transient(powers, duration_s=2.0, dt_s=2e-4)
+        assert np.allclose(transient, steady, atol=0.5)
+
+    def test_short_transient_cooler_than_steady(self):
+        grid = ThermalGrid(4, 4, 2)
+        powers = uniform_tile_powers(80.0)
+        early = grid.transient(powers, duration_s=0.002, dt_s=1e-4)
+        steady = grid.steady_state(powers)
+        assert early.max() < steady.max()
+
+    def test_invalid_duration(self):
+        grid = ThermalGrid(2, 2, 2)
+        with pytest.raises(ValueError):
+            grid.transient([1.0] * 4, duration_s=-1)
+
+
+class TestHelpers:
+    def test_uniform_tile_powers(self):
+        tiles = uniform_tile_powers(32.0, 16)
+        assert len(tiles) == 16
+        assert sum(tiles) == pytest.approx(32.0)
+
+    def test_power_density_summary(self, chip):
+        topo = SprintTopology.for_level(4, 4, 4)
+        summary = power_density_summary(sprint_tile_powers(topo, chip))
+        assert summary["max_tile_w"] > summary["min_tile_w"]
+        assert summary["total_w"] == pytest.approx(summary["mean_tile_w"] * 16)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            ThermalGrid(0, 4)
+        with pytest.raises(ValueError):
+            ThermalGrid(4, 4, 0)

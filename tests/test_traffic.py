@@ -1,0 +1,170 @@
+"""Tests for synthetic traffic generation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.traffic import TrafficGenerator
+
+
+class TestValidation:
+    def test_needs_endpoints(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([], 0.1, 5)
+
+    def test_negative_rate(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1], -0.1, 5)
+
+    def test_bad_packet_length(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1], 0.1, 0)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1], 0.1, 5, pattern="butterfly")
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1, 2], 0.1, 5, pattern="transpose")
+
+    def test_permutation_needs_two(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0], 0.1, 5, pattern="neighbor")
+
+    def test_hotspot_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1], 0.1, 5, pattern="hotspot", hotspot_fraction=1.5)
+
+    def test_hotspot_endpoint_must_be_member(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1], 0.1, 5, pattern="hotspot", hotspot_endpoint=9)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = TrafficGenerator([0, 1, 2, 3], 0.3, 5, seed=11)
+        b = TrafficGenerator([0, 1, 2, 3], 0.3, 5, seed=11)
+        pk_a = [ (p.source, p.destination) for c in range(200) for p in a.packets_for_cycle(c, False)]
+        pk_b = [ (p.source, p.destination) for c in range(200) for p in b.packets_for_cycle(c, False)]
+        assert pk_a == pk_b
+
+    def test_rate_approximately_honored(self):
+        rate, length = 0.4, 5
+        gen = TrafficGenerator(list(range(16)), rate, length, seed=3)
+        total_flits = sum(
+            p.length for c in range(4000) for p in gen.packets_for_cycle(c, False)
+        )
+        per_node_per_cycle = total_flits / (4000 * 16)
+        assert per_node_per_cycle == pytest.approx(rate, rel=0.07)
+
+    def test_zero_rate_generates_nothing(self):
+        gen = TrafficGenerator([0, 1], 0.0, 5)
+        assert all(not gen.packets_for_cycle(c, False) for c in range(100))
+
+    def test_measured_flag_propagates(self):
+        gen = TrafficGenerator([0, 1], 1.0, 1, seed=1)
+        packets = gen.packets_for_cycle(0, measured=True)
+        assert packets and all(p.measured for p in packets)
+
+    def test_pids_unique_and_increasing(self):
+        gen = TrafficGenerator(list(range(8)), 0.8, 2, seed=5)
+        pids = [p.pid for c in range(100) for p in gen.packets_for_cycle(c, False)]
+        assert pids == sorted(pids)
+        assert len(set(pids)) == len(pids)
+
+    def test_no_self_traffic(self):
+        gen = TrafficGenerator(list(range(8)), 1.0, 1, seed=9)
+        for c in range(200):
+            for p in gen.packets_for_cycle(c, False):
+                assert p.source != p.destination
+
+
+class TestPatterns:
+    def test_uniform_covers_all_destinations(self):
+        gen = TrafficGenerator(list(range(4)), 1.0, 1, "uniform", seed=2)
+        dests = {p.destination for c in range(300) for p in gen.packets_for_cycle(c, False)}
+        assert dests == {0, 1, 2, 3}
+
+    def test_neighbor_ring(self):
+        gen = TrafficGenerator([3, 5, 9], 1.0, 1, "neighbor", seed=2)
+        mapping = {}
+        for c in range(50):
+            for p in gen.packets_for_cycle(c, False):
+                mapping[p.source] = p.destination
+        assert mapping == {3: 5, 5: 9, 9: 3}
+
+    def test_bit_complement(self):
+        gen = TrafficGenerator([0, 1, 2, 3], 1.0, 1, "bit_complement", seed=2)
+        for c in range(50):
+            for p in gen.packets_for_cycle(c, False):
+                i = [0, 1, 2, 3].index(p.source)
+                assert p.destination == [0, 1, 2, 3][3 - i]
+
+    def test_bit_complement_skips_self_center(self):
+        gen = TrafficGenerator([0, 1, 2], 1.0, 1, "bit_complement", seed=2)
+        for c in range(50):
+            for p in gen.packets_for_cycle(c, False):
+                assert p.source != 1  # middle maps to itself -> skipped
+
+    def test_transpose_full_mesh(self):
+        endpoints = list(range(16))
+        gen = TrafficGenerator(endpoints, 1.0, 1, "transpose", seed=2)
+        for c in range(50):
+            for p in gen.packets_for_cycle(c, False):
+                row, col = divmod(p.source, 4)
+                assert p.destination == col * 4 + row
+
+    def test_tornado(self):
+        endpoints = list(range(8))
+        gen = TrafficGenerator(endpoints, 1.0, 1, "tornado", seed=2)
+        for c in range(50):
+            for p in gen.packets_for_cycle(c, False):
+                assert p.destination == (p.source + 3) % 8
+
+    def test_hotspot_bias(self):
+        gen = TrafficGenerator(list(range(8)), 1.0, 1, "hotspot", seed=2,
+                               hotspot_fraction=0.9)
+        to_hotspot = 0
+        total = 0
+        for c in range(500):
+            for p in gen.packets_for_cycle(c, False):
+                total += 1
+                if p.destination == 0:
+                    to_hotspot += 1
+        assert to_hotspot / total > 0.5
+
+    def test_shuffle_rotation(self):
+        gen = TrafficGenerator(list(range(8)), 1.0, 1, "shuffle", seed=2)
+        for c in range(50):
+            for p in gen.packets_for_cycle(c, False):
+                i = p.source
+                assert p.destination == ((i << 1) | (i >> 2)) & 7
+
+    def test_shuffle_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator([0, 1, 2], 0.1, 5, pattern="shuffle")
+
+    def test_shuffle_skips_fixed_points(self):
+        # endpoints 0 and k-1 map to themselves under rotation
+        gen = TrafficGenerator(list(range(8)), 1.0, 1, "shuffle", seed=2)
+        for c in range(100):
+            for p in gen.packets_for_cycle(c, False):
+                assert p.source not in (0, 7)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        k=st.integers(2, 16),
+        pattern=st.sampled_from(["uniform", "neighbor", "bit_complement", "tornado"]),
+        seed=st.integers(0, 100),
+    )
+    def test_property_destinations_are_endpoints(self, k, pattern, seed):
+        endpoints = list(range(0, 2 * k, 2))
+        gen = TrafficGenerator(endpoints, 0.9, 2, pattern, seed=seed)
+        for c in range(60):
+            for p in gen.packets_for_cycle(c, False):
+                assert p.source in endpoints
+                assert p.destination in endpoints
+                assert p.source != p.destination

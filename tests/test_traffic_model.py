@@ -1,0 +1,62 @@
+"""Tests for workload -> NoC traffic derivation."""
+
+import pytest
+
+from repro.cmp.traffic_model import traffic_for_workload
+from repro.cmp.workloads import get_profile
+from repro.core.topological import SprintTopology
+
+
+class TestTrafficForWorkload:
+    def test_endpoints_default_to_region(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        gen = traffic_for_workload(get_profile("dedup"), topo)
+        assert set(gen.endpoints) == set(topo.active_nodes)
+        assert gen.injection_rate == get_profile("dedup").injection_rate
+
+    def test_explicit_endpoints(self):
+        topo = SprintTopology.for_level(4, 4, 16)
+        gen = traffic_for_workload(get_profile("dedup"), topo, endpoints=[0, 5, 10, 15])
+        assert gen.endpoints == [0, 5, 10, 15]
+
+    def test_endpoint_must_be_powered(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        with pytest.raises(ValueError):
+            traffic_for_workload(get_profile("dedup"), topo, endpoints=[0, 15])
+
+    def test_single_node_generates_nothing(self):
+        topo = SprintTopology.for_level(4, 4, 1)
+        gen = traffic_for_workload(get_profile("freqmine"), topo)
+        assert gen.injection_rate == 0.0
+        assert all(not gen.packets_for_cycle(c, False) for c in range(50))
+
+    def test_pattern_fallback_off_square(self):
+        """A transpose-pattern workload on a non-square endpoint count
+        falls back to uniform instead of crashing."""
+        from dataclasses import replace
+
+        profile = replace(get_profile("dedup"), traffic_pattern="transpose")
+        topo = SprintTopology.for_level(4, 4, 8)
+        gen = traffic_for_workload(profile, topo)
+        assert gen.pattern == "uniform"
+
+    def test_pattern_kept_on_square(self):
+        from dataclasses import replace
+
+        profile = replace(get_profile("dedup"), traffic_pattern="transpose")
+        topo = SprintTopology.for_level(4, 4, 16)
+        gen = traffic_for_workload(profile, topo)
+        assert gen.pattern == "transpose"
+
+    def test_neighbor_pattern_respected(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        gen = traffic_for_workload(get_profile("fluidanimate"), topo)
+        assert gen.pattern == "neighbor"
+
+    def test_seed_forwarded(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        a = traffic_for_workload(get_profile("dedup"), topo, seed=3)
+        b = traffic_for_workload(get_profile("dedup"), topo, seed=3)
+        pk_a = [(p.source, p.destination) for c in range(100) for p in a.packets_for_cycle(c, False)]
+        pk_b = [(p.source, p.destination) for c in range(100) for p in b.packets_for_cycle(c, False)]
+        assert pk_a == pk_b

@@ -1,0 +1,94 @@
+"""Tests for the coupled grid + PCM transient sprint simulation."""
+
+import pytest
+
+from repro.core.topological import SprintTopology
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.floorplan import sprint_tile_powers
+from repro.thermal.pcm import DEFAULT_PCM
+from repro.thermal.transient_sprint import SprintTransient
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ChipPowerModel(16)
+
+
+@pytest.fixture(scope="module")
+def full_trace(chip):
+    powers = sprint_tile_powers(SprintTopology.for_level(4, 4, 16), chip)
+    return SprintTransient().run(powers, duration_s=2.0, dt_s=1e-3)
+
+
+@pytest.fixture(scope="module")
+def level4_trace(chip):
+    powers = sprint_tile_powers(SprintTopology.for_level(4, 4, 4), chip)
+    return SprintTransient().run(powers, duration_s=2.0, dt_s=1e-3)
+
+
+class TestFullSprintTrace:
+    def test_visits_all_phases(self, full_trace):
+        phases = {s.phase for s in full_trace.samples}
+        assert {"heating", "melting", "post-melt", "limit"} <= phases
+
+    def test_phase_order(self, full_trace):
+        boundaries = full_trace.phase_boundaries()
+        assert (
+            boundaries["heating"]
+            < boundaries["melting"]
+            < boundaries["post-melt"]
+            < boundaries["limit"]
+        )
+
+    def test_limit_near_one_second(self, full_trace):
+        """The coupled model agrees with the lumped Figure 1 model: a full
+        sprint is forced down after ~1 s."""
+        assert full_trace.reached_limit_at_s == pytest.approx(1.0, abs=0.15)
+
+    def test_melt_plateau_constant_temperature(self, full_trace):
+        melt_temps = [
+            s.pcm_temperature_k for s in full_trace.samples if s.phase == "melting"
+        ]
+        assert melt_temps
+        assert max(melt_temps) - min(melt_temps) < 0.5
+        assert melt_temps[0] == pytest.approx(DEFAULT_PCM.melt_temperature_k, abs=0.5)
+
+    def test_melted_fraction_monotone(self, full_trace):
+        fractions = [s.melted_fraction for s in full_trace.samples]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_die_peak_above_pcm_node(self, full_trace):
+        for s in full_trace.samples:
+            assert s.peak_die_temperature_k >= s.pcm_temperature_k - 1e-9
+
+
+class TestSprintLevelContrast:
+    def test_level4_never_hits_limit(self, level4_trace):
+        """The paper's point: a level-4 sprint heats so slowly the 2 s
+        window never reaches the forced fallback."""
+        assert level4_trace.reached_limit_at_s is None
+
+    def test_level4_melts_later(self, full_trace, level4_trace):
+        full_melt = full_trace.phase_boundaries()["melting"]
+        lvl4_melt = level4_trace.phase_boundaries().get("melting")
+        assert lvl4_melt is None or lvl4_melt > 2 * full_melt
+
+    def test_level4_cooler_peak(self, full_trace, level4_trace):
+        assert level4_trace.peak_die_temperature_k < full_trace.peak_die_temperature_k
+
+
+class TestValidation:
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            SprintTransient().run([1.0] * 16, duration_s=0.0)
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            SprintTransient().run([1.0] * 16, duration_s=1.0, dt_s=-1e-3)
+
+    def test_sub_tdp_power_never_melts(self):
+        trace = SprintTransient().run([1.0] * 16, duration_s=0.5, dt_s=1e-3)
+        assert all(s.melted_fraction == 0.0 for s in trace.samples)
+        assert trace.reached_limit_at_s is None

@@ -1,0 +1,101 @@
+"""Tests for the PARSEC 2.1 profile library (Figures 4, 7 calibration)."""
+
+import pytest
+
+from repro.cmp.perf_model import profile_workload
+from repro.cmp.workloads import (
+    FLAT_BENCHMARKS,
+    PARSEC_PROFILES,
+    PEAKING_BENCHMARKS,
+    SCALABLE_BENCHMARKS,
+    all_profiles,
+    get_profile,
+)
+
+PARSEC_2_1 = {
+    "blackscholes", "bodytrack", "canneal", "dedup", "facesim", "ferret",
+    "fluidanimate", "freqmine", "raytrace", "streamcluster", "swaptions",
+    "vips", "x264",
+}
+
+
+class TestLibrary:
+    def test_all_thirteen_benchmarks(self):
+        assert set(PARSEC_PROFILES) == PARSEC_2_1
+
+    def test_get_profile(self):
+        assert get_profile("dedup").name == "dedup"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_profile("splash2x.barnes")
+
+    def test_all_profiles_sorted_stable(self):
+        names = [p.name for p in all_profiles()]
+        assert names == sorted(names)
+        assert len(names) == 13
+
+    def test_shape_classes_partition(self):
+        classes = set(SCALABLE_BENCHMARKS) | set(FLAT_BENCHMARKS) | set(PEAKING_BENCHMARKS)
+        assert classes == PARSEC_2_1
+
+
+class TestFigure4Shapes:
+    def test_scalable_monotone(self):
+        """blackscholes/bodytrack keep speeding up to 16 cores."""
+        for name in SCALABLE_BENCHMARKS:
+            times = [get_profile(name).scaling[n] for n in (1, 2, 4, 8, 16)]
+            assert times == sorted(times, reverse=True)
+
+    def test_flat_benchmark_flat(self):
+        """freqmine is 'almost identical at different configurations'."""
+        profile = get_profile("freqmine")
+        assert max(profile.scaling.values()) / min(profile.scaling.values()) < 1.15
+
+    def test_peaking_benchmarks_degrade(self):
+        """vips/swaptions-class workloads peak then suffer a delay penalty:
+        16-core execution is slower than their optimum -- for the worst,
+        slower than one core."""
+        for name in PEAKING_BENCHMARKS:
+            profile = get_profile(name)
+            opt = profile.optimal_level()
+            assert 2 <= opt <= 8, name
+            assert profile.scaling[16] > profile.scaling[opt], name
+        assert get_profile("vips").scaling[16] > 1.0
+        assert get_profile("swaptions").scaling[16] > 1.0
+
+    def test_injection_rates_below_paper_bound(self):
+        """'the average network injection rate never exceeds 0.3 flits/cycle'."""
+        assert all(p.injection_rate <= 0.3 for p in all_profiles())
+
+
+class TestFigure7Calibration:
+    def test_optimal_levels(self):
+        expected = {
+            "blackscholes": 16, "bodytrack": 16,
+            "facesim": 4, "ferret": 4, "fluidanimate": 4,
+            "dedup": 4, "vips": 4, "swaptions": 4,
+            "streamcluster": 2, "canneal": 2, "x264": 2, "raytrace": 2,
+            "freqmine": 1,
+        }
+        got = {p.name: p.optimal_level() for p in all_profiles()}
+        assert got == expected
+
+    def test_paper_mean_speedups(self):
+        """Figure 7 headline: NoC-sprinting 3.6x, full-sprinting 1.9x."""
+        decisions = [profile_workload(p) for p in all_profiles()]
+        noc = sum(d.speedup_vs_nominal for d in decisions) / len(decisions)
+        full = sum(d.speedup_full_sprint for d in decisions) / len(decisions)
+        assert noc == pytest.approx(3.6, abs=0.25)
+        assert full == pytest.approx(1.9, abs=0.25)
+
+    def test_noc_never_loses_to_full(self):
+        """By construction of the optimal level, NoC-sprinting is at least
+        as fast as full-sprinting on every benchmark."""
+        for p in all_profiles():
+            d = profile_workload(p)
+            assert d.speedup_vs_nominal >= d.speedup_full_sprint - 1e-9
+
+    def test_dedup_optimal_level_is_four(self):
+        """Section 4.4 names dedup's optimal sprint level: 4."""
+        assert get_profile("dedup").optimal_level() == 4

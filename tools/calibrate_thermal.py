@@ -1,0 +1,81 @@
+"""Calibrate ThermalParams against the Figure 12 peak temperatures.
+
+Targets (kelvin): full-sprint uniform -> 358.3; 4-core clustered
+NoC-sprint -> 347.79; 4-core thermal-aware floorplan -> 343.81.
+
+Run: python tools/calibrate_thermal.py
+Prints the best (g_lateral, g_vertical, g_edge) found by a coarse grid
+search followed by Nelder-Mead; paste the winner into
+repro/thermal/grid.py's ThermalParams defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.core.floorplanning import thermal_aware_floorplan
+from repro.core.topological import SprintTopology
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.floorplan import sprint_tile_powers
+from repro.thermal.grid import ThermalGrid, ThermalParams
+
+TARGETS = {"full": 358.3, "cluster": 347.79, "floorplanned": 343.81}
+
+
+def peaks(params: ThermalParams) -> dict[str, float]:
+    grid = ThermalGrid(4, 4, 4, params)
+    model = ChipPowerModel(16)
+    full_topo = SprintTopology.for_level(4, 4, 16)
+    topo4 = SprintTopology.for_level(4, 4, 4)
+    fp = thermal_aware_floorplan(4, 4)
+    return {
+        "full": grid.peak_temperature(sprint_tile_powers(full_topo, model)),
+        "cluster": grid.peak_temperature(sprint_tile_powers(topo4, model)),
+        "floorplanned": grid.peak_temperature(sprint_tile_powers(topo4, model, fp)),
+    }
+
+
+def loss(x) -> float:
+    gl, gv, ge, rsp = x
+    if gl <= 0 or gv <= 0 or ge < 0 or rsp <= 0:
+        return 1e6
+    p = ThermalParams(
+        lateral_conductance_w_per_k=gl,
+        vertical_conductance_w_per_k=gv,
+        edge_extra_conductance_w_per_k=ge,
+        spreader_resistance_k_per_w=rsp,
+    )
+    got = peaks(p)
+    return sum((got[k] - TARGETS[k]) ** 2 for k in TARGETS)
+
+
+def main() -> None:
+    best = None
+    for gl in (0.03, 0.06, 0.12):
+        for gv in (0.012, 0.024, 0.048):
+            for ge in (0.0, 0.005, 0.01):
+                for rsp in (0.05, 0.075, 0.1):
+                    value = loss((gl, gv, ge, rsp))
+                    if best is None or value < best[0]:
+                        best = (value, (gl, gv, ge, rsp))
+    print("coarse best:", best)
+    result = minimize(loss, np.array(best[1]), method="Nelder-Mead",
+                      options={"xatol": 1e-6, "fatol": 1e-6, "maxiter": 4000})
+    gl, gv, ge, rsp = result.x
+    final = ThermalParams(
+        lateral_conductance_w_per_k=gl,
+        vertical_conductance_w_per_k=gv,
+        edge_extra_conductance_w_per_k=ge,
+        spreader_resistance_k_per_w=rsp,
+    )
+    print(
+        f"g_lateral={gl:.6f} g_vertical={gv:.6f} g_edge={ge:.7f} "
+        f"r_spreader={rsp:.6f} loss={result.fun:.6g}"
+    )
+    print("peaks:", {k: round(v, 2) for k, v in peaks(final).items()})
+    print("targets:", TARGETS)
+
+
+if __name__ == "__main__":
+    main()
