@@ -4,25 +4,43 @@ NoC-sprinting.  Paper: 24.5 % average latency reduction."""
 from repro.cmp.workloads import all_profiles
 from repro.util.tables import format_table
 
-from benchmarks.common import once, report, shared_system
+from benchmarks.common import once, report, run_specs, shared_system
 
 WARMUP = 300
 MEASURE = 1200
+SCHEME_PAIR = ("noc_sprinting", "full_sprinting")
 
 
-def sweep():
+def paired_specs():
+    """(profile, scheme) labels plus their simulation specs, in lockstep."""
     system = shared_system()
-    rows = []
+    labels, specs = [], []
     for profile in all_profiles():
         level = system.scheme_level(profile, "noc_sprinting")
         if level < 2:
             continue  # a level-1 workload has no network traffic to compare
-        noc = system.evaluate_network(
-            profile, "noc_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
-        )
-        full = system.evaluate_network(
-            profile, "full_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
-        )
+        for scheme in SCHEME_PAIR:
+            labels.append((profile, level, scheme))
+            specs.append(system.simulation_spec(
+                profile, scheme, warmup_cycles=WARMUP, measure_cycles=MEASURE
+            ))
+    return labels, specs
+
+
+def sweep():
+    system = shared_system()
+    labels, specs = paired_specs()
+    results = run_specs(specs)
+    evals = {
+        (profile.name, scheme): system.network_evaluation_for(spec, sim, scheme)
+        for (profile, _, scheme), spec, sim in zip(labels, specs, results.results)
+    }
+    rows = []
+    for profile, level, scheme in labels:
+        if scheme != "noc_sprinting":
+            continue
+        noc = evals[(profile.name, "noc_sprinting")]
+        full = evals[(profile.name, "full_sprinting")]
         rows.append((profile.name, level, full.avg_latency, noc.avg_latency))
     return rows
 

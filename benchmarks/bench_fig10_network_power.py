@@ -3,28 +3,29 @@
 Paper: NoC-sprinting saves 71.9 % network power vs full-sprinting by
 powering only the sprint region and gating the rest."""
 
-from repro.cmp.workloads import all_profiles
 from repro.util.tables import format_table
 
-from benchmarks.common import once, report, shared_system
-
-WARMUP = 300
-MEASURE = 1200
+from benchmarks.bench_fig09_network_latency import paired_specs
+from benchmarks.common import once, report, run_specs, shared_system
 
 
 def sweep():
+    """Identical simulation grid to Fig. 9 (same specs, same cache keys):
+    when both benches run in one session the cycle simulations are served
+    entirely from the shared result cache and only the power model runs."""
     system = shared_system()
+    labels, specs = paired_specs()
+    results = run_specs(specs)
+    evals = {
+        (profile.name, scheme): system.network_evaluation_for(spec, sim, scheme)
+        for (profile, _, scheme), spec, sim in zip(labels, specs, results.results)
+    }
     rows = []
-    for profile in all_profiles():
-        level = system.scheme_level(profile, "noc_sprinting")
-        if level < 2:
+    for profile, level, scheme in labels:
+        if scheme != "noc_sprinting":
             continue
-        noc = system.evaluate_network(
-            profile, "noc_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
-        )
-        full = system.evaluate_network(
-            profile, "full_sprinting", warmup_cycles=WARMUP, measure_cycles=MEASURE
-        )
+        noc = evals[(profile.name, "noc_sprinting")]
+        full = evals[(profile.name, "full_sprinting")]
         rows.append((profile.name, level, full.total_power_w, noc.total_power_w))
     return rows
 

@@ -10,14 +10,13 @@ Paper observations reproduced here:
 
 from repro.config import NoCConfig
 from repro.core.topological import SprintTopology
-from repro.noc.sim import run_simulation
-from repro.noc.traffic import TrafficGenerator
+from repro.noc.spec import SimulationSpec, TrafficSpec
 from repro.power.activity import network_power
 from repro.util.charts import line_plot
 from repro.util.rng import stream
 from repro.util.tables import format_table
 
-from benchmarks.common import once, report
+from benchmarks.common import once, report, run_specs
 
 CFG = NoCConfig()
 FULL = SprintTopology.for_level(4, 4, 16)
@@ -27,38 +26,70 @@ MAPPING_SAMPLES = 4  # paper averages over ten random mappings; 4 keeps CI fast
 WARMUP, MEASURE, DRAIN = (300, 1000, 4000)
 
 
-def run_noc(level, rate):
+def noc_spec(level, rate):
     topo = SprintTopology.for_level(4, 4, level)
-    traffic = TrafficGenerator(
-        list(topo.active_nodes), rate, CFG.packet_length_flits, "uniform", seed=7
+    return SimulationSpec(
+        topology=topo,
+        traffic=TrafficSpec(tuple(topo.active_nodes), rate,
+                            CFG.packet_length_flits, "uniform", seed=7),
+        config=CFG, routing="cdor",
+        warmup_cycles=WARMUP, measure_cycles=MEASURE, drain_cycles=DRAIN,
     )
-    result = run_simulation(topo, traffic, CFG, routing="cdor",
-                            warmup_cycles=WARMUP, measure_cycles=MEASURE,
-                            drain_cycles=DRAIN)
-    return result, network_power(result, topo, CFG)
+
+
+def full_specs(level, rate):
+    """One spec per random active-core mapping on the fully-powered mesh."""
+    specs = []
+    for sample in range(MAPPING_SAMPLES):
+        endpoints = stream(sample, "fig11-mapping").sample(range(16), level)
+        specs.append(SimulationSpec(
+            topology=FULL,
+            traffic=TrafficSpec(tuple(endpoints), rate,
+                                CFG.packet_length_flits, "uniform",
+                                seed=7 + sample),
+            config=CFG, routing="xy",
+            warmup_cycles=WARMUP, measure_cycles=MEASURE, drain_cycles=DRAIN,
+        ))
+    return specs
+
+
+def _full_aggregate(results):
+    n = len(results)
+    latency = sum(r.avg_latency for r in results) / n
+    power = sum(network_power(r, FULL, CFG).total for r in results) / n
+    return latency, power, sum(r.saturated for r in results)
+
+
+def run_noc(level, rate):
+    spec = noc_spec(level, rate)
+    result = run_specs([spec]).results[0]
+    return result, network_power(result, spec.topology, CFG)
 
 
 def run_full(level, rate):
-    latencies, powers, saturated = [], [], 0
-    for sample in range(MAPPING_SAMPLES):
-        endpoints = stream(sample, "fig11-mapping").sample(range(16), level)
-        traffic = TrafficGenerator(endpoints, rate, CFG.packet_length_flits,
-                                   "uniform", seed=7 + sample)
-        result = run_simulation(FULL, traffic, CFG, routing="xy",
-                                warmup_cycles=WARMUP, measure_cycles=MEASURE,
-                                drain_cycles=DRAIN)
-        latencies.append(result.avg_latency)
-        powers.append(network_power(result, FULL, CFG).total)
-        saturated += result.saturated
-    n = MAPPING_SAMPLES
-    return sum(latencies) / n, sum(powers) / n, saturated
+    return _full_aggregate(run_specs(full_specs(level, rate)).results)
 
 
 def sweep(level):
-    rows = []
+    """The full Fig. 11 grid for one sprint level, as one sweep batch.
+
+    Every (rate, mapping) point is an independent spec, so the whole grid
+    fans out over the sweep engine in a single call; re-running the sweep
+    (or probing individual points afterwards) is served from cache.
+    """
+    grid = []
     for rate in RATES:
-        noc_res, noc_pow = run_noc(level, rate)
-        full_lat, full_pow, _ = run_full(level, rate)
+        grid.append(noc_spec(level, rate))
+        grid.extend(full_specs(level, rate))
+    results = run_specs(grid).results
+    rows = []
+    stride = 1 + MAPPING_SAMPLES
+    for i, rate in enumerate(RATES):
+        noc_res = results[i * stride]
+        full_lat, full_pow, _ = _full_aggregate(
+            results[i * stride + 1:(i + 1) * stride]
+        )
+        noc_pow = network_power(noc_res, noc_spec(level, rate).topology, CFG)
         rows.append((rate, noc_res.avg_latency, full_lat,
                      noc_pow.total, full_pow, noc_res.saturated))
     return rows

@@ -4,13 +4,23 @@ Every bench prints the rows/series the corresponding paper figure reports
 (run with ``pytest benchmarks/ --benchmark-only -s`` to see them) and
 asserts the *shape* of the result -- who wins, by roughly what factor,
 where crossovers fall -- not the authors' absolute numbers.
+
+Network sweeps go through the shared :class:`~repro.exec.SweepRunner`:
+one result cache spans all bench modules in a pytest session, so figures
+that revisit the same (topology, traffic, config) points -- e.g. Figs. 9
+and 10, which simulate identical runs and read different axes -- are
+served from cache instead of re-simulating.  Set ``REPRO_SWEEP_WORKERS=N``
+to fan simulation points out over N processes; results are bit-identical
+to the serial run.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 
 from repro.core.system import NoCSprintingSystem
+from repro.exec import ResultCache, SweepReport, SweepRunner
 
 
 def report(title: str, body: str) -> None:
@@ -24,7 +34,29 @@ def once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
+def sweep_workers() -> int:
+    """Worker-process count for sweeps (``REPRO_SWEEP_WORKERS``, default 1)."""
+    return max(1, int(os.environ.get("REPRO_SWEEP_WORKERS", "1") or 1))
+
+
+@functools.lru_cache(maxsize=1)
+def shared_cache() -> ResultCache:
+    """One simulation-result cache shared across bench modules."""
+    return ResultCache()
+
+
 @functools.lru_cache(maxsize=1)
 def shared_system() -> NoCSprintingSystem:
     """One system instance shared across bench modules."""
-    return NoCSprintingSystem()
+    return NoCSprintingSystem(cache=shared_cache(), workers=sweep_workers())
+
+
+@functools.lru_cache(maxsize=1)
+def shared_runner() -> SweepRunner:
+    """One sweep runner (shared cache, env-configured workers)."""
+    return SweepRunner(workers=sweep_workers(), cache=shared_cache())
+
+
+def run_specs(specs) -> SweepReport:
+    """Run a batch of simulation specs through the shared sweep engine."""
+    return shared_runner().run(specs)

@@ -4,7 +4,9 @@ Commands map onto the paper's evaluation axes:
 
 - ``table1``                 print the Table 1 configuration
 - ``sprint <benchmark>``     plan + evaluate one workload across schemes
-- ``sweep``                  the full PARSEC evaluation (Figs. 7-10 axes)
+- ``sweep``                  the full PARSEC evaluation (Figs. 7-10 axes), or --
+  with ``--levels/--rates/--patterns`` -- a parallel, cached grid sweep over
+  injection rate x pattern x sprint level via the :mod:`repro.exec` engine
 - ``network``                injection-rate sweep on a sprint region (Fig. 11)
 - ``thermal [benchmark]``    heat maps and PCM phases (Figs. 1, 12)
 - ``duration``               per-benchmark sprint-duration gains (Sec. 4.4)
@@ -57,6 +59,8 @@ def _cmd_sprint(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.levels or args.rates or args.patterns:
+        return _cmd_sweep_grid(args)
     system = NoCSprintingSystem()
     rows = []
     for profile in all_profiles():
@@ -82,29 +86,104 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_network(args: argparse.Namespace) -> int:
+def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain):
+    """Build (and eagerly validate) the spec grid for a sweep command."""
     from repro.config import NoCConfig
     from repro.core.topological import SprintTopology
-    from repro.noc import TrafficGenerator, run_simulation
-    from repro.power import network_power
+    from repro.noc.spec import SimulationSpec, TrafficSpec
 
     cfg = NoCConfig()
-    topo = SprintTopology.for_level(cfg.mesh_width, cfg.mesh_height, args.level)
-    routing = "cdor" if args.level < cfg.node_count else "xy"
+    specs = []
+    for level in levels:
+        topo = SprintTopology.for_level(cfg.mesh_width, cfg.mesh_height, level)
+        routing = "cdor" if level < cfg.node_count else "xy"
+        for pattern in patterns:
+            for rate in rates:
+                spec = SimulationSpec(
+                    topology=topo,
+                    traffic=TrafficSpec(tuple(topo.active_nodes), rate,
+                                        cfg.packet_length_flits, pattern,
+                                        seed=seed),
+                    config=cfg, routing=routing,
+                    warmup_cycles=warmup, measure_cycles=measure,
+                    drain_cycles=drain,
+                )
+                spec.traffic.build()  # fail fast on pattern/endpoint mismatch
+                specs.append(spec)
+    return specs
+
+
+def _cmd_sweep_grid(args: argparse.Namespace) -> int:
+    """Parallel, cached grid sweep (rate x pattern x level) via repro.exec."""
+    from repro.exec import ResultCache, SweepRunner
+    from repro.power import network_power
+
+    levels = args.levels or [4, 8]
+    rates = args.rates or [0.05, 0.15, 0.25, 0.35, 0.45]
+    patterns = args.patterns or ["uniform"]
+    try:
+        specs = _grid_specs(levels, rates, patterns, args.seed,
+                            args.warmup, args.measure, args.drain)
+    except ValueError as err:
+        print(f"invalid sweep grid: {err}")
+        return 2
+    try:
+        runner = SweepRunner(workers=args.workers,
+                             cache=ResultCache(directory=args.cache_dir))
+    except ValueError as err:
+        print(f"invalid sweep grid: {err}")
+        return 2
+    report = runner.run(specs)
+    for _ in range(args.repeat - 1):
+        report = runner.run(specs)
     rows = []
-    for rate in args.rates:
-        traffic = TrafficGenerator(list(topo.active_nodes), rate,
-                                   cfg.packet_length_flits, args.pattern,
-                                   seed=args.seed)
-        result = run_simulation(topo, traffic, cfg, routing=routing,
-                                warmup_cycles=400, measure_cycles=1500,
-                                drain_cycles=5000)
-        power = network_power(result, topo, cfg)
+    for point in report.points:
+        spec = point.spec
+        result = point.result
+        power = network_power(result, spec.topology, spec.config)
         rows.append([
-            rate, result.avg_latency, result.p99_latency,
+            spec.topology.level, spec.traffic.pattern, spec.traffic.injection_rate,
+            result.avg_latency, result.p99_latency,
+            result.accepted_flits_per_cycle, power.total * 1e3,
+            "yes" if result.saturated else "",
+            "hit" if point.cached else f"{point.wall_time_s:.2f}s",
+        ])
+    print(format_table(
+        ["level", "pattern", "inj rate", "avg lat", "p99 lat", "accepted",
+         "power mW", "saturated", "sim"],
+        rows,
+        title="grid sweep (repro.exec engine)",
+        float_format="{:.2f}",
+    ))
+    print(report.summary())
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.exec import SweepRunner
+    from repro.power import network_power
+
+    try:
+        specs = _grid_specs([args.level], args.rates, [args.pattern],
+                            args.seed, 400, 1500, 5000)
+    except ValueError as err:
+        print(f"invalid network sweep: {err}")
+        return 2
+    try:
+        runner = SweepRunner(workers=args.workers)
+    except ValueError as err:
+        print(f"invalid network sweep: {err}")
+        return 2
+    report = runner.run(specs)
+    rows = []
+    for spec, result in zip(specs, report.results):
+        power = network_power(result, spec.topology, spec.config)
+        rows.append([
+            spec.traffic.injection_rate, result.avg_latency, result.p99_latency,
             result.accepted_flits_per_cycle, power.total * 1e3,
             "yes" if result.saturated else "",
         ])
+    routing = specs[0].routing
     print(format_table(
         ["inj rate", "avg lat", "p99 lat", "accepted", "power mW", "saturated"],
         rows,
@@ -179,7 +258,31 @@ def build_parser() -> argparse.ArgumentParser:
     sprint.add_argument("--no-thermal", action="store_true",
                         help="skip the thermal grid solve")
 
-    sub.add_parser("sweep", help="the full PARSEC evaluation summary")
+    sweep = sub.add_parser(
+        "sweep",
+        help="PARSEC evaluation summary; with --levels/--rates/--patterns, "
+             "a parallel cached grid sweep",
+    )
+    sweep.add_argument("--levels", type=int, nargs="+",
+                       help="sprint levels to sweep (grid mode)")
+    sweep.add_argument("--rates", type=float, nargs="+",
+                       help="injection rates in flits/cycle/node (grid mode)")
+    sweep.add_argument("--patterns", nargs="+",
+                       choices=["uniform", "neighbor", "bit_complement",
+                                "tornado", "transpose", "shuffle", "hotspot"],
+                       help="traffic patterns (grid mode)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="simulation worker processes (results identical "
+                            "to --workers 1)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist simulation results on disk for reuse "
+                            "across invocations")
+    sweep.add_argument("--repeat", type=int, default=1,
+                       help="run the sweep N times (repeats are cache hits)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--warmup", type=int, default=300)
+    sweep.add_argument("--measure", type=int, default=1000)
+    sweep.add_argument("--drain", type=int, default=4000)
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
@@ -189,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument("--rates", type=float, nargs="+",
                          default=[0.05, 0.15, 0.25, 0.35, 0.5])
     network.add_argument("--seed", type=int, default=0)
+    network.add_argument("--workers", type=int, default=1)
 
     thermal = sub.add_parser("thermal", help="heat maps and PCM phases")
     thermal.add_argument("benchmark", nargs="?", default="dedup",

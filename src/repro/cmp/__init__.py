@@ -14,7 +14,7 @@ from repro.cmp.monitor import (
     monitor_agrees_with_profile,
     noisy_profile_measure,
 )
-from repro.cmp.traffic_model import traffic_for_workload
+from repro.cmp.traffic_model import traffic_for_workload, traffic_spec_for_workload
 from repro.cmp.workloads import (
     FLAT_BENCHMARKS,
     PARSEC_PROFILES,
@@ -32,6 +32,7 @@ __all__ = [
     "SprintDecision",
     "profile_workload",
     "traffic_for_workload",
+    "traffic_spec_for_workload",
     "FLAT_BENCHMARKS",
     "PARSEC_PROFILES",
     "PEAKING_BENCHMARKS",

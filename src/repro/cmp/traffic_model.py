@@ -15,21 +15,24 @@ from __future__ import annotations
 from repro.cmp.perf_model import BenchmarkProfile
 from repro.config import NoCConfig
 from repro.core.topological import SprintTopology
+from repro.noc.spec import TrafficSpec
 from repro.noc.traffic import TrafficGenerator
 
 
-def traffic_for_workload(
+def traffic_spec_for_workload(
     profile: BenchmarkProfile,
     topology: SprintTopology,
     config: NoCConfig | None = None,
     seed: int = 0,
     endpoints: list[int] | None = None,
-) -> TrafficGenerator:
-    """The traffic a workload injects on a sprint topology.
+) -> TrafficSpec:
+    """The declarative traffic spec a workload imposes on a topology.
 
     ``endpoints`` defaults to every active node of the topology (the cores
     actually running threads); pass a subset to model active cores mapped
-    onto a larger powered network.
+    onto a larger powered network.  The spec is a picklable value, so it
+    can be embedded in a :class:`~repro.noc.spec.SimulationSpec` and
+    shipped to sweep workers or hashed into a cache key.
     """
     cfg = config or NoCConfig()
     nodes = list(topology.active_nodes) if endpoints is None else list(endpoints)
@@ -41,11 +44,22 @@ def traffic_for_workload(
         pattern = "uniform"  # transpose undefined off square counts
     if len(nodes) < 2:
         # a single-node "network" has no one to talk to
-        return TrafficGenerator(nodes, 0.0, cfg.packet_length_flits, "uniform", seed)
-    return TrafficGenerator(
-        nodes,
+        return TrafficSpec(tuple(nodes), 0.0, cfg.packet_length_flits, "uniform", seed)
+    return TrafficSpec(
+        tuple(nodes),
         profile.injection_rate,
         cfg.packet_length_flits,
         pattern,
         seed,
     )
+
+
+def traffic_for_workload(
+    profile: BenchmarkProfile,
+    topology: SprintTopology,
+    config: NoCConfig | None = None,
+    seed: int = 0,
+    endpoints: list[int] | None = None,
+) -> TrafficGenerator:
+    """A live generator for :func:`traffic_spec_for_workload`'s spec."""
+    return traffic_spec_for_workload(profile, topology, config, seed, endpoints).build()

@@ -48,6 +48,7 @@ from repro.core.scheduler import Burst, ScheduleResult, SprintScheduler
 from repro.core.sprinting import SprintController, SprintMode, SprintPlan
 from repro.core.system import (
     SCHEMES,
+    EvaluationReport,
     NetworkEvaluation,
     NoCSprintingSystem,
     WorkloadEvaluation,
@@ -86,6 +87,7 @@ __all__ = [
     "SprintMode",
     "SprintPlan",
     "SCHEMES",
+    "EvaluationReport",
     "NetworkEvaluation",
     "NoCSprintingSystem",
     "WorkloadEvaluation",

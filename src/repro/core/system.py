@@ -6,6 +6,15 @@ the execution time, core power, network latency/power (from the cycle
 simulator), thermal peak and sprint duration -- i.e. one row of each of the
 paper's evaluation figures.
 
+The single entry point is :meth:`NoCSprintingSystem.evaluate`, which
+returns a structured :class:`EvaluationReport`; the per-axis methods
+(``speedup``, ``core_power``, ``evaluate_network``, ``peak_temperature``)
+are thin delegates kept for callers that want one number.  Network
+simulations are described by :class:`~repro.noc.spec.SimulationSpec`
+values and executed through the sweep engine (:mod:`repro.exec`), so
+repeated evaluations hit the system's result cache instead of
+re-simulating.
+
 Schemes:
 
 - ``"non_sprinting"``  -- always one core under TDP (the naive baseline)
@@ -20,12 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cmp.perf_model import BenchmarkProfile, profile_workload
-from repro.cmp.traffic_model import traffic_for_workload
+from repro.cmp.traffic_model import traffic_spec_for_workload
 from repro.cmp.workloads import SINGLE_CORE_BURST_S, get_profile
 from repro.config import SystemConfig, default_config
 from repro.core.floorplanning import Floorplan, thermal_aware_floorplan
 from repro.core.topological import SprintTopology
-from repro.noc.sim import SimulationResult, run_simulation
+from repro.exec import ResultCache, SweepReport, SweepRunner
+from repro.noc.sim import SimulationResult
+from repro.noc.spec import SimulationSpec
 from repro.power.activity import NetworkPowerReport, network_power
 from repro.power.chip_power import ChipPowerModel, ChipPowerReport
 from repro.thermal.floorplan import sprint_tile_powers
@@ -54,8 +65,13 @@ class NetworkEvaluation:
 
 
 @dataclass
-class WorkloadEvaluation:
-    """One full row of the paper's evaluation for a workload + scheme."""
+class EvaluationReport:
+    """One full row of the paper's evaluation for a workload + scheme.
+
+    Always populated: the performance and power axes.  ``network``,
+    ``peak_temperature_k`` and ``sprint_duration_s`` are filled in only
+    when the corresponding axis was requested from :meth:`evaluate`.
+    """
 
     benchmark: str
     scheme: str
@@ -69,8 +85,19 @@ class WorkloadEvaluation:
     sprint_duration_s: float | None = None
 
 
+#: Back-compat alias; ``EvaluationReport`` is the current name.
+WorkloadEvaluation = EvaluationReport
+
+
 class NoCSprintingSystem:
-    """The reproduced system: all four sprinting schemes over one CMP."""
+    """The reproduced system: all four sprinting schemes over one CMP.
+
+    ``cache`` (a :class:`~repro.exec.ResultCache`) stores every network
+    simulation result keyed on its spec's content hash; pass a shared
+    cache to reuse results across system instances or give it a directory
+    for cross-process persistence.  ``workers`` sets the process fan-out
+    for :meth:`sweep` batches (single evaluations always run in-process).
+    """
 
     def __init__(
         self,
@@ -78,10 +105,14 @@ class NoCSprintingSystem:
         pcm: PCMParams = DEFAULT_PCM,
         use_floorplan: bool = False,
         seed: int = 0,
+        cache: ResultCache | None = None,
+        workers: int = 1,
     ):
         self.config = config or default_config()
         self.pcm = pcm
         self.seed = seed
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
         self.chip_model = ChipPowerModel(self.config.core_count)
         self.floorplan: Floorplan | None = (
             thermal_aware_floorplan(
@@ -135,29 +166,78 @@ class NoCSprintingSystem:
         return self._full_topology
 
     # ------------------------------------------------------------------
-    # performance (Figure 7)
+    # the unified entry point
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        workload: str | BenchmarkProfile,
+        scheme: str,
+        simulate_network: bool = False,
+        thermal: bool = False,
+        *,
+        seed: int | None = None,
+        warmup_cycles: int = 500,
+        measure_cycles: int = 2000,
+        floorplanned: bool | None = None,
+    ) -> EvaluationReport:
+        """Evaluate one (workload, scheme) pair across every requested axis.
+
+        The performance and power axes are always computed; pass
+        ``simulate_network=True`` for the cycle-simulated network axis
+        (served from the result cache when the identical spec has already
+        run) and ``thermal=True`` for the steady-state hotspot.
+        ``floorplanned`` defaults to whether the system was built with a
+        thermal-aware floorplan.
+        """
+        profile = self._resolve(workload)
+        level = self.scheme_level(profile, scheme)
+        network = (
+            self._network_evaluation(
+                profile, scheme, seed, warmup_cycles, measure_cycles
+            )
+            if simulate_network
+            else None
+        )
+        if floorplanned is None:
+            floorplanned = self.floorplan is not None
+        peak = (
+            self._peak_temperature(profile, scheme, floorplanned) if thermal else None
+        )
+        duration = (
+            self.sprint_duration_gain(profile) if scheme == "noc_sprinting" else None
+        )
+        relative_time = profile.relative_time(level)
+        return EvaluationReport(
+            benchmark=profile.name,
+            scheme=scheme,
+            level=level,
+            relative_time=relative_time,
+            speedup=1.0 / relative_time,
+            core_power_w=self._core_power(level, scheme),
+            chip_power=self._chip_power(level, scheme),
+            network=network,
+            peak_temperature_k=peak,
+            sprint_duration_s=duration,
+        )
+
+    # ------------------------------------------------------------------
+    # performance (Figure 7) -- delegates
     # ------------------------------------------------------------------
     def execution_time(self, workload: str | BenchmarkProfile, scheme: str) -> float:
         """Relative execution time (single-core nominal = 1.0)."""
-        profile = self._resolve(workload)
-        return profile.relative_time(self.scheme_level(profile, scheme))
+        return self.evaluate(workload, scheme).relative_time
 
     def speedup(self, workload: str | BenchmarkProfile, scheme: str) -> float:
-        return 1.0 / self.execution_time(workload, scheme)
+        return self.evaluate(workload, scheme).speedup
 
     # ------------------------------------------------------------------
-    # power (Figures 8 and 10)
+    # power (Figures 8 and 10) -- delegates over private helpers
     # ------------------------------------------------------------------
-    def core_power(self, workload: str | BenchmarkProfile, scheme: str) -> float:
-        """Total core power while executing under a scheme (Figure 8)."""
-        profile = self._resolve(workload)
-        level = self.scheme_level(profile, scheme)
+    def _core_power(self, level: int, scheme: str) -> float:
         policy = "idle" if scheme == "naive_fine_grained" else "gated"
         return self.chip_model.core_power(level, policy)
 
-    def chip_power(self, workload: str | BenchmarkProfile, scheme: str) -> ChipPowerReport:
-        profile = self._resolve(workload)
-        level = self.scheme_level(profile, scheme)
+    def _chip_power(self, level: int, scheme: str) -> ChipPowerReport:
         if scheme == "non_sprinting":
             return self.chip_model.nominal_breakdown()
         mapping = {
@@ -167,22 +247,32 @@ class NoCSprintingSystem:
         }
         return self.chip_model.sprint_chip_power(level, mapping[scheme])
 
+    def core_power(self, workload: str | BenchmarkProfile, scheme: str) -> float:
+        """Total core power while executing under a scheme (Figure 8)."""
+        return self.evaluate(workload, scheme).core_power_w
+
+    def chip_power(self, workload: str | BenchmarkProfile, scheme: str) -> ChipPowerReport:
+        return self.evaluate(workload, scheme).chip_power
+
     # ------------------------------------------------------------------
     # network (Figures 9, 10, 11)
     # ------------------------------------------------------------------
-    def evaluate_network(
+    def simulation_spec(
         self,
         workload: str | BenchmarkProfile,
         scheme: str,
         seed: int | None = None,
         warmup_cycles: int = 500,
         measure_cycles: int = 2000,
-    ) -> NetworkEvaluation:
-        """Run the cycle simulator with the workload's traffic.
+        drain_cycles: int = 30000,
+    ) -> SimulationSpec:
+        """The :class:`SimulationSpec` a (workload, scheme) pair induces.
 
         Under NoC-sprinting the endpoints are the convex region and routing
         is CDOR; under every other scheme the workload's active cores all
-        sit on the fully-powered mesh with XY routing.
+        sit on the fully-powered mesh with XY routing.  The spec is a pure
+        value: hand batches of them to :meth:`sweep` or a
+        :class:`~repro.exec.SweepRunner` for parallel, cached execution.
         """
         profile = self._resolve(workload)
         topology = self.topology_for(profile, scheme)
@@ -198,33 +288,79 @@ class NoCSprintingSystem:
             endpoints = stream(use_seed, "naive-mapping").sample(
                 range(self.config.core_count), level
             )
-        traffic = traffic_for_workload(
+        traffic = traffic_spec_for_workload(
             profile,
             topology,
             self.config.noc,
             seed=use_seed,
             endpoints=endpoints,
         )
-        sim = run_simulation(
-            topology,
-            traffic,
-            self.config.noc,
+        return SimulationSpec(
+            topology=topology,
+            traffic=traffic,
+            config=self.config.noc,
             routing=routing,
             warmup_cycles=warmup_cycles,
             measure_cycles=measure_cycles,
+            drain_cycles=drain_cycles,
         )
+
+    def sweep(self, specs) -> SweepReport:
+        """Run a batch of specs through the cached sweep engine."""
+        return SweepRunner(workers=self.workers, cache=self.cache).run(specs)
+
+    def network_evaluation_for(
+        self, spec: SimulationSpec, sim: SimulationResult, scheme: str
+    ) -> NetworkEvaluation:
+        """Attach the power model to a simulated spec."""
         floorplan = self.floorplan if scheme == "noc_sprinting" else None
-        power = network_power(sim, topology, self.config.noc, floorplan=floorplan)
+        power = network_power(sim, spec.topology, spec.config, floorplan=floorplan)
         return NetworkEvaluation(sim=sim, power=power)
+
+    def _network_evaluation(
+        self,
+        profile: BenchmarkProfile,
+        scheme: str,
+        seed: int | None,
+        warmup_cycles: int,
+        measure_cycles: int,
+    ) -> NetworkEvaluation:
+        spec = self.simulation_spec(
+            profile,
+            scheme,
+            seed=seed,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+        )
+        sim = self.sweep([spec]).results[0]
+        return self.network_evaluation_for(spec, sim, scheme)
+
+    def evaluate_network(
+        self,
+        workload: str | BenchmarkProfile,
+        scheme: str,
+        seed: int | None = None,
+        warmup_cycles: int = 500,
+        measure_cycles: int = 2000,
+    ) -> NetworkEvaluation:
+        """Run (or fetch from cache) the cycle simulation for a workload."""
+        report = self.evaluate(
+            workload,
+            scheme,
+            simulate_network=True,
+            seed=seed,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+        )
+        assert report.network is not None
+        return report.network
 
     # ------------------------------------------------------------------
     # thermal (Figure 12 / Section 4.4)
     # ------------------------------------------------------------------
-    def peak_temperature(
-        self, workload: str | BenchmarkProfile, scheme: str, floorplanned: bool = False
+    def _peak_temperature(
+        self, profile: BenchmarkProfile, scheme: str, floorplanned: bool
     ) -> float:
-        """Steady-state hotspot temperature while sprinting (Figure 12)."""
-        profile = self._resolve(workload)
         level = self.scheme_level(profile, scheme)
         if scheme == "noc_sprinting":
             topology = SprintTopology.for_level(
@@ -246,6 +382,14 @@ class NoCSprintingSystem:
             tiles = sprint_tile_powers(self._full_topology, self.chip_model)
         return self.thermal_grid.peak_temperature(tiles)
 
+    def peak_temperature(
+        self, workload: str | BenchmarkProfile, scheme: str, floorplanned: bool = False
+    ) -> float:
+        """Steady-state hotspot temperature while sprinting (Figure 12)."""
+        report = self.evaluate(workload, scheme, thermal=True, floorplanned=floorplanned)
+        assert report.peak_temperature_k is not None
+        return report.peak_temperature_k
+
     def sprint_duration_gain(self, workload: str | BenchmarkProfile) -> float:
         """Useful sprint duration, NoC-sprinting over full-sprinting.
 
@@ -264,40 +408,3 @@ class NoCSprintingSystem:
         noc = useful_sprint_duration(noc_power, noc_burst, self.pcm)
         full = useful_sprint_duration(full_power, full_burst, self.pcm)
         return max(1.0, noc.useful_duration_s / full.useful_duration_s)
-
-    # ------------------------------------------------------------------
-    # the full row
-    # ------------------------------------------------------------------
-    def evaluate(
-        self,
-        workload: str | BenchmarkProfile,
-        scheme: str,
-        simulate_network: bool = False,
-        thermal: bool = False,
-    ) -> WorkloadEvaluation:
-        """Evaluate one (workload, scheme) pair across every axis."""
-        profile = self._resolve(workload)
-        level = self.scheme_level(profile, scheme)
-        network = (
-            self.evaluate_network(profile, scheme) if simulate_network else None
-        )
-        peak = (
-            self.peak_temperature(profile, scheme, floorplanned=self.floorplan is not None)
-            if thermal
-            else None
-        )
-        duration = (
-            self.sprint_duration_gain(profile) if scheme == "noc_sprinting" else None
-        )
-        return WorkloadEvaluation(
-            benchmark=profile.name,
-            scheme=scheme,
-            level=level,
-            relative_time=self.execution_time(profile, scheme),
-            speedup=self.speedup(profile, scheme),
-            core_power_w=self.core_power(profile, scheme),
-            chip_power=self.chip_power(profile, scheme),
-            network=network,
-            peak_temperature_k=peak,
-            sprint_duration_s=duration,
-        )

@@ -1,0 +1,27 @@
+"""Sweep-execution engine: parallel, cached evaluation of simulation specs.
+
+Every paper figure and ablation is a sweep of independent
+:class:`~repro.noc.spec.SimulationSpec` points.  This package executes
+such sweeps fast and reproducibly:
+
+- :class:`~repro.exec.runner.SweepRunner` -- fan specs out over a process
+  pool (serial fallback) with deterministic per-point seeding, so parallel
+  and serial runs are bit-identical;
+- :class:`~repro.exec.cache.ResultCache` -- content-addressed result
+  store (memory + optional disk) with hit/miss counters;
+- :class:`~repro.exec.runner.SweepReport` -- per-point timing, cache
+  statistics and a human-readable summary.
+
+See ``docs/execution.md`` for cache-key semantics and worker guidance.
+"""
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.runner import SweepPoint, SweepReport, SweepRunner
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "SweepPoint",
+    "SweepReport",
+    "SweepRunner",
+]

@@ -1,0 +1,126 @@
+"""Content-addressed result cache for simulation sweeps.
+
+Two layers: an in-memory dict for the lifetime of a process, and an
+optional on-disk directory of pickle files so repeated sweeps across
+processes (CLI invocations, benchmark re-runs) never re-simulate a point.
+Keys are the canonical content hashes produced by
+:func:`repro.noc.spec.stable_key`, so any change to a topology, traffic
+spec, ``NoCConfig`` field, routing algorithm or simulation window yields a
+different key -- a cache hit is a guarantee of an identical run.
+
+The cache never evicts silently mid-sweep; :meth:`ResultCache.clear`
+empties the memory layer explicitly.  Hit/miss counters feed the sweep
+observability report.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            memory_hits=self.memory_hits,
+            disk_hits=self.disk_hits,
+        )
+
+
+@dataclass
+class ResultCache:
+    """In-memory + optional on-disk store of simulation results by key.
+
+    ``directory=None`` keeps the cache purely in memory.  With a directory,
+    entries are pickled to ``<directory>/<key>.pkl`` (written atomically via
+    a temp file + rename) and disk hits are promoted into memory.
+    """
+
+    directory: str | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, key: str):
+        """The cached value for ``key``, or ``None`` on a miss."""
+        if key in self._memory:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as handle:
+                        value = pickle.load(handle)
+                except (OSError, pickle.PickleError, EOFError):
+                    pass  # treat a torn/unreadable entry as a miss
+                else:
+                    self._memory[key] = value
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        """Store a value under ``key`` in every layer."""
+        self._memory[key] = value
+        self.stats.stores += 1
+        if self.directory is not None:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle)
+                os.replace(tmp, self._path(key))
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (on-disk entries are kept)."""
+        self._memory.clear()
+
+
+__all__ = ["CacheStats", "ResultCache"]

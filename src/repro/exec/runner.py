@@ -1,0 +1,196 @@
+"""Parallel sweep execution over simulation specs.
+
+:class:`SweepRunner` takes a list of :class:`~repro.noc.spec.SimulationSpec`
+values -- an injection-rate x pattern x sprint-level grid, a PARSEC
+scheme comparison, any batch of independent runs -- and executes them:
+
+1. **cache lookup** -- points whose content hash is already in the
+   :class:`~repro.exec.cache.ResultCache` are returned without simulating;
+2. **dedup** -- identical specs appearing more than once in a sweep are
+   simulated exactly once;
+3. **fan-out** -- remaining points run on a ``ProcessPoolExecutor`` when
+   ``workers > 1`` (with a transparent serial fallback when the pool is
+   unavailable, e.g. on restricted platforms), or serially otherwise.
+
+Because a spec carries its own traffic seed and every worker rebuilds the
+generator from the spec, parallel and serial execution produce
+*bit-identical* :class:`~repro.noc.sim.SimulationResult` values -- the
+ordering of the returned points always matches the order of the input
+specs, never completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.noc.sim import SimulationResult, simulate
+from repro.noc.spec import SimulationSpec
+
+
+def _simulate_timed(spec: SimulationSpec) -> tuple[SimulationResult, float]:
+    """Worker entry point: run one spec and report its wall-clock time."""
+    start = time.perf_counter()
+    result = simulate(spec)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class SweepPoint:
+    """One executed (or cache-served) point of a sweep."""
+
+    index: int
+    spec: SimulationSpec
+    result: SimulationResult
+    wall_time_s: float
+    cached: bool
+
+    @property
+    def key(self) -> str:
+        return self.spec.cache_key()
+
+
+@dataclass
+class SweepReport:
+    """Results plus observability for one :meth:`SweepRunner.run` call."""
+
+    points: list[SweepPoint]
+    wall_time_s: float
+    workers: int
+    parallel: bool
+    cache_hits: int
+    cache_misses: int
+    simulated: int
+    deduplicated: int
+    cache_stats: CacheStats | None = field(default=None, repr=False)
+
+    @property
+    def results(self) -> list[SimulationResult]:
+        """Simulation results in input-spec order."""
+        return [point.result for point in self.points]
+
+    @property
+    def total_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total_points if self.points else 0.0
+
+    @property
+    def sim_time_s(self) -> float:
+        """Summed per-point simulation time (> wall time when parallel)."""
+        return sum(p.wall_time_s for p in self.points if not p.cached)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable sweep report."""
+        mode = f"{self.workers} workers" if self.parallel else "serial"
+        lines = [
+            f"sweep: {self.total_points} points in {self.wall_time_s:.2f}s ({mode})",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100.0 * self.hit_rate:.0f}% hit rate), "
+            f"{self.simulated} simulated, {self.deduplicated} deduplicated",
+        ]
+        timed = [p.wall_time_s for p in self.points if not p.cached]
+        if timed:
+            lines.append(
+                f"per-point sim time: mean {sum(timed) / len(timed):.3f}s, "
+                f"max {max(timed):.3f}s, total {sum(timed):.2f}s"
+            )
+        return "\n".join(lines)
+
+
+class SweepRunner:
+    """Execute batches of independent simulation specs, cached and parallel.
+
+    ``workers=1`` (the default) runs serially; ``workers>1`` fans out over a
+    process pool.  ``cache=None`` gives the runner a private in-memory
+    cache; pass a shared :class:`ResultCache` to reuse results across
+    runners, benchmarks and CLI invocations.  ``progress`` (if given) is
+    called as ``progress(done, total, point)`` after every completed point.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        progress: Callable[[int, int, SweepPoint], None] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else ResultCache()
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[SimulationSpec]) -> SweepReport:
+        """Run every spec, returning points in input order."""
+        start = time.perf_counter()
+        specs = list(specs)
+        keys = [spec.cache_key() for spec in specs]
+
+        points: dict[int, SweepPoint] = {}
+        pending: dict[str, list[int]] = {}  # key -> input indices needing it
+        hits = 0
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            cached = self.cache.get(key)
+            if cached is not None:
+                points[index] = SweepPoint(index, spec, cached, 0.0, cached=True)
+                hits += 1
+            else:
+                pending.setdefault(key, []).append(index)
+
+        unique = [(key, specs[indices[0]]) for key, indices in pending.items()]
+        deduplicated = sum(len(ix) - 1 for ix in pending.values())
+        parallel = self.workers > 1 and len(unique) > 1
+        outcomes = (
+            self._run_parallel(unique) if parallel else self._run_serial(unique)
+        )
+        if outcomes is None:  # pool unavailable: transparent serial fallback
+            parallel = False
+            outcomes = self._run_serial(unique)
+
+        for (key, _), (result, elapsed) in zip(unique, outcomes):
+            self.cache.put(key, result)
+            for extra, index in enumerate(pending[key]):
+                points[index] = SweepPoint(
+                    index,
+                    specs[index],
+                    result,
+                    elapsed if extra == 0 else 0.0,
+                    cached=extra > 0,
+                )
+
+        ordered = [points[i] for i in range(len(specs))]
+        if self.progress is not None:
+            for done, point in enumerate(ordered, start=1):
+                self.progress(done, len(ordered), point)
+        return SweepReport(
+            points=ordered,
+            wall_time_s=time.perf_counter() - start,
+            workers=self.workers,
+            parallel=parallel,
+            cache_hits=hits + deduplicated,
+            cache_misses=len(unique),
+            simulated=len(unique),
+            deduplicated=deduplicated,
+            cache_stats=self.cache.stats.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, unique):
+        return [_simulate_timed(spec) for _, spec in unique]
+
+    def _run_parallel(self, unique):
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(_simulate_timed, (spec for _, spec in unique)))
+        except (ImportError, OSError, ValueError, RuntimeError):
+            return None  # e.g. no os.fork / sem_open on this platform
+
+
+__all__ = ["SweepPoint", "SweepReport", "SweepRunner"]

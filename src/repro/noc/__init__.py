@@ -17,7 +17,8 @@ from repro.noc.power_gating import (
 from repro.noc.llc_sim import LlcSimulationResult, run_llc_simulation
 from repro.noc.adaptive import ADAPTIVE_ALGORITHMS, build_adaptive_table
 from repro.noc.routing import build_routing_table
-from repro.noc.sim import SimulationResult, run_simulation, zero_load_latency
+from repro.noc.sim import SimulationResult, run_simulation, simulate, zero_load_latency
+from repro.noc.spec import SimulationSpec, TrafficSpec, stable_key
 from repro.noc.trace import TraceRecorder, TraceTraffic
 from repro.noc.traffic import TrafficGenerator
 
@@ -37,7 +38,11 @@ __all__ = [
     "LlcSimulationResult",
     "run_llc_simulation",
     "SimulationResult",
+    "SimulationSpec",
+    "TrafficSpec",
     "run_simulation",
+    "simulate",
+    "stable_key",
     "zero_load_latency",
     "TrafficGenerator",
     "ADAPTIVE_ALGORITHMS",

@@ -18,6 +18,7 @@ from repro.core.topological import SprintTopology
 from repro.noc.activity import NetworkActivity
 from repro.noc.network import Network
 from repro.noc.routing import build_routing_table
+from repro.noc.spec import SimulationSpec, stable_key
 from repro.noc.traffic import TrafficGenerator
 from repro.util.stats import RunningStats, percentile
 
@@ -47,9 +48,29 @@ class SimulationResult:
         return len(self.activity.routers)
 
 
+def simulate(spec: SimulationSpec, gating_policy=None) -> SimulationResult:
+    """Run the simulation a :class:`~repro.noc.spec.SimulationSpec` describes.
+
+    The traffic generator is rebuilt from the spec's declarative traffic
+    description, so the result is a pure function of the spec: the same
+    spec yields bit-identical results in any process, which is what lets
+    the sweep engine (:mod:`repro.exec`) parallelize and cache runs.
+    """
+    return _execute(
+        spec.topology,
+        spec.traffic.build(),
+        spec.config,
+        spec.routing,
+        spec.warmup_cycles,
+        spec.measure_cycles,
+        spec.drain_cycles,
+        gating_policy,
+    )
+
+
 def run_simulation(
-    topology: SprintTopology,
-    traffic: TrafficGenerator,
+    topology: SprintTopology | SimulationSpec,
+    traffic: TrafficGenerator | None = None,
     config: NoCConfig | None = None,
     routing: str = "cdor",
     warmup_cycles: int = 500,
@@ -59,6 +80,13 @@ def run_simulation(
 ) -> SimulationResult:
     """Simulate a topology under a traffic load and collect statistics.
 
+    Preferred form: ``run_simulation(spec)`` with a single
+    :class:`~repro.noc.spec.SimulationSpec` (see :func:`simulate`).  The
+    keyword form below is retained as a thin back-compat wrapper and may be
+    deprecated in a future release; it takes a live
+    :class:`~repro.noc.traffic.TrafficGenerator`, whose consumed RNG state
+    makes the run ineligible for result caching.
+
     ``routing`` is ``"cdor"``, ``"xy"``, or one of the adaptive turn models
     (``"west_first"``, ``"negative_first"``; full mesh only).
     ``gating_policy``, if given, is a
@@ -66,7 +94,33 @@ def run_simulation(
     by the run-time power-gating ablation; the main NoC-sprinting experiments
     power-gate statically by never instantiating dark routers).
     """
-    cfg = config or NoCConfig()
+    if isinstance(topology, SimulationSpec):
+        return simulate(topology, gating_policy=gating_policy)
+    if traffic is None:
+        raise TypeError("run_simulation needs a TrafficGenerator (or a SimulationSpec)")
+    return _execute(
+        topology,
+        traffic,
+        config or NoCConfig(),
+        routing,
+        warmup_cycles,
+        measure_cycles,
+        drain_cycles,
+        gating_policy,
+    )
+
+
+def _execute(
+    topology: SprintTopology,
+    traffic: TrafficGenerator,
+    cfg: NoCConfig,
+    routing: str,
+    warmup_cycles: int,
+    measure_cycles: int,
+    drain_cycles: int,
+    gating_policy,
+) -> SimulationResult:
+    """The warmup / measure / drain loop shared by both entry points."""
     if routing in ("cdor", "xy"):
         table = build_routing_table(topology, routing)
     else:
@@ -138,6 +192,19 @@ def run_simulation(
     )
 
 
+_zero_load_cache = None
+
+
+def zero_load_cache():
+    """The process-wide memo behind :func:`zero_load_latency` (lazy)."""
+    global _zero_load_cache
+    if _zero_load_cache is None:
+        from repro.exec.cache import ResultCache
+
+        _zero_load_cache = ResultCache()
+    return _zero_load_cache
+
+
 def zero_load_latency(
     topology: SprintTopology,
     config: NoCConfig | None = None,
@@ -149,10 +216,27 @@ def zero_load_latency(
     ejection, and the tail trails the head by ``packet_length - 1`` cycles.
     Used by the CMP performance model as its communication-cost proxy when
     no cycle simulation is attached.
-    """
-    from repro.core.cdor import CdorRouter
 
+    The O(n^2) pair walk is memoized per (topology, config, routing) in a
+    process-wide :class:`~repro.exec.cache.ResultCache`: callers in hot
+    loops (the performance model evaluates this per workload per scheme)
+    pay for each distinct topology once.
+    """
     cfg = config or NoCConfig()
+    cache = zero_load_cache()
+    key = stable_key(("zero_load_latency", topology, cfg, routing))
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    value = _zero_load_latency(topology, cfg, routing)
+    cache.put(key, value)
+    return value
+
+
+def _zero_load_latency(
+    topology: SprintTopology, cfg: NoCConfig, routing: str
+) -> float:
+    from repro.core.cdor import CdorRouter
     nodes = topology.active_nodes
     if len(nodes) < 2:
         # local delivery: injection + ejection pipeline only

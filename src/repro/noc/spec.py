@@ -1,0 +1,126 @@
+"""Declarative simulation specs: one picklable value per network run.
+
+A :class:`SimulationSpec` fully describes a cycle simulation -- topology,
+traffic process, interconnect configuration, routing algorithm and the
+warmup/measure/drain windows -- as a frozen, hashable, picklable value
+object.  It replaces the keyword soup previously threaded through
+``run_simulation``, the benchmark harness and ``NoCSprintingSystem``, and
+is the unit the sweep engine (:mod:`repro.exec`) fans out over worker
+processes and keys its result cache on.
+
+Because a spec carries its own traffic *seed* rather than a live
+:class:`~repro.noc.traffic.TrafficGenerator`, rebuilding the generator in
+any process reproduces the exact packet sequence: serial and parallel
+sweeps over the same specs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.traffic import TrafficGenerator
+
+
+def _canonical(obj):
+    """A JSON-serializable canonical form of nested dataclasses/values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        payload["__class__"] = type(obj).__name__
+        return payload
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, frozenset):
+        return sorted(_canonical(item) for item in obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a cache key")
+
+
+def stable_key(obj) -> str:
+    """Content-addressed key: SHA-256 of the canonical JSON form.
+
+    Stable across processes and Python versions (no reliance on ``hash``),
+    so on-disk cache entries written by one interpreter are valid in any
+    other.
+    """
+    blob = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Declarative description of a synthetic traffic process.
+
+    Mirrors the :class:`~repro.noc.traffic.TrafficGenerator` constructor;
+    :meth:`build` instantiates a fresh generator whose packet sequence is
+    fully determined by these fields (the generator keeps the mutable RNG
+    state, the spec stays a value).
+    """
+
+    endpoints: tuple[int, ...]
+    injection_rate: float
+    packet_length: int
+    pattern: str = "uniform"
+    seed: int = 0
+    hotspot_fraction: float = 0.5
+    hotspot_endpoint: int | None = None
+
+    def build(self) -> TrafficGenerator:
+        """A fresh generator reproducing this spec's packet sequence."""
+        return TrafficGenerator(
+            list(self.endpoints),
+            self.injection_rate,
+            self.packet_length,
+            self.pattern,
+            seed=self.seed,
+            hotspot_fraction=self.hotspot_fraction,
+            hotspot_endpoint=self.hotspot_endpoint,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Everything needed to run (and cache) one network simulation.
+
+    Frozen and hashable, so specs work as dict keys; picklable, so the
+    sweep engine can ship them to worker processes; and content-addressed
+    via :meth:`cache_key`, so identical runs are never simulated twice.
+    """
+
+    topology: SprintTopology
+    traffic: TrafficSpec
+    config: NoCConfig = field(default_factory=NoCConfig)
+    routing: str = "cdor"
+    warmup_cycles: int = 500
+    measure_cycles: int = 2000
+    drain_cycles: int = 30000
+
+    def __post_init__(self) -> None:
+        if self.warmup_cycles < 0 or self.measure_cycles < 1 or self.drain_cycles < 0:
+            raise ValueError("simulation windows must be non-negative (measure >= 1)")
+        for node in self.traffic.endpoints:
+            if not self.topology.is_active(node):
+                raise ValueError(f"traffic endpoint {node} is dark in this topology")
+
+    def cache_key(self) -> str:
+        """Canonical content hash of the full run description."""
+        return stable_key(("simulate", self))
+
+    def with_seed(self, seed: int) -> "SimulationSpec":
+        """The same run under a different traffic seed."""
+        return dataclasses.replace(
+            self, traffic=dataclasses.replace(self.traffic, seed=seed)
+        )
+
+
+__all__ = ["SimulationSpec", "TrafficSpec", "stable_key"]

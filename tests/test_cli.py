@@ -39,6 +39,20 @@ class TestCommands:
         assert "blackscholes" in out and "freqmine" in out
         assert "S(noc)=3.6" in out or "S(noc)=3.7" in out
 
+    def test_sweep_grid_mode(self, capsys):
+        assert main(["sweep", "--levels", "2", "--rates", "0.05",
+                     "--warmup", "100", "--measure", "300", "--drain", "400",
+                     "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "grid sweep (repro.exec engine)" in out
+        assert "100% hit rate" in out  # the --repeat run is fully cached
+
+    def test_sweep_grid_rejects_bad_pattern_shape(self, capsys):
+        # shuffle needs a power-of-two endpoint count; level 3 is not
+        assert main(["sweep", "--levels", "3", "--rates", "0.05",
+                     "--patterns", "shuffle"]) == 2
+        assert "invalid sweep grid" in capsys.readouterr().out
+
     def test_network(self, capsys):
         assert main(["network", "--level", "2", "--rates", "0.1"]) == 0
         out = capsys.readouterr().out
