@@ -59,7 +59,11 @@ def _cmd_sprint(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.levels or args.rates or args.patterns:
+    # any grid-mode flag routes to the grid sweep; otherwise flags like
+    # --resume or --fault would be silently ignored by the legacy summary
+    if (args.levels or args.rates or args.patterns or args.fault
+            or args.resume or args.cache_dir or args.max_retries
+            or args.point_timeout is not None):
         return _cmd_sweep_grid(args)
     system = NoCSprintingSystem()
     rows = []
@@ -86,13 +90,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain):
+def _parse_fault(text: str):
+    """Parse a ``--fault`` value into a :class:`~repro.noc.spec.FaultEvent`.
+
+    Syntax: ``NODE@CYCLE[:DURATION]`` for a router fault or
+    ``A-B@CYCLE[:DURATION]`` for a link fault; omitting ``:DURATION``
+    makes the fault permanent.
+    """
+    from repro.noc.spec import FaultEvent
+
+    head, _, rest = text.partition("@")
+    if not head or not rest:
+        raise ValueError(f"fault must look like NODE@CYCLE[:DURATION]: {text!r}")
+    cycle_s, _, duration_s = rest.partition(":")
+    cycle = int(cycle_s)
+    duration = int(duration_s) if duration_s else None
+    if "-" in head:
+        a, _, b = head.partition("-")
+        return FaultEvent(cycle=cycle, kind="link", link=(int(a), int(b)),
+                          duration=duration)
+    return FaultEvent(cycle=cycle, kind="router", node=int(head),
+                      duration=duration)
+
+
+def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain,
+                faults=()):
     """Build (and eagerly validate) the spec grid for a sweep command."""
     from repro.config import NoCConfig
     from repro.core.topological import SprintTopology
-    from repro.noc.spec import SimulationSpec, TrafficSpec
+    from repro.noc.spec import FaultSchedule, SimulationSpec, TrafficSpec
 
     cfg = NoCConfig()
+    schedule = FaultSchedule(events=tuple(faults))
     specs = []
     for level in levels:
         topo = SprintTopology.for_level(cfg.mesh_width, cfg.mesh_height, level)
@@ -106,7 +135,7 @@ def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain):
                                         seed=seed),
                     config=cfg, routing=routing,
                     warmup_cycles=warmup, measure_cycles=measure,
-                    drain_cycles=drain,
+                    drain_cycles=drain, faults=schedule,
                 )
                 spec.traffic.build()  # fail fast on pattern/endpoint mismatch
                 specs.append(spec)
@@ -121,41 +150,59 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     levels = args.levels or [4, 8]
     rates = args.rates or [0.05, 0.15, 0.25, 0.35, 0.45]
     patterns = args.patterns or ["uniform"]
+    if args.resume and not args.cache_dir:
+        print("--resume needs --cache-dir (the checkpoint lives in the cache)")
+        return 2
     try:
+        faults = [_parse_fault(text) for text in (args.fault or [])]
         specs = _grid_specs(levels, rates, patterns, args.seed,
-                            args.warmup, args.measure, args.drain)
+                            args.warmup, args.measure, args.drain,
+                            faults=faults)
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
     try:
         runner = SweepRunner(workers=args.workers,
-                             cache=ResultCache(directory=args.cache_dir))
+                             cache=ResultCache(directory=args.cache_dir),
+                             max_retries=args.max_retries,
+                             point_timeout=args.point_timeout)
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
     report = runner.run(specs)
     for _ in range(args.repeat - 1):
         report = runner.run(specs)
+    degraded = any(point.result.degraded for point in report.points)
     rows = []
     for point in report.points:
         spec = point.spec
         result = point.result
         power = network_power(result, spec.topology, spec.config)
-        rows.append([
+        row = [
             spec.topology.level, spec.traffic.pattern, spec.traffic.injection_rate,
             result.avg_latency, result.p99_latency,
             result.accepted_flits_per_cycle, power.total * 1e3,
             "yes" if result.saturated else "",
             "hit" if point.cached else f"{point.wall_time_s:.2f}s",
-        ])
+        ]
+        if degraded:
+            row[8:8] = [result.packets_dropped, result.packets_retransmitted,
+                        result.min_region_level]
+        rows.append(row)
+    headers = ["level", "pattern", "inj rate", "avg lat", "p99 lat", "accepted",
+               "power mW", "saturated", "sim"]
+    if degraded:
+        headers[8:8] = ["dropped", "retx", "min lvl"]
     print(format_table(
-        ["level", "pattern", "inj rate", "avg lat", "p99 lat", "accepted",
-         "power mW", "saturated", "sim"],
-        rows,
+        headers, rows,
         title="grid sweep (repro.exec engine)",
         float_format="{:.2f}",
     ))
     print(report.summary())
+    if report.failures:
+        for line in report.failure_lines():
+            print(f"sweep failure: {line}")
+        return 3
     return 0
 
 
@@ -283,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warmup", type=int, default=300)
     sweep.add_argument("--measure", type=int, default=1000)
     sweep.add_argument("--drain", type=int, default=4000)
+    sweep.add_argument("--max-retries", type=int, default=0,
+                       help="re-attempts per failing point (exponential "
+                            "backoff between tries)")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       help="seconds before a point is killed and retried "
+                            "(needs --workers > 1)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep from the "
+                            "checkpoint in --cache-dir")
+    sweep.add_argument("--fault", action="append", metavar="F",
+                       help="inject a NoC fault into every point: "
+                            "NODE@CYCLE[:DURATION] (router) or "
+                            "A-B@CYCLE[:DURATION] (link); repeatable")
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)

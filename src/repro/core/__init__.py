@@ -37,7 +37,13 @@ from repro.core.coschedule import (
     co_sprint_regions,
     plan_co_sprint,
 )
-from repro.core.faults import FaultError, fault_aware_sprint_region, fault_aware_topology
+from repro.core.faults import (
+    FaultError,
+    degraded_topology,
+    fault_aware_sprint_region,
+    fault_aware_topology,
+    link_fault_exclusions,
+)
 from repro.core.gating_policy import (
     SprintAwareGating,
     sprint_aware_gating,
@@ -45,7 +51,12 @@ from repro.core.gating_policy import (
 )
 from repro.core.lbdr import LbdrRouter, bit_cost_comparison, derive_lbdr_bits
 from repro.core.scheduler import Burst, ScheduleResult, SprintScheduler
-from repro.core.sprinting import SprintController, SprintMode, SprintPlan
+from repro.core.sprinting import (
+    RetreatPolicy,
+    SprintController,
+    SprintMode,
+    SprintPlan,
+)
 from repro.core.system import (
     SCHEMES,
     EvaluationReport,
@@ -104,6 +115,9 @@ __all__ = [
     "co_sprint_regions",
     "plan_co_sprint",
     "FaultError",
+    "RetreatPolicy",
+    "degraded_topology",
     "fault_aware_sprint_region",
     "fault_aware_topology",
+    "link_fault_exclusions",
 ]

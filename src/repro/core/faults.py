@@ -91,3 +91,58 @@ def fault_aware_topology(
     """A :class:`SprintTopology` grown around a fault set."""
     nodes = fault_aware_sprint_region(width, height, level, faulty, master, metric)
     return SprintTopology(width, height, tuple(nodes), master)
+
+
+def link_fault_exclusions(
+    width: int,
+    height: int,
+    links,
+    master: int = 0,
+    metric: str = "euclidean",
+) -> frozenset[int]:
+    """Map faulty links onto excluded nodes, deterministically.
+
+    A convex region cannot contain a broken internal link (CDOR assumes
+    every in-region mesh link works), so each faulty link costs one of its
+    endpoints: the one later in sprint order, i.e. farther from the master.
+    The master itself is therefore never excluded by a link fault.
+    """
+    rank = {
+        node: i for i, node in enumerate(sprint_order(width, height, master, metric))
+    }
+    excluded = set()
+    for a, b in links:
+        excluded.add(a if rank[a] > rank[b] else b)
+    return frozenset(excluded)
+
+
+def degraded_topology(
+    width: int,
+    height: int,
+    level: int,
+    faulty: frozenset[int] | set[int],
+    master: int = 0,
+    metric: str = "euclidean",
+) -> SprintTopology:
+    """The largest fault-avoiding region of at most ``level`` nodes.
+
+    Graceful-degradation variant of :func:`fault_aware_topology`: where the
+    strict version raises :class:`FaultError` because the requested level is
+    unreachable around the fault set, this one retreats to the largest
+    achievable smaller region.  Only a faulty master is unrecoverable.
+    """
+    if level < 1:
+        raise ValueError("sprint level must be >= 1")
+    faults = frozenset(faulty)
+    if master in faults:
+        raise FaultError(f"master node {master} is faulty")
+    n = width * height
+    ceiling = min(level, n - len(faults & frozenset(range(n))))
+    for candidate in range(ceiling, 0, -1):
+        try:
+            return fault_aware_topology(width, height, candidate, faults, master, metric)
+        except FaultError:
+            continue
+    raise FaultError(  # pragma: no cover - level 1 always succeeds
+        f"no region of any size exists from master {master}"
+    )

@@ -33,6 +33,27 @@ class SprintMode(Enum):
 
 
 @dataclass(frozen=True)
+class RetreatPolicy:
+    """Staged degradation of an active sprint.
+
+    Instead of the all-or-nothing abort when the PCM budget empties, the
+    controller steps the sprint level down as the budget drains: each time
+    the thermal headroom falls through a threshold the level halves, and
+    when the budget is fully exhausted the sprint retreats to the largest
+    *thermally sustainable* level (power under the sustainable TDP) and
+    holds it indefinitely, rather than dropping straight to nominal.
+    """
+
+    thresholds: tuple[float, ...] = (0.5, 0.25, 0.1)
+
+    def __post_init__(self) -> None:
+        if any(not 0.0 < t < 1.0 for t in self.thresholds):
+            raise ValueError("retreat thresholds must be headroom fractions in (0, 1)")
+        if tuple(sorted(self.thresholds, reverse=True)) != tuple(self.thresholds):
+            raise ValueError("retreat thresholds must be strictly descending")
+
+
+@dataclass(frozen=True)
 class SprintPlan:
     """Everything needed to execute one fine-grained sprint."""
 
@@ -61,6 +82,8 @@ class SprintController:
     pcm: PCMParams = DEFAULT_PCM
     metric: str = "euclidean"
     floorplan: Floorplan | None = None
+    retreat: RetreatPolicy | None = None
+    faulty: frozenset[int] = frozenset()
 
     def __post_init__(self) -> None:
         self.chip_model = ChipPowerModel(self.config.core_count)
@@ -72,6 +95,10 @@ class SprintController:
         )
         self._budget_total_j = total_budget
         self._budget_j = total_budget
+        self._profile_active: BenchmarkProfile | None = None
+        self._stage_index = 0
+        self._sprint_time_s = 0.0
+        self.retreat_log: list[tuple[float, int, int]] = []
 
     # ------------------------------------------------------------------
     # planning
@@ -79,21 +106,63 @@ class SprintController:
     def plan(self, profile: BenchmarkProfile) -> SprintPlan:
         """Choose the sprint level and build the topology for a workload."""
         decision = profile_workload(profile, self.config.core_count)
-        topology = SprintTopology.for_level(
-            self.config.noc.mesh_width,
-            self.config.noc.mesh_height,
-            decision.level,
-            self.config.master_node,
-            self.metric,
+        return self._plan_for_level(
+            decision.level, profile, speedup=decision.speedup_vs_nominal
         )
-        power = self.chip_model.sprint_chip_power(decision.level, "noc_sprinting")
+
+    def _plan_for_level(
+        self,
+        level: int,
+        profile: BenchmarkProfile | None,
+        speedup: float | None = None,
+    ) -> SprintPlan:
+        """Build the plan for a level, growing around known hard faults.
+
+        With faults the actual level can come out below the requested one
+        (the region degrades gracefully towards the master).
+        """
+        width = self.config.noc.mesh_width
+        height = self.config.noc.mesh_height
+        if self.faulty:
+            from repro.core.faults import degraded_topology
+
+            topology = degraded_topology(
+                width, height, level, self.faulty, self.config.master_node, self.metric
+            )
+        else:
+            topology = SprintTopology.for_level(
+                width, height, level, self.config.master_node, self.metric
+            )
+        actual = topology.level
+        power = self.chip_model.sprint_chip_power(actual, "noc_sprinting")
+        if speedup is None or actual != level:
+            if profile is None:
+                speedup = 1.0
+            else:
+                # a degraded level (e.g. 7 around a fault) falls between the
+                # profiled scaling points; be conservative and credit the
+                # speedup of the largest profiled level that fits
+                profiled = max(
+                    (lv for lv in profile.scaling if lv <= actual), default=1
+                )
+                speedup = profile.speedup(profiled)
         return SprintPlan(
-            level=decision.level,
+            level=actual,
             topology=topology,
             gating=static_plan_for_topology(topology),
             sprint_power_w=power.total,
-            expected_speedup=decision.speedup_vs_nominal,
+            expected_speedup=speedup,
         )
+
+    def sustainable_level(self) -> int | None:
+        """The largest sprint level whose power fits under the sustainable
+        TDP (None when even nominal operation exceeds it)."""
+        best = None
+        for level in range(1, self.config.core_count + 1):
+            power = self.chip_model.sprint_chip_power(level, "noc_sprinting").total
+            if power <= self.pcm.sustainable_power_w:
+                best = level
+        return best
 
     # ------------------------------------------------------------------
     # thermal-budget state machine
@@ -112,6 +181,10 @@ class SprintController:
                 f"PCM not re-solidified (headroom {self.thermal_headroom:.0%})"
             )
         plan = self.plan(profile)
+        self._profile_active = profile
+        self._stage_index = 0
+        self._sprint_time_s = 0.0
+        self.retreat_log = []
         if plan.level == 1:
             # the optimum is nominal operation: nothing to sprint
             self.mode = SprintMode.NOMINAL
@@ -133,11 +206,15 @@ class SprintController:
             raise ValueError("time must move forward")
         if self.mode is SprintMode.SPRINTING:
             assert self.plan_active is not None
+            if self.retreat is not None:
+                return self._advance_with_retreat(seconds)
             excess = self.plan_active.sprint_power_w - self.pcm.sustainable_power_w
             if excess <= 0:
+                self._sprint_time_s += seconds
                 return seconds  # thermally unconstrained sprint
             sustained = min(seconds, self._budget_j / excess)
             self._budget_j -= sustained * excess
+            self._sprint_time_s += sustained
             if self._budget_j <= 1e-12:
                 self._budget_j = 0.0
                 self.mode = SprintMode.COOLDOWN
@@ -152,6 +229,60 @@ class SprintController:
                 self.mode = SprintMode.NOMINAL
             return 0.0
         return 0.0
+
+    def _retreat_to(self, level: int) -> None:
+        """Re-plan the active sprint at a lower level, keeping the mode."""
+        plan = self.plan_active
+        assert plan is not None
+        if level >= plan.level:
+            return
+        self.retreat_log.append((self._sprint_time_s, plan.level, level))
+        self.plan_active = self._plan_for_level(level, self._profile_active)
+
+    def _advance_with_retreat(self, seconds: float) -> float:
+        """Staged-retreat integration of sprint time.
+
+        Each crossing of a headroom threshold halves the sprint level;
+        when the budget empties the sprint falls to the largest sustainable
+        level (if one below the current level exists) instead of aborting.
+        Returns the total time spent sprinting (at any level).
+        """
+        thresholds = self.retreat.thresholds
+        remaining = seconds
+        sustained = 0.0
+        while remaining > 1e-15 and self.mode is SprintMode.SPRINTING:
+            plan = self.plan_active
+            excess = plan.sprint_power_w - self.pcm.sustainable_power_w
+            if excess <= 0:
+                # this level holds indefinitely
+                self._sprint_time_s += remaining
+                sustained += remaining
+                remaining = 0.0
+                break
+            if self._stage_index < len(thresholds):
+                floor_j = thresholds[self._stage_index] * self._budget_total_j
+            else:
+                floor_j = 0.0
+            step = min(remaining, max(0.0, self._budget_j - floor_j) / excess)
+            self._budget_j -= step * excess
+            self._sprint_time_s += step
+            sustained += step
+            remaining -= step
+            if remaining <= 1e-15:
+                break
+            # ran into the next boundary before the time ran out
+            if self._stage_index < len(thresholds):
+                self._stage_index += 1
+                self._retreat_to(max(1, plan.level // 2))
+            else:
+                self._budget_j = 0.0
+                fallback = self.sustainable_level()
+                if fallback is not None and fallback < plan.level:
+                    self._retreat_to(fallback)
+                else:
+                    self.mode = SprintMode.COOLDOWN
+                    self.plan_active = None
+        return sustained
 
     def drain_budget(self, power_w: float, seconds: float) -> float:
         """Drain the PCM budget as if sprinting at ``power_w`` for up to

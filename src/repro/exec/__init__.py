@@ -10,16 +10,20 @@ such sweeps fast and reproducibly:
 - :class:`~repro.exec.cache.ResultCache` -- content-addressed result
   store (memory + optional disk) with hit/miss counters;
 - :class:`~repro.exec.runner.SweepReport` -- per-point timing, cache
-  statistics and a human-readable summary.
+  statistics, failure records and a human-readable summary;
+- :class:`~repro.exec.runner.FailedPoint` -- a point that exhausted its
+  retries (error / timeout / worker crash), with the captured traceback.
 
-See ``docs/execution.md`` for cache-key semantics and worker guidance.
+See ``docs/execution.md`` for cache-key semantics and worker guidance,
+and ``docs/robustness.md`` for the failure-isolation model.
 """
 
 from repro.exec.cache import CacheStats, ResultCache
-from repro.exec.runner import SweepPoint, SweepReport, SweepRunner
+from repro.exec.runner import FailedPoint, SweepPoint, SweepReport, SweepRunner
 
 __all__ = [
     "CacheStats",
+    "FailedPoint",
     "ResultCache",
     "SweepPoint",
     "SweepReport",

@@ -15,6 +15,7 @@ observability report.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
@@ -104,6 +105,43 @@ class ResultCache:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle)
                 os.replace(tmp, self._path(key))
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # JSON side-records (sweep checkpoint manifests): human-readable
+    # metadata living next to the pickled results, outside the hit/miss
+    # accounting so manifests never skew sweep observability
+    # ------------------------------------------------------------------
+    def get_json(self, name: str):
+        """A JSON side-record by name, or ``None`` when absent/unreadable."""
+        memo_key = f"__json__:{name}"
+        if memo_key in self._memory:
+            return self._memory[memo_key]
+        if self.directory is not None:
+            path = os.path.join(self.directory, f"{name}.json")
+            if os.path.exists(path):
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        value = json.load(handle)
+                except (OSError, ValueError):
+                    return None  # torn write: treat as absent
+                self._memory[memo_key] = value
+                return value
+        return None
+
+    def put_json(self, name: str, value) -> None:
+        """Store a JSON side-record (atomically when disk-backed)."""
+        self._memory[f"__json__:{name}"] = value
+        if self.directory is not None:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(value, handle, indent=1, sort_keys=True)
+                os.replace(tmp, os.path.join(self.directory, f"{name}.json"))
             except OSError:
                 try:
                     os.unlink(tmp)

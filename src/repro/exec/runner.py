@@ -17,24 +17,111 @@ generator from the spec, parallel and serial execution produce
 *bit-identical* :class:`~repro.noc.sim.SimulationResult` values -- the
 ordering of the returned points always matches the order of the input
 specs, never completion order.
+
+The fan-out is failure-isolated: each point is submitted as its own
+future, so one point raising, hanging past ``point_timeout``, or killing
+its worker outright (``BrokenProcessPool``) costs only that point.
+Survivors are returned as usual while the casualties come back as
+:class:`FailedPoint` records (with the worker's traceback) on
+``SweepReport.failures``; ``max_retries`` re-attempts flaky points with
+exponential backoff.  Every completed point is written to the cache the
+moment it finishes, so an interrupted sweep resumes from its checkpoint:
+re-running the same spec list against the same cache re-simulates only
+the unfinished points.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import traceback as _tb
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.exec.cache import CacheStats, ResultCache
 from repro.noc.sim import SimulationResult, simulate
-from repro.noc.spec import SimulationSpec
+from repro.noc.spec import SimulationSpec, stable_key
+
+#: Environment hook for fault-injecting the harness itself (CI smoke tests
+#: and the runner's own test suite).  Recipes, applied per point with a
+#: deterministic coin derived from the spec's content hash:
+#:
+#:   ``raise[:RATE]``               -- raise inside the worker
+#:   ``exit[:RATE]``                -- kill the worker process (os._exit)
+#:   ``hang[:RATE[:SECONDS]]``      -- sleep, triggering the point timeout
+#:   ``exit-once:RATE:DIR``         -- kill the worker the *first* time each
+#:                                     point runs (marker files in DIR), so
+#:                                     a retry succeeds
+CHAOS_ENV = "REPRO_SWEEP_CHAOS"
+
+
+def _maybe_inject_chaos(spec: SimulationSpec) -> None:
+    recipe = os.environ.get(CHAOS_ENV)
+    if not recipe:
+        return
+    parts = recipe.split(":")
+    mode = parts[0]
+    rate = float(parts[1]) if len(parts) > 1 else 1.0
+    coin = int(spec.cache_key()[:8], 16) / float(0xFFFFFFFF)
+    if coin >= rate:
+        return
+    if mode == "raise":
+        raise RuntimeError("chaos: injected simulation fault")
+    if mode == "hang":
+        time.sleep(float(parts[2]) if len(parts) > 2 else 3600.0)
+    elif mode == "exit":
+        os._exit(17)
+    elif mode == "exit-once":
+        marker = os.path.join(parts[2], spec.cache_key()[:16] + ".chaos")
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return  # this point already crashed once: let the retry succeed
+        os._exit(17)
+
+
+def _simulate_guarded(spec: SimulationSpec):
+    """Worker entry point: run one spec, never let an exception escape.
+
+    Returns ``("ok", result, seconds)`` or ``("err", message, traceback,
+    seconds)`` -- the scheduler turns the latter into a retry or a
+    :class:`FailedPoint` with the worker-side traceback attached.
+    """
+    start = time.perf_counter()
+    try:
+        _maybe_inject_chaos(spec)
+        result = simulate(spec)
+    except Exception as exc:
+        elapsed = time.perf_counter() - start
+        return ("err", f"{type(exc).__name__}: {exc}", _tb.format_exc(), elapsed)
+    return ("ok", result, time.perf_counter() - start)
 
 
 def _simulate_timed(spec: SimulationSpec) -> tuple[SimulationResult, float]:
-    """Worker entry point: run one spec and report its wall-clock time."""
-    start = time.perf_counter()
-    result = simulate(spec)
-    return result, time.perf_counter() - start
+    """Back-compat wrapper: run one spec and report its wall-clock time."""
+    status = _simulate_guarded(spec)
+    if status[0] == "ok":
+        return status[1], status[2]
+    raise RuntimeError(status[1])
+
+
+def _kill_pool(pool) -> None:
+    """Tear a process pool down *now*, including hung workers.
+
+    ``shutdown(cancel_futures=True)`` only cancels queued work; a worker
+    stuck inside a simulation must be terminated out from under it first.
+    The shutdown then waits: with every worker dead the join is immediate,
+    and leaving the manager thread running would race the interpreter's
+    atexit hook (spurious ``Bad file descriptor`` noise at exit).
+    """
+    processes = getattr(pool, "_processes", None)
+    for proc in list(processes.values()) if processes else []:
+        try:
+            proc.terminate()
+        except (OSError, ValueError, AttributeError):
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
 
 
 @dataclass
@@ -53,6 +140,29 @@ class SweepPoint:
 
 
 @dataclass
+class FailedPoint:
+    """One sweep point that produced no result despite every retry."""
+
+    index: int
+    spec: SimulationSpec
+    kind: str  # "error" | "timeout" | "crash"
+    error: str
+    traceback: str | None
+    attempts: int
+
+    @property
+    def key(self) -> str:
+        return self.spec.cache_key()
+
+    def describe(self) -> str:
+        """The one-line summary the CLI prints per failure."""
+        return (
+            f"point {self.index} [{self.kind}] after {self.attempts} "
+            f"attempt(s): {self.error}"
+        )
+
+
+@dataclass
 class SweepReport:
     """Results plus observability for one :meth:`SweepRunner.run` call."""
 
@@ -65,24 +175,35 @@ class SweepReport:
     simulated: int
     deduplicated: int
     cache_stats: CacheStats | None = field(default=None, repr=False)
+    failures: list[FailedPoint] = field(default_factory=list)
+    resumed: int = 0  # cache hits recognized as a resumed earlier sweep
 
     @property
     def results(self) -> list[SimulationResult]:
-        """Simulation results in input-spec order."""
+        """Simulation results of the surviving points, in input-spec order."""
         return [point.result for point in self.points]
 
     @property
     def total_points(self) -> int:
-        return len(self.points)
+        return len(self.points) + len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point produced a result."""
+        return not self.failures
 
     @property
     def hit_rate(self) -> float:
-        return self.cache_hits / self.total_points if self.points else 0.0
+        return self.cache_hits / self.total_points if self.total_points else 0.0
 
     @property
     def sim_time_s(self) -> float:
         """Summed per-point simulation time (> wall time when parallel)."""
         return sum(p.wall_time_s for p in self.points if not p.cached)
+
+    def failure_lines(self) -> list[str]:
+        """One line per failed point, for logs and the CLI."""
+        return [failure.describe() for failure in self.failures]
 
     def summary(self) -> str:
         """One-paragraph human-readable sweep report."""
@@ -93,12 +214,17 @@ class SweepReport:
             f"({100.0 * self.hit_rate:.0f}% hit rate), "
             f"{self.simulated} simulated, {self.deduplicated} deduplicated",
         ]
+        if self.resumed:
+            lines.append(f"resumed: {self.resumed} points from an earlier run")
         timed = [p.wall_time_s for p in self.points if not p.cached]
         if timed:
             lines.append(
                 f"per-point sim time: mean {sum(timed) / len(timed):.3f}s, "
                 f"max {max(timed):.3f}s, total {sum(timed):.2f}s"
             )
+        if self.failures:
+            lines.append(f"FAILED: {len(self.failures)} of {self.total_points} points")
+            lines.extend("  " + line for line in self.failure_lines())
         return "\n".join(lines)
 
 
@@ -106,10 +232,20 @@ class SweepRunner:
     """Execute batches of independent simulation specs, cached and parallel.
 
     ``workers=1`` (the default) runs serially; ``workers>1`` fans out over a
-    process pool.  ``cache=None`` gives the runner a private in-memory
-    cache; pass a shared :class:`ResultCache` to reuse results across
-    runners, benchmarks and CLI invocations.  ``progress`` (if given) is
-    called as ``progress(done, total, point)`` after every completed point.
+    process pool, one future per point.  ``cache=None`` gives the runner a
+    private in-memory cache; pass a shared :class:`ResultCache` to reuse
+    results across runners, benchmarks and CLI invocations.  ``progress``
+    (if given) is called as ``progress(done, total, point)`` the moment each
+    point completes -- cache hits first (in input order), simulated points
+    in completion order; failed points advance ``done`` without a callback.
+
+    Failure policy: a point that raises is retried up to ``max_retries``
+    times with exponential backoff (``retry_backoff_s`` doubling per
+    attempt); one that runs past ``point_timeout`` seconds or kills its
+    worker is isolated, charged an attempt and retried likewise.  Points
+    that exhaust their attempts are reported on ``SweepReport.failures``
+    instead of poisoning the sweep.  Serial runs cannot preempt a hung
+    simulation, so ``point_timeout`` is only enforced when ``workers > 1``.
     """
 
     def __init__(
@@ -117,80 +253,295 @@ class SweepRunner:
         workers: int = 1,
         cache: ResultCache | None = None,
         progress: Callable[[int, int, SweepPoint], None] | None = None,
+        max_retries: int = 0,
+        point_timeout: float | None = None,
+        retry_backoff_s: float = 0.05,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive (or None)")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.progress = progress
+        self.max_retries = max_retries
+        self.point_timeout = point_timeout
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[SimulationSpec]) -> SweepReport:
-        """Run every spec, returning points in input order."""
+        """Run every spec, returning surviving points in input order."""
         start = time.perf_counter()
         specs = list(specs)
+        total = len(specs)
         keys = [spec.cache_key() for spec in specs]
 
+        # the checkpoint manifest: a sweep is identified by the content
+        # hashes of its points, so re-running the same spec list against
+        # the same cache is recognized as a resume
+        manifest_name = "sweep-" + stable_key(tuple(keys))[:32]
+        prior_manifest = self.cache.get_json(manifest_name)
+        self.cache.put_json(manifest_name, {"total": total, "keys": keys})
+
         points: dict[int, SweepPoint] = {}
+        failures: dict[int, FailedPoint] = {}
         pending: dict[str, list[int]] = {}  # key -> input indices needing it
         hits = 0
+        done = 0
         for index, (spec, key) in enumerate(zip(specs, keys)):
             cached = self.cache.get(key)
             if cached is not None:
-                points[index] = SweepPoint(index, spec, cached, 0.0, cached=True)
+                point = SweepPoint(index, spec, cached, 0.0, cached=True)
+                points[index] = point
                 hits += 1
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, point)
             else:
                 pending.setdefault(key, []).append(index)
 
         unique = [(key, specs[indices[0]]) for key, indices in pending.items()]
         deduplicated = sum(len(ix) - 1 for ix in pending.values())
-        parallel = self.workers > 1 and len(unique) > 1
-        outcomes = (
-            self._run_parallel(unique) if parallel else self._run_serial(unique)
-        )
-        if outcomes is None:  # pool unavailable: transparent serial fallback
-            parallel = False
-            outcomes = self._run_serial(unique)
+        succeeded: set[str] = set()
 
-        for (key, _), (result, elapsed) in zip(unique, outcomes):
-            self.cache.put(key, result)
+        def complete(key: str, result: SimulationResult, elapsed: float) -> None:
+            nonlocal done
+            self.cache.put(key, result)  # checkpoint: resumable immediately
+            succeeded.add(key)
             for extra, index in enumerate(pending[key]):
-                points[index] = SweepPoint(
+                point = SweepPoint(
                     index,
                     specs[index],
                     result,
                     elapsed if extra == 0 else 0.0,
                     cached=extra > 0,
                 )
+                points[index] = point
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, point)
 
-        ordered = [points[i] for i in range(len(specs))]
-        if self.progress is not None:
-            for done, point in enumerate(ordered, start=1):
-                self.progress(done, len(ordered), point)
+        def fail(key: str, kind: str, error: str, tb, attempts: int) -> None:
+            nonlocal done
+            for index in pending[key]:
+                failures[index] = FailedPoint(
+                    index, specs[index], kind, error, tb, attempts
+                )
+                done += 1
+
+        parallel = self.workers > 1 and len(unique) > 1
+        if parallel:
+            if not self._run_parallel(unique, complete, fail):
+                parallel = False  # pool unavailable: transparent fallback
+                self._run_serial(unique, complete, fail)
+        else:
+            self._run_serial(unique, complete, fail)
+
+        dedup_served = sum(len(pending[k]) - 1 for k in succeeded)
         return SweepReport(
-            points=ordered,
+            points=[points[i] for i in sorted(points)],
             wall_time_s=time.perf_counter() - start,
             workers=self.workers,
             parallel=parallel,
-            cache_hits=hits + deduplicated,
+            cache_hits=hits + dedup_served,
             cache_misses=len(unique),
-            simulated=len(unique),
+            simulated=len(succeeded),
             deduplicated=deduplicated,
             cache_stats=self.cache.stats.snapshot(),
+            failures=[failures[i] for i in sorted(failures)],
+            resumed=hits if prior_manifest is not None else 0,
         )
 
     # ------------------------------------------------------------------
-    def _run_serial(self, unique):
-        return [_simulate_timed(spec) for _, spec in unique]
+    def _backoff(self, attempts: int) -> float:
+        return self.retry_backoff_s * (2 ** max(0, attempts - 1))
 
-    def _run_parallel(self, unique):
+    def _run_serial(self, unique, complete, fail) -> None:
+        # in-process execution cannot preempt a hung simulation, so
+        # point_timeout is not enforced here; exceptions are still
+        # isolated and retried per point
+        for key, spec in unique:
+            attempts = 0
+            while True:
+                attempts += 1
+                status = _simulate_guarded(spec)
+                if status[0] == "ok":
+                    complete(key, status[1], status[2])
+                    break
+                if attempts > self.max_retries:
+                    fail(key, "error", status[1], status[2], attempts)
+                    break
+                time.sleep(self._backoff(attempts))
+
+    def _run_parallel(self, unique, complete, fail) -> bool:
+        """Per-future fan-out; returns False when no pool exists at all."""
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                return list(pool.map(_simulate_timed, (spec for _, spec in unique)))
+            import concurrent.futures as cf
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError:
+            return False
+        try:
+            pool = cf.ProcessPoolExecutor(max_workers=self.workers)
         except (ImportError, OSError, ValueError, RuntimeError):
-            return None  # e.g. no os.fork / sem_open on this platform
+            return False  # e.g. no os.fork / sem_open on this platform
+
+        tasks = {key: {"spec": spec, "attempts": 0} for key, spec in unique}
+        ready = deque(key for key, _ in unique)
+        delayed: list[tuple[float, str]] = []  # (resume-at, key) backoffs
+        running: dict = {}  # future -> (key, deadline | None)
+
+        def rebuild_pool():
+            nonlocal pool
+            _kill_pool(pool)
+            pool = cf.ProcessPoolExecutor(max_workers=self.workers)
+
+        def retry_or_fail(key: str, kind: str, error: str, tb) -> None:
+            task = tasks[key]
+            if task["attempts"] > self.max_retries:
+                fail(key, kind, error, tb, task["attempts"])
+            else:
+                delayed.append(
+                    (time.monotonic() + self._backoff(task["attempts"]), key)
+                )
+
+        def probe(key: str) -> None:
+            """Re-run a pool-break suspect alone, for exact attribution.
+
+            When the shared pool breaks, every in-flight future fails with
+            ``BrokenProcessPool`` -- the crasher and its innocent
+            bystanders are indistinguishable.  A fresh single-worker pool
+            answers the question per point: if it breaks again the point
+            really kills its worker; if it completes, the point was
+            collateral damage (and its result is used, uncharged).
+            """
+            task = tasks[key]
+            iso = cf.ProcessPoolExecutor(max_workers=1)
+            try:
+                future = iso.submit(_simulate_guarded, task["spec"])
+                try:
+                    status = future.result(timeout=self.point_timeout)
+                except BrokenProcessPool:
+                    retry_or_fail(
+                        key, "crash",
+                        "worker process died (BrokenProcessPool)", None,
+                    )
+                    return
+                except cf.TimeoutError:
+                    retry_or_fail(
+                        key, "timeout",
+                        f"no result within point_timeout={self.point_timeout}s",
+                        None,
+                    )
+                    return
+                if status[0] == "ok":
+                    complete(key, status[1], status[2])
+                else:
+                    retry_or_fail(key, "error", status[1], status[2])
+            finally:
+                _kill_pool(iso)
+
+        def handle_break(first_suspects: list) -> None:
+            suspects = first_suspects + [key for key, _ in running.values()]
+            running.clear()
+            rebuild_pool()
+            for key in suspects:
+                probe(key)
+
+        try:
+            while ready or delayed or running:
+                now = time.monotonic()
+                if delayed:  # promote backoffs whose delay has elapsed
+                    still = [(t, k) for t, k in delayed if t > now]
+                    for t, k in delayed:
+                        if t <= now:
+                            ready.append(k)
+                    delayed = still
+                while ready and len(running) < self.workers:
+                    key = ready.popleft()
+                    task = tasks[key]
+                    task["attempts"] += 1
+                    try:
+                        future = pool.submit(_simulate_guarded, task["spec"])
+                    except BrokenProcessPool:
+                        task["attempts"] -= 1  # never actually ran
+                        ready.appendleft(key)
+                        handle_break([])
+                        continue
+                    deadline = (
+                        now + self.point_timeout if self.point_timeout else None
+                    )
+                    running[future] = (key, deadline)
+                if not running:
+                    if delayed:  # everything is backing off
+                        time.sleep(max(0.0, min(t for t, _ in delayed) - now))
+                    continue
+
+                wake_ups = [d for _, d in running.values() if d is not None]
+                wake_ups.extend(t for t, _ in delayed)
+                wait_timeout = (
+                    max(0.0, min(wake_ups) - now) + 1e-3 if wake_ups else None
+                )
+                finished, _ = cf.wait(
+                    set(running), timeout=wait_timeout,
+                    return_when=cf.FIRST_COMPLETED,
+                )
+
+                broken_suspects = []
+                for future in finished:
+                    key, _ = running.pop(future)
+                    try:
+                        status = future.result()
+                    except BrokenProcessPool:
+                        broken_suspects.append(key)
+                        continue
+                    except Exception as exc:  # e.g. result unpickling
+                        retry_or_fail(
+                            key, "error", f"{type(exc).__name__}: {exc}", None
+                        )
+                        continue
+                    if status[0] == "ok":
+                        complete(key, status[1], status[2])
+                    else:
+                        retry_or_fail(key, "error", status[1], status[2])
+                if broken_suspects:
+                    handle_break(broken_suspects)
+                    continue
+
+                now = time.monotonic()
+                overdue = [
+                    (future, key)
+                    for future, (key, deadline) in running.items()
+                    if deadline is not None and deadline <= now
+                    and not future.done()
+                ]
+                if overdue:
+                    # a hung worker cannot be cancelled: tear the pool down,
+                    # charge the overdue points, resubmit the innocent
+                    # in-flight points uncharged
+                    victims = {future for future, _ in overdue}
+                    innocents = [
+                        key
+                        for future, (key, _) in running.items()
+                        if future not in victims
+                    ]
+                    running.clear()
+                    rebuild_pool()
+                    for _, key in overdue:
+                        retry_or_fail(
+                            key, "timeout",
+                            f"exceeded point_timeout={self.point_timeout}s",
+                            None,
+                        )
+                    for key in innocents:
+                        tasks[key]["attempts"] -= 1
+                        ready.append(key)
+        finally:
+            _kill_pool(pool)
+        return True
 
 
-__all__ = ["SweepPoint", "SweepReport", "SweepRunner"]
+__all__ = ["FailedPoint", "SweepPoint", "SweepReport", "SweepRunner", "CHAOS_ENV"]

@@ -112,12 +112,16 @@ class Network:
         route_table: dict[tuple[int, int], int],
         config: NoCConfig | None = None,
         wakeup_latency: int = 8,
+        activity: NetworkActivity | None = None,
     ):
         self.topology = topology
         self.config = config or NoCConfig()
         self.route_table = route_table
         self.wakeup_latency = wakeup_latency
-        self.activity = NetworkActivity()
+        # `activity` lets a fault reconfiguration hand the accumulated
+        # counters to the replacement network so power accounting spans
+        # the whole run
+        self.activity = activity if activity is not None else NetworkActivity()
         self.counting = False
         self.cycle = 0
 
@@ -418,6 +422,43 @@ class Network:
         self._arrivals[cycle + LINK_DELAY].append(
             (downstream, downstream_port, out_v, flit)
         )
+
+    # ------------------------------------------------------------------
+    # fault support
+    # ------------------------------------------------------------------
+    def extract_in_flight(self) -> list[tuple[Packet, bool]]:
+        """Every packet currently inside the network, in creation order.
+
+        The second element is True when at least one flit of the packet has
+        left its source NI (the packet must be *retransmitted* after a
+        reconfiguration) and False while the packet is still queued whole at
+        the NI (it only needs *rerouting* onto the new tables).
+        """
+        seen: dict[int, list] = {}
+
+        def note(packet: Packet, entered: bool) -> None:
+            state = seen.get(packet.pid)
+            if state is None:
+                seen[packet.pid] = [packet, entered]
+            elif entered:
+                state[1] = True
+
+        for node in self.routers:
+            inject = self._inject_state[node]
+            if inject is not None:
+                packet, injected, _vc = inject
+                note(packet, injected > 0)
+            for packet in self.source_queues[node]:
+                note(packet, False)
+        for router in self.routers.values():
+            for port_buffers in router.buf:
+                for queue in port_buffers:
+                    for flit in queue:
+                        note(flit.packet, True)
+        for events in self._arrivals.values():
+            for _node, _port, _vc, flit in events:
+                note(flit.packet, True)
+        return [(packet, entered) for _, (packet, entered) in sorted(seen.items())]
 
     # ------------------------------------------------------------------
     # queries

@@ -42,10 +42,23 @@ class SimulationResult:
     measure_cycles: int
     activity: NetworkActivity = field(repr=False, default_factory=NetworkActivity)
     endpoint_count: int = 0
+    # fault-injection outcome (all zero unless the spec carried a
+    # non-empty FaultSchedule, so fault-free runs are bit-identical to
+    # results produced before faults existed)
+    packets_dropped: int = 0
+    packets_retransmitted: int = 0
+    packets_rerouted: int = 0
+    reconfigurations: int = 0
+    min_region_level: int = 0
 
     @property
     def powered_router_count(self) -> int:
         return len(self.activity.routers)
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fault forced the network to reconfigure mid-run."""
+        return self.reconfigurations > 0
 
 
 def simulate(spec: SimulationSpec, gating_policy=None) -> SimulationResult:
@@ -65,6 +78,7 @@ def simulate(spec: SimulationSpec, gating_policy=None) -> SimulationResult:
         spec.measure_cycles,
         spec.drain_cycles,
         gating_policy,
+        faults=spec.faults,
     )
 
 
@@ -110,6 +124,65 @@ def run_simulation(
     )
 
 
+def _reconfigure(
+    network: Network,
+    topology: SprintTopology,
+    faults,
+    cfg: NoCConfig,
+    cycle: int,
+    counters: dict,
+) -> tuple[Network, SprintTopology]:
+    """Rebuild the network around the fault set active at ``cycle``.
+
+    Implements the drop-and-retransmit reconfiguration policy: a smaller
+    convex region is grown around the faults (falling back towards the
+    master when the full level is unreachable), packets whose source and
+    destination survive are re-injected at their source NI with their
+    original creation timestamps (the retransmission penalty shows up as
+    latency), and packets stranded on a dead endpoint are dropped.
+    """
+    from repro.core.faults import degraded_topology, link_fault_exclusions
+
+    excluded = set(faults.faulty_routers_at(cycle))
+    links = faults.faulty_links_at(cycle)
+    if links:
+        excluded |= link_fault_exclusions(
+            topology.width, topology.height, links, topology.master
+        )
+    if excluded:
+        new_topology = degraded_topology(
+            topology.width, topology.height, topology.level,
+            frozenset(excluded), topology.master,
+        )
+        # CDOR is the only routing that is sound on an arbitrary convex
+        # region (and equals XY on the full mesh), so reconfigured
+        # networks always route CDOR
+        table = build_routing_table(new_topology, "cdor")
+    else:
+        # every transient fault has recovered: restore the planned region
+        new_topology = topology
+        table = build_routing_table(new_topology, "cdor")
+
+    replacement = Network(new_topology, table, cfg, activity=network.activity)
+    replacement.cycle = cycle
+    replacement.counting = network.counting
+    replacement.on_packet_ejected = network.on_packet_ejected
+    for packet, entered in network.extract_in_flight():
+        if (
+            packet.source in replacement.routers
+            and packet.destination in replacement.routers
+        ):
+            packet.hops = 0
+            replacement.inject(packet)
+            counters["retransmitted" if entered else "rerouted"] += 1
+        else:
+            counters["dropped"] += 1
+            if packet.measured:
+                counters["lost_measured"] += 1
+    counters["reconfigurations"] += 1
+    return replacement, new_topology
+
+
 def _execute(
     topology: SprintTopology,
     traffic: TrafficGenerator,
@@ -119,6 +192,7 @@ def _execute(
     measure_cycles: int,
     drain_cycles: int,
     gating_policy,
+    faults=None,
 ) -> SimulationResult:
     """The warmup / measure / drain loop shared by both entry points."""
     if routing in ("cdor", "xy"):
@@ -145,6 +219,15 @@ def _execute(
 
     network.on_packet_ejected = on_eject
 
+    boundaries = faults.boundaries() if faults else []
+    next_boundary = 0
+    counters = {
+        "dropped": 0, "retransmitted": 0, "rerouted": 0,
+        "lost_measured": 0, "reconfigurations": 0,
+    }
+    active_topology = topology
+    min_level = topology.level if boundaries else 0
+
     created_measured = 0
     measure_end = warmup_cycles + measure_cycles
     deadline = measure_end + drain_cycles
@@ -152,8 +235,22 @@ def _execute(
         cycle = network.cycle
         if cycle >= deadline:
             break
+        if next_boundary < len(boundaries) and boundaries[next_boundary] == cycle:
+            next_boundary += 1
+            network, active_topology = _reconfigure(
+                network, topology, faults, cfg, cycle, counters
+            )
+            min_level = min(min_level, active_topology.level)
         in_window = warmup_cycles <= cycle < measure_end
         for packet in traffic.packets_for_cycle(cycle, measured=in_window):
+            if active_topology is not topology and (
+                packet.source not in network.routers
+                or packet.destination not in network.routers
+            ):
+                # the endpoint's router fell out of the degraded region:
+                # the packet is lost at the NI before it is ever created
+                counters["dropped"] += 1
+                continue
             network.inject(packet)
             if packet.measured:
                 created_measured += 1
@@ -164,10 +261,14 @@ def _execute(
         if gating_policy is not None:
             gating_policy.step(network)
         network.step()
-        if cycle >= measure_end and ejected["measured"] >= created_measured:
+        if cycle >= measure_end and (
+            ejected["measured"] >= created_measured - counters["lost_measured"]
+        ):
             break
 
-    saturated = ejected["measured"] < created_measured
+    saturated = (
+        ejected["measured"] < created_measured - counters["lost_measured"]
+    )
     endpoints = len(traffic.endpoints)
     return SimulationResult(
         avg_latency=latency.mean if latency.count else 0.0,
@@ -189,6 +290,11 @@ def _execute(
         measure_cycles=measure_cycles,
         activity=network.activity,
         endpoint_count=endpoints,
+        packets_dropped=counters["dropped"],
+        packets_retransmitted=counters["retransmitted"],
+        packets_rerouted=counters["rerouted"],
+        reconfigurations=counters["reconfigurations"],
+        min_region_level=min_level,
     )
 
 

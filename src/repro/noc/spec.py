@@ -26,13 +26,26 @@ from repro.core.topological import SprintTopology
 from repro.noc.traffic import TrafficGenerator
 
 
+def _field_default(f: dataclasses.Field):
+    if f.default is not dataclasses.MISSING:
+        return f.default
+    if f.default_factory is not dataclasses.MISSING:
+        return f.default_factory()
+    return dataclasses.MISSING
+
+
 def _canonical(obj):
     """A JSON-serializable canonical form of nested dataclasses/values."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        payload = {
-            f.name: _canonical(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
+        payload = {}
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            # Fields marked `omit_when_default` vanish from the canonical
+            # form while they hold their default value, so adding such a
+            # field to a spec class never invalidates existing cache keys.
+            if f.metadata.get("omit_when_default") and value == _field_default(f):
+                continue
+            payload[f.name] = _canonical(value)
         payload["__class__"] = type(obj).__name__
         return payload
     if isinstance(obj, dict):
@@ -89,6 +102,91 @@ class TrafficSpec:
 
 
 @dataclass(frozen=True)
+class FaultEvent:
+    """One injected failure in the simulated silicon.
+
+    ``kind`` is ``"router"`` (a whole node fails) or ``"link"`` (one mesh
+    link fails; the region reconfigures to exclude the endpoint farther
+    from the master so CDOR never sees a broken internal link).
+    ``duration`` is ``None`` for a permanent (hard) fault, or the number of
+    cycles a transient fault lasts before the component recovers.
+    """
+
+    cycle: int
+    kind: str = "router"
+    node: int | None = None
+    link: tuple[int, int] | None = None
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("fault cycle must be non-negative")
+        if self.kind not in ("router", "link"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "router" and (self.node is None or self.link is not None):
+            raise ValueError("a router fault names exactly one node")
+        if self.kind == "link":
+            if self.link is None or self.node is not None:
+                raise ValueError("a link fault names exactly one (a, b) link")
+            if len(self.link) != 2 or self.link[0] == self.link[1]:
+                raise ValueError(f"malformed link {self.link!r}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError("transient fault duration must be >= 1 cycle")
+
+    @property
+    def recovery_cycle(self) -> int | None:
+        """Cycle the component comes back, or None for a permanent fault."""
+        return None if self.duration is None else self.cycle + self.duration
+
+    def active_at(self, cycle: int) -> bool:
+        if cycle < self.cycle:
+            return False
+        return self.duration is None or cycle < self.cycle + self.duration
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A declarative, content-hashable set of fault injections.
+
+    The empty schedule is the default everywhere and canonicalizes to
+    nothing at all, so fault-free specs keep the cache keys they had
+    before faults existed.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def boundaries(self) -> list[int]:
+        """Sorted cycles at which the fault set changes (onset + recovery)."""
+        cycles = set()
+        for event in self.events:
+            cycles.add(event.cycle)
+            if event.recovery_cycle is not None:
+                cycles.add(event.recovery_cycle)
+        return sorted(cycles)
+
+    def faulty_routers_at(self, cycle: int) -> frozenset[int]:
+        return frozenset(
+            e.node for e in self.events if e.kind == "router" and e.active_at(cycle)
+        )
+
+    def faulty_links_at(self, cycle: int) -> frozenset[tuple[int, int]]:
+        return frozenset(
+            (min(e.link), max(e.link))
+            for e in self.events
+            if e.kind == "link" and e.active_at(cycle)
+        )
+
+
+@dataclass(frozen=True)
 class SimulationSpec:
     """Everything needed to run (and cache) one network simulation.
 
@@ -104,6 +202,9 @@ class SimulationSpec:
     warmup_cycles: int = 500
     measure_cycles: int = 2000
     drain_cycles: int = 30000
+    faults: FaultSchedule = field(
+        default_factory=FaultSchedule, metadata={"omit_when_default": True}
+    )
 
     def __post_init__(self) -> None:
         if self.warmup_cycles < 0 or self.measure_cycles < 1 or self.drain_cycles < 0:
@@ -111,6 +212,33 @@ class SimulationSpec:
         for node in self.traffic.endpoints:
             if not self.topology.is_active(node):
                 raise ValueError(f"traffic endpoint {node} is dark in this topology")
+        if self.faults:
+            self._validate_faults()
+
+    def _validate_faults(self) -> None:
+        if self.routing not in ("cdor", "xy"):
+            raise ValueError(
+                "fault injection needs deterministic reconfiguration; "
+                f"routing {self.routing!r} is not supported with faults"
+            )
+        n = self.topology.width * self.topology.height
+        for event in self.faults.events:
+            if event.kind == "router":
+                if not 0 <= event.node < n:
+                    raise ValueError(f"fault node {event.node} outside the mesh")
+                if event.node == self.topology.master:
+                    raise ValueError(
+                        "the master node cannot be faulted: it anchors every "
+                        "reconfigured sprint region"
+                    )
+            else:
+                a, b = event.link
+                if not (0 <= a < n and 0 <= b < n):
+                    raise ValueError(f"fault link {event.link} outside the mesh")
+                ca = self.topology.coord(a)
+                cb = self.topology.coord(b)
+                if abs(ca.x - cb.x) + abs(ca.y - cb.y) != 1:
+                    raise ValueError(f"fault link {event.link} is not a mesh link")
 
     def cache_key(self) -> str:
         """Canonical content hash of the full run description."""
@@ -123,4 +251,4 @@ class SimulationSpec:
         )
 
 
-__all__ = ["SimulationSpec", "TrafficSpec", "stable_key"]
+__all__ = ["FaultEvent", "FaultSchedule", "SimulationSpec", "TrafficSpec", "stable_key"]

@@ -39,6 +39,8 @@ class SprintTransientResult:
 
     samples: list[TransientSample] = field(default_factory=list)
     reached_limit_at_s: float | None = None
+    # (time_s, stage index entered) for each staged retreat taken
+    retreats: list[tuple[float, int]] = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
@@ -136,6 +138,92 @@ class SprintTransient:
             net = total_power - removed
             if phase == "melting" and net > 0:
                 melted_j += net * dt_s  # latent heat absorbs the excess
+            else:
+                temperature += net * dt_s / self.pcm_capacitance
+                temperature = max(temperature, self.pcm.start_temperature_k)
+                if temperature >= self.pcm.melt_temperature_k and melted_j < self.pcm.latent_energy_j:
+                    temperature = self.pcm.melt_temperature_k
+        return result
+
+    def run_staged(
+        self,
+        stage_tile_powers: Sequence[Sequence[float]],
+        duration_s: float,
+        dt_s: float = 2e-3,
+        samples: int = 60,
+    ) -> SprintTransientResult:
+        """Simulate a sprint that *retreats* through power stages.
+
+        ``stage_tile_powers`` is a descending ladder of tile-power vectors
+        (e.g. full sprint region, half region, nominal).  Whenever the PCM
+        node reaches the max die temperature the sprint drops to the next
+        stage instead of aborting; each retreat is recorded in
+        ``result.retreats``.  The run only stops early when the *last*
+        stage still cannot hold the thermal limit -- the staged-retreat
+        counterpart of the all-or-nothing stop in :meth:`run`.
+        """
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("need positive duration and dt")
+        if not stage_tile_powers:
+            raise ValueError("need at least one power stage")
+        params = self.grid.params
+
+        def stage_state(tile_powers):
+            total = float(sum(tile_powers))
+            die = self.grid.steady_state(tile_powers)
+            offset = float(die.max()) - params.ambient_k - (
+                self.grid.spreader_temperature(tile_powers) - params.ambient_k
+            )
+            return total, offset
+
+        stage = 0
+        total_power, hotspot_offset = stage_state(stage_tile_powers[0])
+        result = SprintTransientResult()
+        temperature = self.pcm.start_temperature_k
+        melted_j = 0.0
+        steps = int(round(duration_s / dt_s))
+        sample_every = max(1, steps // samples)
+        for step in range(steps + 1):
+            t = step * dt_s
+            if temperature < self.pcm.melt_temperature_k and melted_j == 0.0:
+                phase = "heating"
+            elif melted_j < self.pcm.latent_energy_j:
+                phase = "melting"
+            elif temperature < self.pcm.max_temperature_k:
+                phase = "post-melt"
+            else:
+                phase = "limit"
+
+            if step % sample_every == 0 or phase == "limit":
+                global_rise = temperature - params.ambient_k
+                peak = params.ambient_k + global_rise + hotspot_offset
+                result.samples.append(
+                    TransientSample(
+                        time_s=t,
+                        pcm_temperature_k=temperature,
+                        peak_die_temperature_k=peak,
+                        melted_fraction=min(1.0, melted_j / self.pcm.latent_energy_j),
+                        phase=phase,
+                    )
+                )
+            if phase == "limit":
+                if stage + 1 < len(stage_tile_powers):
+                    # staged retreat: drop to the next (lower) power stage
+                    # and keep integrating; the stage gets one step to
+                    # prove it can cool before the next retreat fires
+                    stage += 1
+                    total_power, hotspot_offset = stage_state(
+                        stage_tile_powers[stage]
+                    )
+                    result.retreats.append((t, stage))
+                else:
+                    result.reached_limit_at_s = t
+                    break
+
+            removed = (temperature - self.pcm.start_temperature_k) / self.sink_resistance
+            net = total_power - removed
+            if phase == "melting" and net > 0:
+                melted_j += net * dt_s
             else:
                 temperature += net * dt_s / self.pcm_capacitance
                 temperature = max(temperature, self.pcm.start_temperature_k)

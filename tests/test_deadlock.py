@@ -98,3 +98,27 @@ class TestNonConvexCounterexample:
         with pytest.raises(Exception):
             nx.find_cycle(nx.DiGraph([(1, 2)]))  # acyclic raises NetworkXNoCycle
         assert list(nx.find_cycle(graph))
+
+
+class TestDeadlockFreedomOnDegradedRegions:
+    """The mid-run reconfiguration story rests on this: whatever region the
+    fault layer retreats to, CDOR on it stays deadlock-free."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(2, 5),
+        height=st.integers(2, 5),
+        data=st.data(),
+    )
+    def test_property_degraded_regions_deadlock_free(self, width, height, data):
+        from repro.core.faults import degraded_topology
+
+        n = width * height
+        faults = data.draw(st.sets(st.integers(1, n - 1), max_size=n // 3))
+        level = data.draw(st.integers(1, n))
+        topo = degraded_topology(width, height, level, faults)
+        assert not set(topo.active_nodes) & faults
+        report = check_deadlock_freedom(CdorRouter(topo))
+        assert report.acyclic, (
+            f"faults {sorted(faults)} level {level}: cycle {report.cycle}"
+        )

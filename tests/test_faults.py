@@ -6,8 +6,20 @@ from hypothesis import strategies as st
 
 from repro.core.cdor import CdorRouter
 from repro.core.deadlock import check_deadlock_freedom
-from repro.core.faults import FaultError, fault_aware_sprint_region, fault_aware_topology
+from repro.core.faults import (
+    FaultError,
+    degraded_topology,
+    fault_aware_sprint_region,
+    fault_aware_topology,
+    link_fault_exclusions,
+)
 from repro.core.topological import sprint_region
+
+#: every link of the 4x4 mesh, as (low, high) node pairs
+MESH_LINKS = sorted(
+    {(n, n + 1) for n in range(16) if n % 4 != 3}
+    | {(n, n + 4) for n in range(12)}
+)
 
 
 class TestBasics:
@@ -81,6 +93,58 @@ class TestRoutingOnFaultyRegions:
         assert not set(topo.active_nodes) & faults
         assert topo.level == level
         assert check_deadlock_freedom(CdorRouter(topo)).acyclic
+
+
+class TestDegradedTopology:
+    def test_matches_strict_version_when_level_reachable(self):
+        assert degraded_topology(4, 4, 4, {5}).active_nodes == (
+            fault_aware_topology(4, 4, 4, {5}).active_nodes
+        )
+
+    def test_retreats_when_level_unreachable(self):
+        # 14 healthy nodes around fault {1} but only 13 are reachable
+        topo = degraded_topology(4, 4, 14, {1})
+        assert topo.level == 13
+
+    def test_faulty_master_still_fatal(self):
+        with pytest.raises(FaultError):
+            degraded_topology(4, 4, 4, {0})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        faults=st.sets(st.integers(1, 15), max_size=6),
+        level=st.integers(1, 16),
+    )
+    def test_property_always_yields_routable_region(self, faults, level):
+        """Any fault set yields *some* region: connected, convex, fault-free,
+        deadlock-free, and CDOR never walks through a faulty node."""
+        topo = degraded_topology(4, 4, level, faults)
+        assert 1 <= topo.level <= level
+        assert topo.is_connected()
+        assert topo.is_orthogonally_convex()
+        assert not set(topo.active_nodes) & faults
+        router = CdorRouter(topo)
+        assert check_deadlock_freedom(router).acyclic
+        for src in topo.active_nodes:
+            for dst in topo.active_nodes:
+                path = router.walk(src, dst)
+                assert path[-1] == dst
+                assert not set(path) & faults
+
+    @settings(max_examples=40, deadline=None)
+    @given(links=st.sets(st.sampled_from(MESH_LINKS), max_size=4))
+    def test_property_link_faults_never_span_the_region(self, links):
+        """Excluding one endpoint per faulty link keeps every broken link
+        outside the degraded region, and never costs the master."""
+        excluded = link_fault_exclusions(4, 4, links)
+        assert 0 not in excluded
+        assert len(excluded) <= len(links)
+        for a, b in links:
+            assert a in excluded or b in excluded
+        topo = degraded_topology(4, 4, 16, excluded)
+        active = set(topo.active_nodes)
+        for a, b in links:
+            assert not {a, b} <= active
 
 
 class TestSkippedNodesRecovered:
