@@ -10,6 +10,8 @@ Commands map onto the paper's evaluation axes:
 - ``network``                injection-rate sweep on a sprint region (Fig. 11)
 - ``thermal [benchmark]``    heat maps and PCM phases (Figs. 1, 12)
 - ``duration``               per-benchmark sprint-duration gains (Sec. 4.4)
+- ``report <trace.jsonl>``   span tree, top time sinks and metrics of a
+  trace produced with ``sweep --trace``
 """
 
 from __future__ import annotations
@@ -63,7 +65,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # --resume or --fault would be silently ignored by the legacy summary
     if (args.levels or args.rates or args.patterns or args.fault
             or args.resume or args.cache_dir or args.max_retries
-            or args.point_timeout is not None):
+            or args.point_timeout is not None or args.trace
+            or args.metrics):
         return _cmd_sweep_grid(args)
     system = NoCSprintingSystem()
     rows = []
@@ -161,17 +164,30 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
+    telemetry = None
+    if args.trace or args.metrics:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(sample_interval=args.sample_interval)
     try:
         runner = SweepRunner(workers=args.workers,
                              cache=ResultCache(directory=args.cache_dir),
                              max_retries=args.max_retries,
-                             point_timeout=args.point_timeout)
+                             point_timeout=args.point_timeout,
+                             telemetry=telemetry)
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
     report = runner.run(specs)
     for _ in range(args.repeat - 1):
         report = runner.run(specs)
+    if telemetry is not None:
+        telemetry.save(trace_path=args.trace, metrics_path=args.metrics)
+        if args.trace:
+            print(f"trace written: {args.trace} (inspect with "
+                  f"`repro report {args.trace}`)")
+        if args.metrics:
+            print(f"metrics written: {args.metrics}")
     degraded = any(point.result.degraded for point in report.points)
     rows = []
     for point in report.points:
@@ -343,6 +359,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject a NoC fault into every point: "
                             "NODE@CYCLE[:DURATION] (router) or "
                             "A-B@CYCLE[:DURATION] (link); repeatable")
+    sweep.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSONL span trace of the sweep "
+                            "(view with `repro report PATH`)")
+    sweep.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write the sweep metrics as Prometheus text")
+    sweep.add_argument("--sample-interval", type=int, default=200,
+                       metavar="CYCLES",
+                       help="in-simulation sampling period for --trace "
+                            "(per-router flits, occupancy; 0 disables)")
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
@@ -360,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("duration", help="sprint-duration gains per benchmark")
 
+    report = sub.add_parser(
+        "report", help="summarize a telemetry trace (span tree, time sinks, "
+                       "metrics)"
+    )
+    report.add_argument("trace", help="JSONL trace from `repro sweep --trace`")
+    report.add_argument("--top", type=int, default=10,
+                        help="number of time sinks to list")
+
     figure = sub.add_parser(
         "figure", help="regenerate a paper figure via its benchmark harness"
     )
@@ -368,6 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="e.g. fig07, fig11, table1, ablation_routing, extension_dvfs, llc",
     )
     return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the span tree / time sinks / metrics of a saved trace."""
+    import os
+
+    from repro.telemetry.report import render_report
+
+    if not os.path.exists(args.trace):
+        print(f"no such trace file: {args.trace}")
+        return 2
+    try:
+        print(render_report(args.trace, sink_limit=args.top))
+    except ValueError as err:
+        print(f"unreadable trace: {err}")
+        return 2
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -401,6 +451,7 @@ _HANDLERS = {
     "network": _cmd_network,
     "thermal": _cmd_thermal,
     "duration": _cmd_duration,
+    "report": _cmd_report,
     "figure": _cmd_figure,
 }
 

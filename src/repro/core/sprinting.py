@@ -21,6 +21,8 @@ from repro.core.floorplanning import Floorplan
 from repro.core.topological import SprintTopology
 from repro.noc.power_gating import StaticGatingPlan, static_plan_for_topology
 from repro.power.chip_power import ChipPowerModel
+from repro.telemetry import Telemetry
+from repro.telemetry import active as _active_telemetry
 from repro.thermal.pcm import DEFAULT_PCM, PCMParams
 
 
@@ -84,6 +86,7 @@ class SprintController:
     floorplan: Floorplan | None = None
     retreat: RetreatPolicy | None = None
     faulty: frozenset[int] = frozenset()
+    telemetry: Telemetry | None = None
 
     def __post_init__(self) -> None:
         self.chip_model = ChipPowerModel(self.config.core_count)
@@ -172,6 +175,20 @@ class SprintController:
         """Remaining fraction of the PCM thermal budget (0..1)."""
         return self._budget_j / self._budget_total_j
 
+    def _emit(self, name: str, **attrs) -> None:
+        """One controller transition: trace event + gauge refresh."""
+        tel = _active_telemetry(self.telemetry)
+        if tel is None:
+            return
+        tel.tracer.event(name, **attrs)
+        tel.metrics.gauge(
+            "sprint_level", "Active sprint level (1 = nominal operation)."
+        ).set(self.plan_active.level if self.plan_active is not None else 1)
+        tel.metrics.gauge(
+            "sprint_thermal_headroom",
+            "Remaining fraction of the PCM thermal budget (0..1).",
+        ).set(round(self.thermal_headroom, 6))
+
     def begin_sprint(self, profile: BenchmarkProfile) -> SprintPlan:
         """Enter sprint mode for a workload burst."""
         if self.mode is SprintMode.SPRINTING:
@@ -189,9 +206,16 @@ class SprintController:
             # the optimum is nominal operation: nothing to sprint
             self.mode = SprintMode.NOMINAL
             self.plan_active = None
+            self._emit("sprint_begin", level=1, nominal=True)
             return plan
         self.mode = SprintMode.SPRINTING
         self.plan_active = plan
+        self._emit(
+            "sprint_begin",
+            level=plan.level,
+            power_w=round(plan.sprint_power_w, 3),
+            expected_speedup=round(plan.expected_speedup, 4),
+        )
         return plan
 
     def advance(self, seconds: float) -> float:
@@ -219,6 +243,10 @@ class SprintController:
                 self._budget_j = 0.0
                 self.mode = SprintMode.COOLDOWN
                 self.plan_active = None
+                self._emit(
+                    "sprint_exhausted",
+                    sprint_time_s=round(self._sprint_time_s, 6),
+                )
             return sustained
         if self.mode is SprintMode.COOLDOWN:
             refill_rate = 0.25 * self.pcm.sustainable_power_w
@@ -238,6 +266,18 @@ class SprintController:
             return
         self.retreat_log.append((self._sprint_time_s, plan.level, level))
         self.plan_active = self._plan_for_level(level, self._profile_active)
+        tel = _active_telemetry(self.telemetry)
+        if tel is not None:
+            tel.metrics.counter(
+                "sprint_retreats_total",
+                "Staged sprint-level retreats taken by the controller.",
+            ).inc()
+        self._emit(
+            "sprint_retreat",
+            t=round(self._sprint_time_s, 6),
+            from_level=plan.level,
+            to_level=self.plan_active.level,
+        )
 
     def _advance_with_retreat(self, seconds: float) -> float:
         """Staged-retreat integration of sprint time.
@@ -282,6 +322,10 @@ class SprintController:
                 else:
                     self.mode = SprintMode.COOLDOWN
                     self.plan_active = None
+                    self._emit(
+                        "sprint_exhausted",
+                        sprint_time_s=round(self._sprint_time_s, 6),
+                    )
         return sustained
 
     def drain_budget(self, power_w: float, seconds: float) -> float:
@@ -303,6 +347,7 @@ class SprintController:
             self._budget_j = 0.0
             self.mode = SprintMode.COOLDOWN
             self.plan_active = None
+            self._emit("sprint_exhausted", drained_by="drain_budget")
         return sustained
 
     def end_sprint(self) -> None:
@@ -313,6 +358,11 @@ class SprintController:
                 SprintMode.COOLDOWN
                 if self._budget_j < self._budget_total_j
                 else SprintMode.NOMINAL
+            )
+            self._emit(
+                "sprint_end",
+                sprint_time_s=round(self._sprint_time_s, 6),
+                mode=self.mode.value,
             )
 
     def max_sprint_duration(self, plan: SprintPlan) -> float:

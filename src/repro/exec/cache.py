@@ -9,8 +9,13 @@ spec, ``NoCConfig`` field, routing algorithm or simulation window yields a
 different key -- a cache hit is a guarantee of an identical run.
 
 The cache never evicts silently mid-sweep; :meth:`ResultCache.clear`
-empties the memory layer explicitly.  Hit/miss counters feed the sweep
-observability report.
+empties the memory layer explicitly.  A *corrupt* on-disk entry (torn
+write, truncation, foreign bytes) is counted, deleted, and treated as a
+miss -- the sweep re-simulates the point instead of raising mid-run.
+Hit/miss/corruption/byte counters live on :class:`CacheStats`
+(``cache.counters`` accumulates in place, :meth:`ResultCache.stats`
+returns a frozen snapshot) and feed the sweep observability report and
+the telemetry metrics registry.
 """
 
 from __future__ import annotations
@@ -24,13 +29,16 @@ from dataclasses import dataclass, field
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one :class:`ResultCache`."""
+    """Hit/miss/byte counters for one :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    corrupt: int = 0  # unreadable on-disk entries (counted, deleted, re-run)
+    bytes_read: int = 0  # pickle bytes served from disk
+    bytes_written: int = 0  # pickle bytes persisted to disk
 
     @property
     def lookups(self) -> int:
@@ -48,6 +56,9 @@ class CacheStats:
             stores=self.stores,
             memory_hits=self.memory_hits,
             disk_hits=self.disk_hits,
+            corrupt=self.corrupt,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
         )
 
 
@@ -61,12 +72,16 @@ class ResultCache:
     """
 
     directory: str | None = None
-    stats: CacheStats = field(default_factory=CacheStats)
+    counters: CacheStats = field(default_factory=CacheStats)
     _memory: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.directory is not None:
             os.makedirs(self.directory, exist_ok=True)
+
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the hit/miss/bytes counters."""
+        return self.counters.snapshot()
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -74,36 +89,51 @@ class ResultCache:
         return os.path.join(self.directory, f"{key}.pkl")
 
     def get(self, key: str):
-        """The cached value for ``key``, or ``None`` on a miss."""
+        """The cached value for ``key``, or ``None`` on a miss.
+
+        A corrupt disk entry is *not* an error: it is counted on
+        ``counters.corrupt``, deleted so the slot can be rewritten, and
+        reported as a miss -- the caller simply re-simulates the point.
+        """
         if key in self._memory:
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
+            self.counters.hits += 1
+            self.counters.memory_hits += 1
             return self._memory[key]
         if self.directory is not None:
             path = self._path(key)
             if os.path.exists(path):
                 try:
                     with open(path, "rb") as handle:
-                        value = pickle.load(handle)
-                except (OSError, pickle.PickleError, EOFError):
-                    pass  # treat a torn/unreadable entry as a miss
+                        blob = handle.read()
+                    value = pickle.loads(blob)
+                except Exception:
+                    # torn write / truncation / foreign bytes: a pickle of
+                    # hostile provenance can raise nearly anything, so the
+                    # broad except is deliberate -- count, drop, re-run
+                    self.counters.corrupt += 1
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
                 else:
                     self._memory[key] = value
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
+                    self.counters.hits += 1
+                    self.counters.disk_hits += 1
+                    self.counters.bytes_read += len(blob)
                     return value
-        self.stats.misses += 1
+        self.counters.misses += 1
         return None
 
     def put(self, key: str, value) -> None:
         """Store a value under ``key`` in every layer."""
         self._memory[key] = value
-        self.stats.stores += 1
+        self.counters.stores += 1
         if self.directory is not None:
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle)
+                self.counters.bytes_written += os.path.getsize(tmp)
                 os.replace(tmp, self._path(key))
             except OSError:
                 try:

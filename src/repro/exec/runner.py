@@ -32,6 +32,7 @@ the unfinished points.
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 import traceback as _tb
@@ -42,6 +43,8 @@ from typing import Callable, Sequence
 from repro.exec.cache import CacheStats, ResultCache
 from repro.noc.sim import SimulationResult, simulate
 from repro.noc.spec import SimulationSpec, stable_key
+from repro.telemetry import Telemetry, TelemetryContext
+from repro.telemetry import active as _active_telemetry
 
 #: Environment hook for fault-injecting the harness itself (CI smoke tests
 #: and the runner's own test suite).  Recipes, applied per point with a
@@ -81,21 +84,29 @@ def _maybe_inject_chaos(spec: SimulationSpec) -> None:
         os._exit(17)
 
 
-def _simulate_guarded(spec: SimulationSpec):
+def _simulate_guarded(spec: SimulationSpec, tel_ctx: TelemetryContext | None = None):
     """Worker entry point: run one spec, never let an exception escape.
 
-    Returns ``("ok", result, seconds)`` or ``("err", message, traceback,
-    seconds)`` -- the scheduler turns the latter into a retry or a
-    :class:`FailedPoint` with the worker-side traceback attached.
+    Returns ``("ok", result, seconds, payload)`` or ``("err", message,
+    traceback, seconds, payload)`` -- the scheduler turns the latter into a
+    retry or a :class:`FailedPoint` with the worker-side traceback attached.
+    ``payload`` is the worker's drained :meth:`Telemetry.payload` (its spans
+    and metrics, shipped back for the parent to absorb), or ``None`` when
+    the sweep runs uninstrumented.
     """
+    tel = Telemetry.from_context(tel_ctx)
     start = time.perf_counter()
     try:
         _maybe_inject_chaos(spec)
-        result = simulate(spec)
+        result = simulate(spec, telemetry=tel)
     except Exception as exc:
         elapsed = time.perf_counter() - start
-        return ("err", f"{type(exc).__name__}: {exc}", _tb.format_exc(), elapsed)
-    return ("ok", result, time.perf_counter() - start)
+        payload = tel.payload() if tel is not None else None
+        return ("err", f"{type(exc).__name__}: {exc}", _tb.format_exc(),
+                elapsed, payload)
+    elapsed = time.perf_counter() - start
+    payload = tel.payload() if tel is not None else None
+    return ("ok", result, elapsed, payload)
 
 
 def _simulate_timed(spec: SimulationSpec) -> tuple[SimulationResult, float]:
@@ -104,6 +115,48 @@ def _simulate_timed(spec: SimulationSpec) -> tuple[SimulationResult, float]:
     if status[0] == "ok":
         return status[1], status[2]
     raise RuntimeError(status[1])
+
+
+#: Sweep-level metric names pre-registered at the start of every
+#: instrumented run, so a clean sweep still renders them (as zeros) in the
+#: Prometheus dump instead of omitting them.
+_SWEEP_COUNTER_HELP = {
+    "sweep_cache_hits_total": "Points served from the result cache.",
+    "sweep_cache_misses_total": "Points that had to be simulated.",
+    "sweep_simulated_total": "Simulations that completed successfully.",
+    "sweep_retries_total": "Point attempts re-scheduled after a failure.",
+    "sweep_errors_total": "Point attempts that raised inside the worker.",
+    "sweep_timeouts_total": "Point attempts that exceeded point_timeout.",
+    "sweep_crashes_total": "Point attempts that killed their worker process.",
+    "sweep_failures_total": "Points abandoned after exhausting retries.",
+}
+
+#: FailedPoint.kind -> per-attempt failure counter.
+_KIND_COUNTER = {
+    "error": "sweep_errors_total",
+    "timeout": "sweep_timeouts_total",
+    "crash": "sweep_crashes_total",
+}
+
+
+def _progress_accepts_outcome(progress) -> bool:
+    """True when a progress callback takes the 4th ``outcome`` argument.
+
+    Legacy callbacks are ``progress(done, total, point)``; new-style ones
+    add ``outcome`` and are additionally invoked for failed points.  The
+    arity sniff keeps every pre-existing 3-argument callback working.
+    """
+    try:
+        signature = inspect.signature(progress)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for param in signature.parameters.values():
+        if param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD):
+            positional += 1
+        elif param.kind == param.VAR_POSITIONAL:
+            return True
+    return positional >= 4
 
 
 def _kill_pool(pool) -> None:
@@ -235,9 +288,20 @@ class SweepRunner:
     process pool, one future per point.  ``cache=None`` gives the runner a
     private in-memory cache; pass a shared :class:`ResultCache` to reuse
     results across runners, benchmarks and CLI invocations.  ``progress``
-    (if given) is called as ``progress(done, total, point)`` the moment each
-    point completes -- cache hits first (in input order), simulated points
-    in completion order; failed points advance ``done`` without a callback.
+    (if given) is called the moment each point completes -- cache hits
+    first (in input order), simulated points in completion order.  A
+    callback accepting four positional arguments is called as
+    ``progress(done, total, point, outcome)`` with ``outcome`` one of
+    ``"cached"``, ``"simulated"`` or ``"failed"`` (``point`` is a
+    :class:`FailedPoint` for failures), so a progress bar can render
+    failures as they happen.  A legacy three-argument callback keeps the
+    old contract: failed points advance ``done`` without a callback.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry` bundle) adds a
+    ``sweep`` span with one child ``point`` span per unique simulated spec,
+    absorbs each worker's spans/metrics under its point span, and fills the
+    ``sweep_*`` counters plus the ``sweep_point_sim_seconds`` histogram and
+    ``result_cache_*`` gauges.  ``None`` (the default) costs nothing.
 
     Failure policy: a point that raises is retried up to ``max_retries``
     times with exponential backoff (``retry_backoff_s`` doubling per
@@ -256,6 +320,7 @@ class SweepRunner:
         max_retries: int = 0,
         point_timeout: float | None = None,
         retry_backoff_s: float = 0.05,
+        telemetry: Telemetry | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -268,9 +333,13 @@ class SweepRunner:
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.progress = progress
+        self._progress_outcome = (
+            progress is not None and _progress_accepts_outcome(progress)
+        )
         self.max_retries = max_retries
         self.point_timeout = point_timeout
         self.retry_backoff_s = retry_backoff_s
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[SimulationSpec]) -> SweepReport:
@@ -287,6 +356,49 @@ class SweepRunner:
         prior_manifest = self.cache.get_json(manifest_name)
         self.cache.put_json(manifest_name, {"total": total, "keys": keys})
 
+        tel = _active_telemetry(self.telemetry)
+        tracer = tel.tracer if tel is not None else None
+        sweep_span = None
+        if tel is not None:
+            for name, help_text in _SWEEP_COUNTER_HELP.items():
+                tel.metrics.counter(name, help_text)
+            tel.metrics.histogram(
+                "sweep_point_sim_seconds",
+                "Per-point simulation wall time (successful attempts).",
+            )
+            sweep_span = tracer.span(
+                "sweep", points=total, workers=self.workers,
+                max_retries=self.max_retries,
+            )
+        point_spans: dict[str, object] = {}
+
+        def point_span(key: str):
+            """The (lazily opened) span covering every attempt of a point."""
+            span = point_spans.get(key)
+            if span is None:
+                span = tracer.span("point", parent=sweep_span.id, key=key[:12])
+                point_spans[key] = span
+            return span
+
+        def worker_ctx(key: str, attempt: int) -> TelemetryContext | None:
+            if tel is None:
+                return None
+            # attempt-qualified prefix: each retry's worker restarts its
+            # span serial at 1, so the prefix must differ per attempt
+            return tel.worker_context(f"{point_span(key).id}.a{attempt}.")
+
+        def absorb(key: str, payload) -> None:
+            if tel is not None and payload:
+                tel.absorb(payload, point_span(key).id)
+
+        def notify(done: int, total: int, point, outcome: str) -> None:
+            if self.progress is None:
+                return
+            if self._progress_outcome:
+                self.progress(done, total, point, outcome)
+            elif outcome != "failed":
+                self.progress(done, total, point)
+
         points: dict[int, SweepPoint] = {}
         failures: dict[int, FailedPoint] = {}
         pending: dict[str, list[int]] = {}  # key -> input indices needing it
@@ -299,8 +411,7 @@ class SweepRunner:
                 points[index] = point
                 hits += 1
                 done += 1
-                if self.progress is not None:
-                    self.progress(done, total, point)
+                notify(done, total, point, "cached")
             else:
                 pending.setdefault(key, []).append(index)
 
@@ -308,10 +419,20 @@ class SweepRunner:
         deduplicated = sum(len(ix) - 1 for ix in pending.values())
         succeeded: set[str] = set()
 
-        def complete(key: str, result: SimulationResult, elapsed: float) -> None:
+        def complete(key: str, result: SimulationResult, elapsed: float,
+                     payload=None) -> None:
             nonlocal done
             self.cache.put(key, result)  # checkpoint: resumable immediately
             succeeded.add(key)
+            absorb(key, payload)
+            if tel is not None:
+                tel.metrics.counter("sweep_simulated_total").inc()
+                tel.metrics.histogram("sweep_point_sim_seconds").observe(elapsed)
+                span = point_spans.pop(key, None)
+                if span is not None:
+                    span.annotate(outcome="simulated",
+                                  sim_seconds=round(elapsed, 6))
+                    span.end()
             for extra, index in enumerate(pending[key]):
                 point = SweepPoint(
                     index,
@@ -322,26 +443,73 @@ class SweepRunner:
                 )
                 points[index] = point
                 done += 1
-                if self.progress is not None:
-                    self.progress(done, total, point)
+                notify(done, total, point, "cached" if extra else "simulated")
 
-        def fail(key: str, kind: str, error: str, tb, attempts: int) -> None:
+        def fail(key: str, kind: str, error: str, tb, attempts: int,
+                 payload=None) -> None:
             nonlocal done
+            absorb(key, payload)
+            if tel is not None:
+                span = point_spans.pop(key, None)
+                if span is not None:
+                    span.annotate(outcome="failed", kind=kind,
+                                  attempts=attempts)
+                    span.end()
             for index in pending[key]:
-                failures[index] = FailedPoint(
+                failed = FailedPoint(
                     index, specs[index], kind, error, tb, attempts
                 )
+                failures[index] = failed
                 done += 1
+                if tel is not None:
+                    tel.metrics.counter("sweep_failures_total").inc()
+                notify(done, total, failed, "failed")
+
+        def attempt_failed(kind: str, retrying: bool) -> None:
+            """Count one failed attempt (and the retry it earned, if any)."""
+            if tel is None:
+                return
+            tel.metrics.counter(_KIND_COUNTER[kind]).inc()
+            if retrying:
+                tel.metrics.counter("sweep_retries_total").inc()
 
         parallel = self.workers > 1 and len(unique) > 1
         if parallel:
-            if not self._run_parallel(unique, complete, fail):
+            if not self._run_parallel(unique, complete, fail, worker_ctx,
+                                      absorb, attempt_failed):
                 parallel = False  # pool unavailable: transparent fallback
-                self._run_serial(unique, complete, fail)
+                self._run_serial(unique, complete, fail, worker_ctx,
+                                 absorb, attempt_failed)
         else:
-            self._run_serial(unique, complete, fail)
+            self._run_serial(unique, complete, fail, worker_ctx,
+                             absorb, attempt_failed)
 
         dedup_served = sum(len(pending[k]) - 1 for k in succeeded)
+        if tel is not None:
+            tel.metrics.counter("sweep_cache_hits_total").inc(hits + dedup_served)
+            tel.metrics.counter("sweep_cache_misses_total").inc(len(unique))
+            cache_stats = self.cache.stats()
+            gauge = tel.metrics.gauge
+            gauge("result_cache_hits",
+                  "Result-cache lookups served from cache.").set(cache_stats.hits)
+            gauge("result_cache_misses",
+                  "Result-cache lookups that missed.").set(cache_stats.misses)
+            gauge("result_cache_stores",
+                  "Results written to the cache.").set(cache_stats.stores)
+            gauge("result_cache_corrupt_entries",
+                  "Unreadable on-disk entries dropped and re-run.",
+                  ).set(cache_stats.corrupt)
+            gauge("result_cache_bytes_read",
+                  "Pickle bytes served from disk.").set(cache_stats.bytes_read)
+            gauge("result_cache_bytes_written",
+                  "Pickle bytes persisted to disk.").set(cache_stats.bytes_written)
+            sweep_span.annotate(
+                cache_hits=hits + dedup_served,
+                simulated=len(succeeded),
+                failures=len(failures),
+                parallel=parallel,
+            )
+            sweep_span.end()
         return SweepReport(
             points=[points[i] for i in sorted(points)],
             wall_time_s=time.perf_counter() - start,
@@ -351,7 +519,7 @@ class SweepRunner:
             cache_misses=len(unique),
             simulated=len(succeeded),
             deduplicated=deduplicated,
-            cache_stats=self.cache.stats.snapshot(),
+            cache_stats=self.cache.stats(),
             failures=[failures[i] for i in sorted(failures)],
             resumed=hits if prior_manifest is not None else 0,
         )
@@ -360,7 +528,8 @@ class SweepRunner:
     def _backoff(self, attempts: int) -> float:
         return self.retry_backoff_s * (2 ** max(0, attempts - 1))
 
-    def _run_serial(self, unique, complete, fail) -> None:
+    def _run_serial(self, unique, complete, fail, worker_ctx,
+                    absorb, attempt_failed) -> None:
         # in-process execution cannot preempt a hung simulation, so
         # point_timeout is not enforced here; exceptions are still
         # isolated and retried per point
@@ -368,16 +537,21 @@ class SweepRunner:
             attempts = 0
             while True:
                 attempts += 1
-                status = _simulate_guarded(spec)
+                status = _simulate_guarded(spec, worker_ctx(key, attempts))
                 if status[0] == "ok":
-                    complete(key, status[1], status[2])
+                    complete(key, status[1], status[2], status[3])
                     break
                 if attempts > self.max_retries:
-                    fail(key, "error", status[1], status[2], attempts)
+                    attempt_failed("error", retrying=False)
+                    fail(key, "error", status[1], status[2], attempts,
+                         status[4])
                     break
+                attempt_failed("error", retrying=True)
+                absorb(key, status[4])
                 time.sleep(self._backoff(attempts))
 
-    def _run_parallel(self, unique, complete, fail) -> bool:
+    def _run_parallel(self, unique, complete, fail, worker_ctx,
+                      absorb, attempt_failed) -> bool:
         """Per-future fan-out; returns False when no pool exists at all."""
         try:
             import concurrent.futures as cf
@@ -399,11 +573,15 @@ class SweepRunner:
             _kill_pool(pool)
             pool = cf.ProcessPoolExecutor(max_workers=self.workers)
 
-        def retry_or_fail(key: str, kind: str, error: str, tb) -> None:
+        def retry_or_fail(key: str, kind: str, error: str, tb,
+                          payload=None) -> None:
             task = tasks[key]
+            absorb(key, payload)  # keep the failed attempt's spans/metrics
             if task["attempts"] > self.max_retries:
+                attempt_failed(kind, retrying=False)
                 fail(key, kind, error, tb, task["attempts"])
             else:
+                attempt_failed(kind, retrying=True)
                 delayed.append(
                     (time.monotonic() + self._backoff(task["attempts"]), key)
                 )
@@ -421,7 +599,10 @@ class SweepRunner:
             task = tasks[key]
             iso = cf.ProcessPoolExecutor(max_workers=1)
             try:
-                future = iso.submit(_simulate_guarded, task["spec"])
+                future = iso.submit(
+                    _simulate_guarded, task["spec"],
+                    worker_ctx(key, task["attempts"]),
+                )
                 try:
                     status = future.result(timeout=self.point_timeout)
                 except BrokenProcessPool:
@@ -438,9 +619,10 @@ class SweepRunner:
                     )
                     return
                 if status[0] == "ok":
-                    complete(key, status[1], status[2])
+                    complete(key, status[1], status[2], status[3])
                 else:
-                    retry_or_fail(key, "error", status[1], status[2])
+                    retry_or_fail(key, "error", status[1], status[2],
+                                  status[4])
             finally:
                 _kill_pool(iso)
 
@@ -465,7 +647,10 @@ class SweepRunner:
                     task = tasks[key]
                     task["attempts"] += 1
                     try:
-                        future = pool.submit(_simulate_guarded, task["spec"])
+                        future = pool.submit(
+                            _simulate_guarded, task["spec"],
+                            worker_ctx(key, task["attempts"]),
+                        )
                     except BrokenProcessPool:
                         task["attempts"] -= 1  # never actually ran
                         ready.appendleft(key)
@@ -504,9 +689,10 @@ class SweepRunner:
                         )
                         continue
                     if status[0] == "ok":
-                        complete(key, status[1], status[2])
+                        complete(key, status[1], status[2], status[3])
                     else:
-                        retry_or_fail(key, "error", status[1], status[2])
+                        retry_or_fail(key, "error", status[1], status[2],
+                                      status[4])
                 if broken_suspects:
                     handle_break(broken_suspects)
                     continue

@@ -20,6 +20,7 @@ from repro.noc.network import Network
 from repro.noc.routing import build_routing_table
 from repro.noc.spec import SimulationSpec, stable_key
 from repro.noc.traffic import TrafficGenerator
+from repro.telemetry import active as _active_telemetry
 from repro.util.stats import RunningStats, percentile
 
 
@@ -61,13 +62,20 @@ class SimulationResult:
         return self.reconfigurations > 0
 
 
-def simulate(spec: SimulationSpec, gating_policy=None) -> SimulationResult:
+def simulate(
+    spec: SimulationSpec, gating_policy=None, telemetry=None
+) -> SimulationResult:
     """Run the simulation a :class:`~repro.noc.spec.SimulationSpec` describes.
 
     The traffic generator is rebuilt from the spec's declarative traffic
     description, so the result is a pure function of the spec: the same
     spec yields bit-identical results in any process, which is what lets
     the sweep engine (:mod:`repro.exec`) parallelize and cache runs.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`, optional) records
+    phase spans, periodic per-router samples and run counters; it never
+    influences the simulation itself, so results stay bit-identical with
+    telemetry on, off, or absent.
     """
     return _execute(
         spec.topology,
@@ -79,6 +87,7 @@ def simulate(spec: SimulationSpec, gating_policy=None) -> SimulationResult:
         spec.drain_cycles,
         gating_policy,
         faults=spec.faults,
+        telemetry=telemetry,
     )
 
 
@@ -91,6 +100,8 @@ def run_simulation(
     measure_cycles: int = 2000,
     drain_cycles: int = 30000,
     gating_policy=None,
+    faults=None,
+    telemetry=None,
 ) -> SimulationResult:
     """Simulate a topology under a traffic load and collect statistics.
 
@@ -109,7 +120,8 @@ def run_simulation(
     power-gate statically by never instantiating dark routers).
     """
     if isinstance(topology, SimulationSpec):
-        return simulate(topology, gating_policy=gating_policy)
+        return simulate(topology, gating_policy=gating_policy,
+                        telemetry=telemetry)
     if traffic is None:
         raise TypeError("run_simulation needs a TrafficGenerator (or a SimulationSpec)")
     return _execute(
@@ -121,6 +133,8 @@ def run_simulation(
         measure_cycles,
         drain_cycles,
         gating_policy,
+        faults=faults,
+        telemetry=telemetry,
     )
 
 
@@ -193,6 +207,7 @@ def _execute(
     drain_cycles: int,
     gating_policy,
     faults=None,
+    telemetry=None,
 ) -> SimulationResult:
     """The warmup / measure / drain loop shared by both entry points."""
     if routing in ("cdor", "xy"):
@@ -203,6 +218,22 @@ def _execute(
         table = build_adaptive_table(topology, routing)
     network = Network(topology, table, cfg)
 
+    tel = _active_telemetry(telemetry)
+    tracer = tel.tracer if tel is not None else None
+    interval = tel.sample_interval if tel is not None else 0
+    sampling = tel is not None
+    inj_flits: dict[int, int] = {}
+    ej_flits: dict[int, int] = {}
+    gated_cycles: dict[int, int] = {}
+    if tracer is not None:
+        sim_span = tracer.span(
+            "simulate",
+            level=topology.level,
+            routing=routing,
+            rate=round(traffic.injection_rate, 6),
+        )
+        phase_span = tracer.span("phase:warmup", parent=sim_span.id)
+
     latency = RunningStats()
     hops = RunningStats()
     latencies: list[int] = []
@@ -210,6 +241,10 @@ def _execute(
 
     def on_eject(packet) -> None:
         ejected["all"] += 1
+        if sampling:
+            ej_flits[packet.destination] = (
+                ej_flits.get(packet.destination, 0) + packet.length
+            )
         if packet.measured:
             ejected["measured"] += 1
             ejected["measured_flits"] += packet.length
@@ -237,10 +272,17 @@ def _execute(
             break
         if next_boundary < len(boundaries) and boundaries[next_boundary] == cycle:
             next_boundary += 1
+            if tracer is not None:
+                reconf_span = tracer.span(
+                    "reconfigure", parent=phase_span.id, cycle=cycle
+                )
             network, active_topology = _reconfigure(
                 network, topology, faults, cfg, cycle, counters
             )
             min_level = min(min_level, active_topology.level)
+            if tracer is not None:
+                reconf_span.annotate(level=active_topology.level)
+                reconf_span.end()
         in_window = warmup_cycles <= cycle < measure_end
         for packet in traffic.packets_for_cycle(cycle, measured=in_window):
             if active_topology is not topology and (
@@ -252,12 +294,33 @@ def _execute(
                 counters["dropped"] += 1
                 continue
             network.inject(packet)
+            if sampling:
+                inj_flits[packet.source] = (
+                    inj_flits.get(packet.source, 0) + packet.length
+                )
             if packet.measured:
                 created_measured += 1
         if cycle == warmup_cycles:
             network.counting = True
+            if tracer is not None:
+                phase_span.annotate(end_cycle=cycle)
+                phase_span.end()
+                phase_span = tracer.span(
+                    "phase:measure", parent=sim_span.id, start_cycle=cycle
+                )
         if cycle == measure_end:
             network.counting = False
+            if tracer is not None:
+                phase_span.annotate(end_cycle=cycle)
+                phase_span.end()
+                phase_span = tracer.span(
+                    "phase:drain", parent=sim_span.id, start_cycle=cycle
+                )
+        if interval and cycle % interval == 0:
+            _emit_router_sample(
+                tel, sim_span.id, network, cycle,
+                inj_flits, ej_flits, gated_cycles, interval,
+            )
         if gating_policy is not None:
             gating_policy.step(network)
         network.step()
@@ -270,6 +333,21 @@ def _execute(
         ejected["measured"] < created_measured - counters["lost_measured"]
     )
     endpoints = len(traffic.endpoints)
+    if tel is not None:
+        _record_sim_metrics(
+            tel, network, created_measured, ejected, counters, saturated,
+            inj_flits, ej_flits, gated_cycles,
+        )
+        if tracer is not None:
+            phase_span.annotate(end_cycle=network.cycle)
+            phase_span.end()
+            sim_span.annotate(
+                cycles=network.cycle,
+                packets=created_measured,
+                saturated=saturated,
+                reconfigurations=counters["reconfigurations"],
+            )
+            sim_span.end()
     return SimulationResult(
         avg_latency=latency.mean if latency.count else 0.0,
         avg_hops=hops.mean if hops.count else 0.0,
@@ -296,6 +374,87 @@ def _execute(
         reconfigurations=counters["reconfigurations"],
         min_region_level=min_level,
     )
+
+
+def _emit_router_sample(
+    tel, span_id, network, cycle, inj_flits, ej_flits, gated_cycles, interval
+) -> None:
+    """One periodic in-simulation sample: per-router flit counts (cumulative
+    injected/ejected), instantaneous buffer occupancy and gating state.
+
+    Gated-cycle counts are accumulated at sampling granularity (a router
+    gated at the sample instant is charged the whole interval) -- an
+    approximation that keeps the per-cycle hot path untouched.
+    """
+    routers = {}
+    buffered_total = 0
+    for node, router in network.routers.items():
+        occupancy = router.buffered_flits
+        buffered_total += occupancy
+        if router.gated:
+            gated_cycles[node] = gated_cycles.get(node, 0) + interval
+        routers[str(node)] = {
+            "inj": inj_flits.get(node, 0),
+            "ej": ej_flits.get(node, 0),
+            "occ": occupancy,
+            "gated": 1 if router.gated else 0,
+        }
+    tel.metrics.histogram(
+        "noc_buffer_occupancy_flits",
+        help="total buffered flits at sample instants",
+        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+    ).observe(buffered_total)
+    tel.tracer.sample(
+        {
+            "cycle": cycle,
+            "in_flight": network.flits_in_flight,
+            "buffered": buffered_total,
+            "routers": routers,
+        },
+        parent=span_id,
+    )
+
+
+def _record_sim_metrics(
+    tel, network, created_measured, ejected, counters, saturated,
+    inj_flits, ej_flits, gated_cycles,
+) -> None:
+    """Fold one finished run into the telemetry metrics registry."""
+    metrics = tel.metrics
+    metrics.counter("sim_runs_total", help="network simulations executed").inc()
+    metrics.counter("sim_cycles_total", help="simulated cycles").inc(network.cycle)
+    metrics.counter(
+        "sim_packets_measured_total", help="packets tagged in measure windows"
+    ).inc(created_measured)
+    metrics.counter(
+        "sim_packets_ejected_total", help="measured packets ejected"
+    ).inc(ejected["measured"])
+    metrics.counter(
+        "sim_packets_dropped_total", help="packets lost to faults"
+    ).inc(counters["dropped"])
+    metrics.counter(
+        "sim_packets_retransmitted_total", help="packets re-injected after faults"
+    ).inc(counters["retransmitted"])
+    metrics.counter(
+        "sim_reconfigurations_total", help="mid-run network reconfigurations"
+    ).inc(counters["reconfigurations"])
+    if saturated:
+        metrics.counter("sim_saturated_total", help="runs that failed to drain").inc()
+    for node, flits in sorted(inj_flits.items()):
+        metrics.counter(
+            "noc_router_injected_flits_total",
+            help="flits injected at each router's NI", router=node,
+        ).inc(flits)
+    for node, flits in sorted(ej_flits.items()):
+        metrics.counter(
+            "noc_router_ejected_flits_total",
+            help="flits ejected at each router's NI", router=node,
+        ).inc(flits)
+    for node, cycles in sorted(gated_cycles.items()):
+        metrics.counter(
+            "noc_router_gated_cycles_total",
+            help="cycles spent power-gated (sampled)", router=node,
+        ).inc(cycles)
 
 
 _zero_load_cache = None

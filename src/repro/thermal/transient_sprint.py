@@ -18,8 +18,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.telemetry import active as _active_telemetry
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.pcm import DEFAULT_PCM, PCMParams
+
+
+def _sample_pcm(tel, span_id, t, temperature, melted_fraction, phase) -> None:
+    """One telemetry sample of the PCM node: headroom gauge + trace point."""
+    headroom = round(1.0 - melted_fraction, 6)
+    tel.metrics.gauge(
+        "pcm_thermal_headroom",
+        "Unmelted fraction of the PCM latent-heat budget (0..1).",
+    ).set(headroom)
+    tel.tracer.sample(
+        {
+            "t": round(t, 6),
+            "pcm_temperature_k": round(temperature, 4),
+            "melted_fraction": round(melted_fraction, 6),
+            "phase": phase,
+        },
+        parent=span_id,
+    )
 
 
 @dataclass(frozen=True)
@@ -84,14 +103,19 @@ class SprintTransient:
         duration_s: float,
         dt_s: float = 2e-3,
         samples: int = 60,
+        telemetry=None,
     ) -> SprintTransientResult:
         """Simulate a sprint at constant tile powers.
 
         Stops early when the PCM node hits the max die temperature (the
-        forced single-core fallback of Figure 1).
+        forced single-core fallback of Figure 1).  ``telemetry`` (a
+        :class:`~repro.telemetry.Telemetry` bundle) records a
+        ``thermal_sprint`` span with PCM-headroom samples at the trace's
+        own sample cadence.
         """
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("need positive duration and dt")
+        tel = _active_telemetry(telemetry)
         total_power = float(sum(tile_powers))
         # the spatial offset of the die's hotspot above the PCM/boundary
         # node is load-dependent but time-invariant (linear RC): solve once
@@ -101,6 +125,14 @@ class SprintTransient:
             self.grid.spreader_temperature(tile_powers) - params.ambient_k
         )
 
+        span = (
+            tel.tracer.span(
+                "thermal_sprint", staged=False,
+                power_w=round(total_power, 3), duration_s=duration_s,
+            )
+            if tel is not None
+            else None
+        )
         result = SprintTransientResult()
         temperature = self.pcm.start_temperature_k
         melted_j = 0.0
@@ -121,15 +153,19 @@ class SprintTransient:
                 # spreader rise follows the PCM node during a transient
                 global_rise = temperature - params.ambient_k
                 peak = params.ambient_k + global_rise + hotspot_offset
+                melted_fraction = min(1.0, melted_j / self.pcm.latent_energy_j)
                 result.samples.append(
                     TransientSample(
                         time_s=t,
                         pcm_temperature_k=temperature,
                         peak_die_temperature_k=peak,
-                        melted_fraction=min(1.0, melted_j / self.pcm.latent_energy_j),
+                        melted_fraction=melted_fraction,
                         phase=phase,
                     )
                 )
+                if tel is not None:
+                    _sample_pcm(tel, span.id, t, temperature,
+                                melted_fraction, phase)
             if phase == "limit":
                 result.reached_limit_at_s = t
                 break
@@ -143,6 +179,12 @@ class SprintTransient:
                 temperature = max(temperature, self.pcm.start_temperature_k)
                 if temperature >= self.pcm.melt_temperature_k and melted_j < self.pcm.latent_energy_j:
                     temperature = self.pcm.melt_temperature_k
+        if span is not None:
+            span.annotate(
+                duration_sustained_s=round(result.duration_s, 6),
+                reached_limit=result.reached_limit_at_s is not None,
+            )
+            span.end()
         return result
 
     def run_staged(
@@ -151,6 +193,7 @@ class SprintTransient:
         duration_s: float,
         dt_s: float = 2e-3,
         samples: int = 60,
+        telemetry=None,
     ) -> SprintTransientResult:
         """Simulate a sprint that *retreats* through power stages.
 
@@ -166,6 +209,7 @@ class SprintTransient:
             raise ValueError("need positive duration and dt")
         if not stage_tile_powers:
             raise ValueError("need at least one power stage")
+        tel = _active_telemetry(telemetry)
         params = self.grid.params
 
         def stage_state(tile_powers):
@@ -178,6 +222,14 @@ class SprintTransient:
 
         stage = 0
         total_power, hotspot_offset = stage_state(stage_tile_powers[0])
+        span = (
+            tel.tracer.span(
+                "thermal_sprint", staged=True,
+                stages=len(stage_tile_powers), duration_s=duration_s,
+            )
+            if tel is not None
+            else None
+        )
         result = SprintTransientResult()
         temperature = self.pcm.start_temperature_k
         melted_j = 0.0
@@ -197,15 +249,19 @@ class SprintTransient:
             if step % sample_every == 0 or phase == "limit":
                 global_rise = temperature - params.ambient_k
                 peak = params.ambient_k + global_rise + hotspot_offset
+                melted_fraction = min(1.0, melted_j / self.pcm.latent_energy_j)
                 result.samples.append(
                     TransientSample(
                         time_s=t,
                         pcm_temperature_k=temperature,
                         peak_die_temperature_k=peak,
-                        melted_fraction=min(1.0, melted_j / self.pcm.latent_energy_j),
+                        melted_fraction=melted_fraction,
                         phase=phase,
                     )
                 )
+                if tel is not None:
+                    _sample_pcm(tel, span.id, t, temperature,
+                                melted_fraction, phase)
             if phase == "limit":
                 if stage + 1 < len(stage_tile_powers):
                     # staged retreat: drop to the next (lower) power stage
@@ -216,6 +272,16 @@ class SprintTransient:
                         stage_tile_powers[stage]
                     )
                     result.retreats.append((t, stage))
+                    if tel is not None:
+                        tel.metrics.counter(
+                            "thermal_retreats_total",
+                            "Staged power retreats during transient sprints.",
+                        ).inc()
+                        tel.tracer.event(
+                            "thermal_retreat", parent=span.id,
+                            t=round(t, 6), stage=stage,
+                            power_w=round(total_power, 3),
+                        )
                 else:
                     result.reached_limit_at_s = t
                     break
@@ -229,4 +295,10 @@ class SprintTransient:
                 temperature = max(temperature, self.pcm.start_temperature_k)
                 if temperature >= self.pcm.melt_temperature_k and melted_j < self.pcm.latent_energy_j:
                     temperature = self.pcm.melt_temperature_k
+        if span is not None:
+            span.annotate(
+                retreats=len(result.retreats),
+                reached_limit=result.reached_limit_at_s is not None,
+            )
+            span.end()
         return result

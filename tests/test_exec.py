@@ -123,17 +123,18 @@ class TestResultCache:
         assert cache.get("k") is None
         cache.put("k", 42)
         assert cache.get("k") == 42
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 1
-        assert cache.stats.stores == 1
-        assert cache.stats.hit_rate == 0.5
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.stores == 1
+        assert stats.hit_rate == 0.5
 
     def test_disk_round_trip_across_instances(self, tmp_path):
         first = ResultCache(directory=str(tmp_path))
         first.put("key", {"value": 7})
         fresh = ResultCache(directory=str(tmp_path))  # a "new process"
         assert fresh.get("key") == {"value": 7}
-        assert fresh.stats.disk_hits == 1
+        assert fresh.stats().disk_hits == 1
         assert "key" in fresh
 
     def test_clear_keeps_disk_layer(self, tmp_path):
@@ -222,10 +223,10 @@ class TestSweepRunner:
 class TestZeroLoadMemo:
     def test_memoized_per_topology_config_routing(self):
         topo = SprintTopology.for_level(4, 4, 6)
-        before = zero_load_cache().stats.snapshot()
+        before = zero_load_cache().stats()
         first = zero_load_latency(topo, CFG, "cdor")
         second = zero_load_latency(topo, CFG, "cdor")
-        after = zero_load_cache().stats
+        after = zero_load_cache().stats()
         assert first == second
         assert after.hits > before.hits
 
@@ -240,10 +241,10 @@ class TestSystemIntegration:
         system = NoCSprintingSystem()
         first = system.evaluate_network("dedup", "noc_sprinting",
                                         warmup_cycles=100, measure_cycles=300)
-        stores = system.cache.stats.stores
+        stores = system.cache.stats().stores
         second = system.evaluate_network("dedup", "noc_sprinting",
                                          warmup_cycles=100, measure_cycles=300)
-        assert system.cache.stats.stores == stores  # nothing re-simulated
+        assert system.cache.stats().stores == stores  # nothing re-simulated
         assert result_fields(first.sim) == result_fields(second.sim)
 
     def test_delegates_agree_with_evaluate(self):
@@ -272,7 +273,7 @@ class TestSystemIntegration:
         b = NoCSprintingSystem(cache=cache)
         a.evaluate_network("dedup", "noc_sprinting",
                            warmup_cycles=100, measure_cycles=300)
-        stores = cache.stats.stores
+        stores = cache.stats().stores
         b.evaluate_network("dedup", "noc_sprinting",
                            warmup_cycles=100, measure_cycles=300)
-        assert cache.stats.stores == stores
+        assert cache.stats().stores == stores

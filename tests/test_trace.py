@@ -98,6 +98,34 @@ class TestSimulationOnTraces:
         assert a.avg_latency == b.avg_latency
         assert a.packets_measured == b.packets_measured
 
+    def test_replay_deterministic_under_fault_schedule(self):
+        """Replaying one trace under the same fault schedule must be
+        bit-identical -- counters and all -- so fault experiments on
+        recorded traffic are reproducible run to run."""
+        from repro.noc.spec import FaultEvent, FaultSchedule
+
+        recorder = make_recorder(rate=0.15)
+        for cycle in range(2000):
+            recorder.packets_for_cycle(cycle, False)
+        schedule = FaultSchedule(events=(
+            FaultEvent(cycle=500, kind="router", node=5),
+            FaultEvent(cycle=700, kind="link", link=(9, 10), duration=300),
+        ))
+
+        def run():
+            return run_simulation(FULL, TraceTraffic(recorder.records), CFG,
+                                  routing="xy", warmup_cycles=300,
+                                  measure_cycles=1200, faults=schedule)
+
+        a, b = run(), run()
+        assert a.avg_latency == b.avg_latency
+        assert a.packets_measured == b.packets_measured
+        assert a.packets_dropped == b.packets_dropped
+        assert a.packets_retransmitted == b.packets_retransmitted
+        assert a.reconfigurations == b.reconfigurations
+        assert a.min_region_level == b.min_region_level
+        assert a.reconfigurations > 0  # the schedule actually fired
+
     def test_identical_traffic_for_scheme_comparison(self):
         """The point of traces: compare routing schemes on *identical*
         packets, not just identically-distributed ones."""
