@@ -1,0 +1,108 @@
+"""Extension: simulation-backend speedup and equivalence gate.
+
+The vectorized backend exists for one reason -- to make large sweeps
+cheap -- and is only allowed to exist under one condition: on the feature
+set both engines support it must return the *same bits* as the reference
+simulator.  This bench runs the full Figure 9 spec grid (every PARSEC
+workload under both sprinting schemes) through each backend, times both
+passes wall-clock, checks every result field pairwise, and writes the
+numbers to ``BENCH_backend.json`` for CI to archive.
+
+Gates (CI fails on either):
+
+- wall-clock speedup of the vectorized pass over the reference pass must
+  be at least ``MIN_SPEEDUP`` (3x; the acceptance target is 5x with the
+  native kernel, but CI runners are noisy and may lack a C compiler, so
+  the gate allows the pure-Python fallback some slack);
+- the largest per-field divergence across all points must not exceed
+  ``MAX_DELTA`` (1e-9 -- effectively bit-identical; integer fields must
+  match exactly).
+"""
+
+import dataclasses
+import json
+import time
+
+from repro.noc.sim import simulate
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+from benchmarks.bench_fig09_network_latency import paired_specs
+
+MIN_SPEEDUP = 3.0
+MAX_DELTA = 1e-9
+OUTPUT = "BENCH_backend.json"
+
+_FLOAT_FIELDS = ("avg_latency", "avg_hops", "p50_latency", "p95_latency",
+                 "p99_latency", "offered_flits_per_cycle",
+                 "accepted_flits_per_cycle")
+_INT_FIELDS = ("max_latency", "packets_measured", "packets_ejected",
+               "cycles_run", "measure_cycles", "endpoint_count", "saturated")
+
+
+def _timed_pass(specs, backend):
+    """Run every spec on one backend; one wall-clock for the whole grid."""
+    start = time.perf_counter()
+    results = [simulate(spec, backend=backend) for spec in specs]
+    return time.perf_counter() - start, results
+
+
+def _max_divergence(ref, fast):
+    """Largest |delta| over the float fields; ints must match exactly."""
+    worst = 0.0
+    for a, b in zip(ref, fast):
+        for name in _INT_FIELDS:
+            if getattr(a, name) != getattr(b, name):
+                return float("inf")
+        for name in _FLOAT_FIELDS:
+            worst = max(worst, abs(getattr(a, name) - getattr(b, name)))
+        da = dataclasses.asdict(a.activity)
+        if da != dataclasses.asdict(b.activity):
+            return float("inf")
+    return worst
+
+
+def measure():
+    labels, specs = paired_specs()
+    # warm both code paths (native kernel compilation, routing tables)
+    simulate(specs[0], backend="reference")
+    simulate(specs[0], backend="vectorized")
+    ref_s, ref = _timed_pass(specs, "reference")
+    fast_s, fast = _timed_pass(specs, "vectorized")
+    from repro.noc.backends import native
+
+    payload = {
+        "spec_count": len(specs),
+        "reference_s": ref_s,
+        "vectorized_s": fast_s,
+        "speedup": ref_s / fast_s,
+        "max_field_delta": _max_divergence(ref, fast),
+        "native_kernel": native.available(),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "max_delta_gate": MAX_DELTA,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return payload
+
+
+def test_extension_backend_speedup_and_equivalence(benchmark):
+    payload = once(benchmark, measure)
+    body = format_table(
+        ["pass", "wall (s)", "specs"],
+        [
+            ["reference", payload["reference_s"], payload["spec_count"]],
+            ["vectorized", payload["vectorized_s"], payload["spec_count"]],
+        ],
+        float_format="{:.3f}",
+    )
+    kernel = "native C kernel" if payload["native_kernel"] else "pure-Python fallback"
+    body += (f"\nspeedup: {payload['speedup']:.2f}x ({kernel});"
+             f" max field delta: {payload['max_field_delta']:.2e}")
+    report("Extension: simulation-backend speedup gate", body)
+    print(f"    machine-readable copy: {OUTPUT}")
+
+    # the contract docs/execution.md quotes: a fast path that is not fast
+    # is dead weight, and one that drifts from the reference is a bug
+    assert payload["speedup"] >= MIN_SPEEDUP
+    assert payload["max_field_delta"] <= MAX_DELTA

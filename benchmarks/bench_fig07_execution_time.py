@@ -17,13 +17,14 @@ def sweep():
     system = shared_system()
     rows = []
     for profile in all_profiles():
+        noc = system.evaluate(profile, "noc_sprinting")
         rows.append(
             (
                 profile.name,
-                system.scheme_level(profile, "noc_sprinting"),
-                system.execution_time(profile, "non_sprinting"),
-                system.execution_time(profile, "full_sprinting"),
-                system.execution_time(profile, "noc_sprinting"),
+                noc.level,
+                system.evaluate(profile, "non_sprinting").relative_time,
+                system.evaluate(profile, "full_sprinting").relative_time,
+                noc.relative_time,
             )
         )
     return rows

@@ -16,13 +16,14 @@ def sweep():
     system = shared_system()
     rows = []
     for profile in all_profiles():
+        noc = system.evaluate(profile, "noc_sprinting")
         rows.append(
             (
                 profile.name,
-                system.scheme_level(profile, "noc_sprinting"),
-                system.core_power(profile, "full_sprinting"),
-                system.core_power(profile, "naive_fine_grained"),
-                system.core_power(profile, "noc_sprinting"),
+                noc.level,
+                system.evaluate(profile, "full_sprinting").core_power_w,
+                system.evaluate(profile, "naive_fine_grained").core_power_w,
+                noc.core_power_w,
             )
         )
     return rows

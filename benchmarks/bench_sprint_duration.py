@@ -16,8 +16,9 @@ def sweep():
     system = shared_system()
     rows = []
     for profile in all_profiles():
-        level = system.scheme_level(profile, "noc_sprinting")
-        power = system.chip_power(profile, "noc_sprinting").total
+        noc = system.evaluate(profile, "noc_sprinting")
+        level = noc.level
+        power = noc.chip_power.total
         thermal = sprint_duration(power)
         gain = system.sprint_duration_gain(profile)
         rows.append((profile.name, level, power, thermal, gain))

@@ -19,23 +19,23 @@ def main() -> None:
     pow_reductions = []
     for profile in all_profiles():
         level = system.scheme_level(profile, "noc_sprinting")
-        s_full = system.speedup(profile, "full_sprinting")
-        s_noc = system.speedup(profile, "noc_sprinting")
-        p_full = system.core_power(profile, "full_sprinting")
-        p_noc = system.core_power(profile, "noc_sprinting")
-        if level >= 2:
-            noc = system.evaluate_network(profile, "noc_sprinting",
-                                          warmup_cycles=300, measure_cycles=1000)
-            full = system.evaluate_network(profile, "full_sprinting",
-                                           warmup_cycles=300, measure_cycles=1000)
-            lat = 100 * (1 - noc.avg_latency / full.avg_latency)
-            pw = 100 * (1 - noc.total_power_w / full.total_power_w)
+        simulate = level >= 2
+        full = system.evaluate(profile, "full_sprinting",
+                               simulate_network=simulate,
+                               warmup_cycles=300, measure_cycles=1000)
+        noc = system.evaluate(profile, "noc_sprinting",
+                              simulate_network=simulate,
+                              warmup_cycles=300, measure_cycles=1000)
+        if simulate:
+            lat = 100 * (1 - noc.network.avg_latency / full.network.avg_latency)
+            pw = 100 * (1 - noc.network.total_power_w / full.network.total_power_w)
             lat_reductions.append(lat)
             pow_reductions.append(pw)
             net = f"{lat:5.1f}%/{pw:5.1f}%"
         else:
             net = "    (serial)"
-        rows.append([profile.name, level, s_full, s_noc, p_full, p_noc, net])
+        rows.append([profile.name, level, full.speedup, noc.speedup,
+                     full.core_power_w, noc.core_power_w, net])
 
     print(format_table(
         ["benchmark", "level", "S(full)", "S(noc)",

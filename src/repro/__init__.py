@@ -23,6 +23,17 @@ Quick start::
     system = NoCSprintingSystem()
     row = system.evaluate("dedup", "noc_sprinting", simulate_network=True)
     print(row.level, row.speedup, row.network.avg_latency)
+
+The stable entry points (documented in ``docs/api.md``) are re-exported
+here: the system facade and its :class:`~repro.core.system.EvaluationReport`,
+the declarative :class:`~repro.noc.spec.SimulationSpec` /
+:class:`~repro.noc.spec.TrafficSpec` pair with
+:func:`~repro.noc.sim.run_simulation`, the sweep engine
+(:class:`~repro.exec.SweepRunner`, :class:`~repro.exec.ResultCache`), and
+the simulation-backend registry
+(:func:`~repro.noc.backends.register_backend` /
+:func:`~repro.noc.backends.get_backend` /
+:func:`~repro.noc.backends.list_backends`).
 """
 
 from repro.config import NoCConfig, SystemConfig, default_config
@@ -36,20 +47,38 @@ from repro.core import (
     sprint_order,
     thermal_aware_floorplan,
 )
+from repro.core.system import EvaluationReport
+from repro.exec import ResultCache, SweepRunner
+from repro.noc import SimulationSpec, TrafficSpec, run_simulation
+from repro.noc.backends import get_backend, list_backends, register_backend
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # configuration
     "NoCConfig",
     "SystemConfig",
     "default_config",
+    # the paper's mechanisms
     "CdorRouter",
-    "NoCSprintingSystem",
     "SprintController",
     "SprintPlan",
     "SprintTopology",
     "check_deadlock_freedom",
     "sprint_order",
     "thermal_aware_floorplan",
+    # system facade
+    "NoCSprintingSystem",
+    "EvaluationReport",
+    # declarative simulation + sweep engine
+    "SimulationSpec",
+    "TrafficSpec",
+    "run_simulation",
+    "SweepRunner",
+    "ResultCache",
+    # simulation-backend registry
+    "register_backend",
+    "get_backend",
+    "list_backends",
     "__version__",
 ]

@@ -66,18 +66,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if (args.levels or args.rates or args.patterns or args.fault
             or args.resume or args.cache_dir or args.max_retries
             or args.point_timeout is not None or args.trace
-            or args.metrics):
+            or args.metrics or args.backend != "reference"):
         return _cmd_sweep_grid(args)
     system = NoCSprintingSystem()
     rows = []
     for profile in all_profiles():
+        full = system.evaluate(profile, "full_sprinting")
+        noc = system.evaluate(profile, "noc_sprinting")
         rows.append([
             profile.name,
-            system.scheme_level(profile, "noc_sprinting"),
-            system.speedup(profile, "full_sprinting"),
-            system.speedup(profile, "noc_sprinting"),
-            system.core_power(profile, "full_sprinting"),
-            system.core_power(profile, "noc_sprinting"),
+            noc.level,
+            full.speedup,
+            noc.speedup,
+            full.core_power_w,
+            noc.core_power_w,
             system.sprint_duration_gain(profile),
         ])
     print(format_table(
@@ -117,7 +119,7 @@ def _parse_fault(text: str):
 
 
 def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain,
-                faults=()):
+                faults=(), backend="reference"):
     """Build (and eagerly validate) the spec grid for a sweep command."""
     from repro.config import NoCConfig
     from repro.core.topological import SprintTopology
@@ -139,6 +141,7 @@ def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain,
                     config=cfg, routing=routing,
                     warmup_cycles=warmup, measure_cycles=measure,
                     drain_cycles=drain, faults=schedule,
+                    backend=backend,
                 )
                 spec.traffic.build()  # fail fast on pattern/endpoint mismatch
                 specs.append(spec)
@@ -160,7 +163,7 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         faults = [_parse_fault(text) for text in (args.fault or [])]
         specs = _grid_specs(levels, rates, patterns, args.seed,
                             args.warmup, args.measure, args.drain,
-                            faults=faults)
+                            faults=faults, backend=args.backend)
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
@@ -169,6 +172,18 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry(sample_interval=args.sample_interval)
+    # validate the backend against each point's needs up front, so an
+    # incompatible combination (say --backend vectorized with --fault)
+    # fails with one clear message instead of N worker errors
+    from repro.noc.backends import BackendCapabilityError, check_capabilities, get_backend
+
+    try:
+        engine = get_backend(args.backend)
+        for spec in specs:
+            check_capabilities(engine, spec, None, telemetry)
+    except (BackendCapabilityError, ValueError) as err:
+        print(f"invalid sweep grid: {err}")
+        return 2
     try:
         runner = SweepRunner(workers=args.workers,
                              cache=ResultCache(directory=args.cache_dir),
@@ -228,7 +243,8 @@ def _cmd_network(args: argparse.Namespace) -> int:
 
     try:
         specs = _grid_specs([args.level], args.rates, [args.pattern],
-                            args.seed, 400, 1500, 5000)
+                            args.seed, 400, 1500, 5000,
+                            backend=args.backend)
     except ValueError as err:
         print(f"invalid network sweep: {err}")
         return 2
@@ -305,6 +321,12 @@ def _cmd_duration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_names() -> list[str]:
+    from repro.noc.backends import list_backends
+
+    return list(list_backends())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -368,6 +390,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="CYCLES",
                        help="in-simulation sampling period for --trace "
                             "(per-router flits, occupancy; 0 disables)")
+    sweep.add_argument("--backend", default="reference",
+                       choices=_backend_names(),
+                       help="simulation engine for every point (grid mode; "
+                            "'vectorized' is the fast path for fault-free, "
+                            "non-sampled sweeps)")
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
@@ -378,6 +405,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=[0.05, 0.15, 0.25, 0.35, 0.5])
     network.add_argument("--seed", type=int, default=0)
     network.add_argument("--workers", type=int, default=1)
+    network.add_argument("--backend", default="reference",
+                         choices=_backend_names(),
+                         help="simulation engine for every point")
 
     thermal = sub.add_parser("thermal", help="heat maps and PCM phases")
     thermal.add_argument("benchmark", nargs="?", default="dedup",

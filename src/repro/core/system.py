@@ -9,7 +9,9 @@ paper's evaluation figures.
 The single entry point is :meth:`NoCSprintingSystem.evaluate`, which
 returns a structured :class:`EvaluationReport`; the per-axis methods
 (``speedup``, ``core_power``, ``evaluate_network``, ``peak_temperature``)
-are thin delegates kept for callers that want one number.  Network
+are deprecated delegates kept one release for callers that want one
+number -- they warn and forward to :meth:`~NoCSprintingSystem.evaluate`.
+Network
 simulations are described by :class:`~repro.noc.spec.SimulationSpec`
 values and executed through the sweep engine (:mod:`repro.exec`), so
 repeated evaluations hit the system's result cache instead of
@@ -26,6 +28,7 @@ Schemes:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.cmp.perf_model import BenchmarkProfile, profile_workload
@@ -89,6 +92,15 @@ class EvaluationReport:
 WorkloadEvaluation = EvaluationReport
 
 
+def _warn_deprecated(name: str, field: str) -> None:
+    warnings.warn(
+        f"NoCSprintingSystem.{name}() is deprecated; call evaluate() and "
+        f"read {field} off the EvaluationReport",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class NoCSprintingSystem:
     """The reproduced system: all four sprinting schemes over one CMP.
 
@@ -97,6 +109,10 @@ class NoCSprintingSystem:
     cache to reuse results across system instances or give it a directory
     for cross-process persistence.  ``workers`` sets the process fan-out
     for :meth:`sweep` batches (single evaluations always run in-process).
+    ``backend`` names the registered simulation engine every induced
+    :class:`~repro.noc.spec.SimulationSpec` carries (see
+    :mod:`repro.noc.backends`); non-default backends key the cache
+    separately.
     """
 
     def __init__(
@@ -107,12 +123,14 @@ class NoCSprintingSystem:
         seed: int = 0,
         cache: ResultCache | None = None,
         workers: int = 1,
+        backend: str = "reference",
     ):
         self.config = config or default_config()
         self.pcm = pcm
         self.seed = seed
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
+        self.backend = backend
         self.chip_model = ChipPowerModel(self.config.core_count)
         self.floorplan: Floorplan | None = (
             thermal_aware_floorplan(
@@ -224,10 +242,13 @@ class NoCSprintingSystem:
     # performance (Figure 7) -- delegates
     # ------------------------------------------------------------------
     def execution_time(self, workload: str | BenchmarkProfile, scheme: str) -> float:
-        """Relative execution time (single-core nominal = 1.0)."""
+        """Deprecated: use :meth:`evaluate` and read ``relative_time``."""
+        _warn_deprecated("execution_time", "relative_time")
         return self.evaluate(workload, scheme).relative_time
 
     def speedup(self, workload: str | BenchmarkProfile, scheme: str) -> float:
+        """Deprecated: use :meth:`evaluate` and read ``speedup``."""
+        _warn_deprecated("speedup", "speedup")
         return self.evaluate(workload, scheme).speedup
 
     # ------------------------------------------------------------------
@@ -248,10 +269,13 @@ class NoCSprintingSystem:
         return self.chip_model.sprint_chip_power(level, mapping[scheme])
 
     def core_power(self, workload: str | BenchmarkProfile, scheme: str) -> float:
-        """Total core power while executing under a scheme (Figure 8)."""
+        """Deprecated: use :meth:`evaluate` and read ``core_power_w``."""
+        _warn_deprecated("core_power", "core_power_w")
         return self.evaluate(workload, scheme).core_power_w
 
     def chip_power(self, workload: str | BenchmarkProfile, scheme: str) -> ChipPowerReport:
+        """Deprecated: use :meth:`evaluate` and read ``chip_power``."""
+        _warn_deprecated("chip_power", "chip_power")
         return self.evaluate(workload, scheme).chip_power
 
     # ------------------------------------------------------------------
@@ -303,6 +327,7 @@ class NoCSprintingSystem:
             warmup_cycles=warmup_cycles,
             measure_cycles=measure_cycles,
             drain_cycles=drain_cycles,
+            backend=self.backend,
         )
 
     def sweep(self, specs) -> SweepReport:
@@ -343,7 +368,8 @@ class NoCSprintingSystem:
         warmup_cycles: int = 500,
         measure_cycles: int = 2000,
     ) -> NetworkEvaluation:
-        """Run (or fetch from cache) the cycle simulation for a workload."""
+        """Deprecated: use :meth:`evaluate` with ``simulate_network=True``."""
+        _warn_deprecated("evaluate_network", "network")
         report = self.evaluate(
             workload,
             scheme,
@@ -385,7 +411,8 @@ class NoCSprintingSystem:
     def peak_temperature(
         self, workload: str | BenchmarkProfile, scheme: str, floorplanned: bool = False
     ) -> float:
-        """Steady-state hotspot temperature while sprinting (Figure 12)."""
+        """Deprecated: use :meth:`evaluate` with ``thermal=True``."""
+        _warn_deprecated("peak_temperature", "peak_temperature_k")
         report = self.evaluate(workload, scheme, thermal=True, floorplanned=floorplanned)
         assert report.peak_temperature_k is not None
         return report.peak_temperature_k

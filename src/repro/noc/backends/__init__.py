@@ -1,0 +1,59 @@
+"""Pluggable simulation backends.
+
+Importing this package registers the two built-in engines:
+
+- ``"reference"`` -- the cycle-accurate object-model simulator (supports
+  every feature: faults, gating policies, adaptive routing, telemetry
+  sampling and tracing);
+- ``"vectorized"`` -- the flat-array fast path (bit-identical results on
+  fault-free deterministic-routing specs, several times faster; declines
+  anything else with a :class:`BackendCapabilityError`).
+
+Third-party engines join with::
+
+    from repro.noc.backends import register_backend
+
+    register_backend(MyBackend())
+
+and become selectable through ``SimulationSpec(backend="...")``,
+``run_simulation(..., backend="...")`` and ``repro sweep --backend ...``.
+"""
+
+from repro.noc.backends.base import (
+    ALL_CAPABILITIES,
+    CAP_ADAPTIVE_ROUTING,
+    CAP_FAULTS,
+    CAP_GATING,
+    CAP_SAMPLING,
+    CAP_TRACING,
+    BackendCapabilityError,
+    SimBackend,
+    check_capabilities,
+    get_backend,
+    list_backends,
+    register_backend,
+    required_capabilities,
+)
+from repro.noc.backends.reference import ReferenceBackend
+from repro.noc.backends.vectorized import VectorizedBackend
+
+register_backend(ReferenceBackend())
+register_backend(VectorizedBackend())
+
+__all__ = [
+    "ALL_CAPABILITIES",
+    "BackendCapabilityError",
+    "CAP_ADAPTIVE_ROUTING",
+    "CAP_FAULTS",
+    "CAP_GATING",
+    "CAP_SAMPLING",
+    "CAP_TRACING",
+    "ReferenceBackend",
+    "SimBackend",
+    "VectorizedBackend",
+    "check_capabilities",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "required_capabilities",
+]

@@ -1,0 +1,716 @@
+"""Compiled-kernel accelerator behind the vectorized backend.
+
+The vectorized backend's flat-array pipeline replica
+(:mod:`repro.noc.backends.vectorized`) is exact but interpreter-bound:
+profiling puts its per-router allocation pass at a few microseconds, and
+a loaded mesh runs hundreds of thousands of them.  This module carries
+the *same* kernel -- decision for decision: VC allocation order, switch
+allocation round-robins, credit timing, ejection order -- as a small C
+translation unit, compiled on demand with whatever ``cc``/``gcc``/
+``clang`` the host provides and loaded through :mod:`ctypes`.
+
+The compiled object is cached in the system temp directory under a name
+keyed by the SHA-256 of the embedded source, so each kernel revision
+compiles once per machine; publication is an atomic :func:`os.replace`
+so concurrent sweep workers never observe a half-written library.  When
+no compiler is available, compilation fails, or ``REPRO_NOC_NATIVE=0``
+disables the path, :func:`available` returns False and the vectorized
+backend silently falls back to its pure-Python kernel -- same results,
+just slower.
+
+Division of labour with the Python driver:
+
+- the traffic process stays in Python (it must replay the reference
+  backend's exact ``random.Random`` stream) and is flattened into
+  per-packet arrays over a *horizon* of pre-drawn cycles;
+- the C kernel simulates until it finishes or runs off the end of the
+  horizon, in which case it reports ``UNFINISHED`` and the driver
+  re-runs it from scratch over a longer horizon (the kernel is
+  deterministic and fast enough that a rare re-run is cheaper than
+  checkpointing state across the boundary);
+- the kernel returns the measured packets' ejection order, and Python
+  replays the latency/hop statistics in that order so the Welford mean
+  accumulates in exactly the reference sequence.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.noc.activity import NetworkActivity
+from repro.noc.result import SimulationResult
+from repro.noc.routing import PORT_COUNT, PORT_TO_DIRECTION, REVERSE_PORT
+from repro.noc.spec import SimulationSpec
+from repro.util.stats import RunningStats, percentile
+
+# occupancy and allocation-pending masks are single 64-bit words:
+# PORT_COUNT * vcs bits must fit (5 * 12 = 60)
+_MAX_VCS = 12
+
+_FLAG_UNFINISHED = 1  # simulation ran past the pre-drawn traffic horizon
+_FLAG_IDLE_BREAK = 2  # whole-mesh idle exit before the window closed
+
+_KERNEL_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef long long i64;
+
+#define NEVER (1LL << 60)
+#define FLAG_UNFINISHED 1
+#define FLAG_IDLE_BREAK 2
+
+/* One cycle-exact replica of the reference wormhole-VC pipeline over
+ * flat arrays.  Every arbitration order (VC allocation request order,
+ * free-VC assignment, both switch-allocation round-robins), every
+ * pipeline delay (VA at arrival+2, head SA one cycle after VA, body SA
+ * at arrival+1, credits at +1, links at +2) and the ejection sequence
+ * match the Python kernels bit for bit. */
+i64 run_kernel(
+    i64 count, i64 vcs, i64 depth, i64 mesh,
+    const i64 *neighbor,   /* count*5 router indices, -1 when absent   */
+    const i64 *route,      /* count*mesh output port per dest node id  */
+    const i64 *rev,        /* 5: reverse port map                      */
+    i64 n_pkts,
+    const i64 *p_cycle, const i64 *p_src, const i64 *p_dest,
+    const i64 *p_len, const i64 *p_meas,
+    i64 sched_upto,        /* cycles of traffic pre-drawn              */
+    i64 warmup, i64 measure_end, i64 deadline,
+    i64 *p_hops,           /* n_pkts, zero-initialised                 */
+    i64 *p_eject,          /* n_pkts, tail-ejection cycle or -1        */
+    i64 *ej_order,         /* capacity n_pkts: measured ejection order */
+    i64 *counters,         /* count*4: writes, reads, links, va grants */
+    i64 *out)              /* 8 scalars, see driver                    */
+{
+    i64 slots = 5 * vcs;
+    i64 gslots = count * slots;
+    i64 vmask = (1LL << vcs) - 1;
+
+    /* per-slot flit FIFOs as rings of capacity `depth` (credits bound
+     * occupancy), plus flat allocation state */
+    i64 *f_arr = malloc((size_t)gslots * depth * sizeof(i64));
+    i64 *f_idx = malloc((size_t)gslots * depth * sizeof(i64));
+    i64 *f_pkt = malloc((size_t)gslots * depth * sizeof(i64));
+    i64 *rh = calloc((size_t)gslots, sizeof(i64));
+    i64 *fl = calloc((size_t)gslots, sizeof(i64));
+    i64 *vc_out = malloc((size_t)gslots * sizeof(i64));
+    i64 *vc_elig = calloc((size_t)gslots, sizeof(i64));
+    i64 *owner = malloc((size_t)gslots * sizeof(i64));
+    i64 *credits = calloc((size_t)gslots, sizeof(i64));
+    i64 *va_ptr = calloc((size_t)count * 5, sizeof(i64));
+    i64 *sa_in = calloc((size_t)count * 5, sizeof(i64));
+    i64 *sa_out = calloc((size_t)count * 5, sizeof(i64));
+    i64 *occ = calloc((size_t)count, sizeof(i64));
+    i64 *vap = calloc((size_t)count, sizeof(i64));
+    i64 *buffered = calloc((size_t)count, sizeof(i64));
+    i64 *wake = calloc((size_t)count, sizeof(i64));
+    /* network interfaces: packet queues as linked lists over pnext */
+    i64 *qhead = malloc((size_t)count * sizeof(i64));
+    i64 *qtail = malloc((size_t)count * sizeof(i64));
+    i64 *pnext = malloc((size_t)(n_pkts ? n_pkts : 1) * sizeof(i64));
+    i64 *cur_pkt = malloc((size_t)count * sizeof(i64));
+    i64 *cur_idx = calloc((size_t)count, sizeof(i64));
+    i64 *cur_vc = calloc((size_t)count, sizeof(i64));
+    i64 *ni_ptr = calloc((size_t)count, sizeof(i64));
+    /* in-flight event rings: credits land at +1, link flits at +2 */
+    i64 ring_cap = 5 * count + 8;
+    i64 *cring = malloc((size_t)2 * ring_cap * 2 * sizeof(i64));
+    i64 *aring = malloc((size_t)3 * ring_cap * 4 * sizeof(i64));
+    i64 cring_n[2] = {0, 0};
+    i64 aring_n[3] = {0, 0, 0};
+
+    if (!f_arr || !f_idx || !f_pkt || !rh || !fl || !vc_out || !vc_elig ||
+        !owner || !credits || !va_ptr || !sa_in || !sa_out || !occ || !vap ||
+        !buffered || !wake || !qhead || !qtail || !pnext || !cur_pkt ||
+        !cur_idx || !cur_vc || !ni_ptr || !cring || !aring) {
+        free(f_arr); free(f_idx); free(f_pkt); free(rh); free(fl);
+        free(vc_out); free(vc_elig); free(owner); free(credits);
+        free(va_ptr); free(sa_in); free(sa_out); free(occ); free(vap);
+        free(buffered); free(wake); free(qhead); free(qtail); free(pnext);
+        free(cur_pkt); free(cur_idx); free(cur_vc); free(ni_ptr);
+        free(cring); free(aring);
+        return 1;
+    }
+
+    for (i64 g = 0; g < gslots; g++) { vc_out[g] = -1; owner[g] = -1; }
+    for (i64 i = 0; i < count; i++) {
+        qhead[i] = -1; qtail[i] = -1; cur_pkt[i] = -1;
+        for (i64 v = 0; v < vcs; v++)
+            credits[i * slots + v] = 1LL << 30;  /* ejection: unbounded */
+        for (i64 port = 1; port < 5; port++)
+            if (neighbor[i * 5 + port] >= 0)
+                for (i64 v = 0; v < vcs; v++)
+                    credits[i * slots + port * vcs + v] = depth;
+    }
+
+    i64 cycle = 0, cycles_run = 0, flags = 0;
+    i64 in_flight = 0, events_pending = 0, p = 0;
+    i64 created_measured = 0, measured_ejected = 0, measured_flits = 0;
+    i64 n_ej = 0;
+
+    for (;;) {
+        if (cycle >= deadline) { cycles_run = deadline; break; }
+
+        if (!in_flight && !events_pending) {
+            /* whole-mesh idle: jump to the next scheduled packet, or
+             * exit the way the reference loop does when none is due
+             * before the measurement window closes */
+            if (p < n_pkts && p_cycle[p] < measure_end) {
+                cycle = p_cycle[p];
+            } else {
+                cycles_run = deadline > measure_end ? measure_end + 1
+                                                    : deadline;
+                flags |= FLAG_IDLE_BREAK;
+                break;
+            }
+        }
+
+        if (cycle >= sched_upto) { flags |= FLAG_UNFINISHED; break; }
+
+        int win = warmup <= cycle && cycle < measure_end;
+
+        /* deliver credits scheduled for this cycle */
+        {
+            i64 r = cycle % 2, n = cring_n[r];
+            for (i64 e = 0; e < n; e++) {
+                i64 i = cring[(r * ring_cap + e) * 2];
+                i64 s = cring[(r * ring_cap + e) * 2 + 1];
+                credits[i * slots + s]++;
+                wake[i] = cycle;
+            }
+            cring_n[r] = 0;
+            events_pending -= n;
+        }
+
+        /* deliver link arrivals scheduled for this cycle */
+        {
+            i64 r = cycle % 3, n = aring_n[r];
+            for (i64 e = 0; e < n; e++) {
+                const i64 *ev = aring + (r * ring_cap + e) * 4;
+                i64 i = ev[0], s = ev[1];
+                i64 g = i * slots + s;
+                i64 pos = rh[g] + fl[g];
+                if (pos >= depth) pos -= depth;
+                f_arr[g * depth + pos] = cycle;
+                f_idx[g * depth + pos] = ev[2];
+                f_pkt[g * depth + pos] = ev[3];
+                fl[g]++;
+                buffered[i]++;
+                occ[i] |= 1LL << s;
+                if (vc_out[g] < 0) vap[i] |= 1LL << s;
+                wake[i] = cycle;
+                if (win) counters[i * 4]++;
+            }
+            aring_n[r] = 0;
+            events_pending -= n;
+        }
+
+        /* new packets enter their source NI queues */
+        while (p < n_pkts && p_cycle[p] == cycle) {
+            i64 i = p_src[p];
+            pnext[p] = -1;
+            if (qtail[i] < 0) qhead[i] = p; else pnext[qtail[i]] = p;
+            qtail[i] = p;
+            in_flight += p_len[p];
+            if (p_meas[p]) created_measured++;
+            p++;
+        }
+
+        /* NI injection: one flit per node per cycle into a claimed VC */
+        for (i64 i = 0; i < count; i++) {
+            i64 cp = cur_pkt[i];
+            if (cp < 0) {
+                if (qhead[i] < 0) continue;
+                i64 chosen = -1;
+                for (i64 k = 0; k < vcs; k++) {
+                    i64 v = ni_ptr[i] + k;
+                    if (v >= vcs) v -= vcs;
+                    i64 g = i * slots + v;
+                    if (fl[g] == 0 && vc_out[g] < 0) { chosen = v; break; }
+                }
+                if (chosen < 0) continue;
+                ni_ptr[i] = chosen + 1 < vcs ? chosen + 1 : 0;
+                cp = qhead[i];
+                cur_pkt[i] = cp; cur_idx[i] = 0; cur_vc[i] = chosen;
+                qhead[i] = pnext[cp];
+                if (qhead[i] < 0) qtail[i] = -1;
+            }
+            i64 v = cur_vc[i], g = i * slots + v;
+            if (fl[g] >= depth) continue;
+            i64 pos = rh[g] + fl[g];
+            if (pos >= depth) pos -= depth;
+            f_arr[g * depth + pos] = cycle;
+            f_idx[g * depth + pos] = cur_idx[i];
+            f_pkt[g * depth + pos] = cp;
+            fl[g]++;
+            buffered[i]++;
+            occ[i] |= 1LL << v;
+            if (vc_out[g] < 0) vap[i] |= 1LL << v;
+            wake[i] = cycle;
+            if (win) counters[i * 4]++;
+            cur_idx[i]++;
+            if (cur_idx[i] >= p_len[cp]) cur_pkt[i] = -1;
+        }
+
+        /* per-router VC allocation + switch allocation + traversal */
+        for (i64 i = 0; i < count; i++) {
+            if (!buffered[i] || wake[i] > cycle) continue;
+            int acted = 0;
+            i64 min_wait = NEVER;
+            i64 base_g = i * slots;
+
+            /* VA: heads of unallocated occupied VCs request out-VCs,
+             * grouped by output port in first-encounter order */
+            i64 m = vap[i];
+            i64 req_order[5], n_req = 0;
+            i64 req_cnt[5] = {0, 0, 0, 0, 0};
+            i64 req_s[5][60];
+            if (m) {
+                const i64 *route_i = route + i * mesh;
+                while (m) {
+                    i64 s = __builtin_ctzll((unsigned long long)m);
+                    m &= m - 1;
+                    i64 g = base_g + s;
+                    i64 fpos = g * depth + rh[g];
+                    i64 ready = f_arr[fpos] + 2;  /* BW, RC, then VA */
+                    if (cycle < ready) {
+                        if (ready < min_wait) min_wait = ready;
+                        continue;
+                    }
+                    i64 out_p = route_i[p_dest[f_pkt[fpos]]];
+                    if (req_cnt[out_p] == 0) req_order[n_req++] = out_p;
+                    req_s[out_p][req_cnt[out_p]++] = s;
+                }
+                for (i64 r = 0; r < n_req; r++) {
+                    i64 out_p = req_order[r];
+                    i64 free_s[12], nf = 0;
+                    i64 ob = out_p * vcs;
+                    for (i64 v = 0; v < vcs; v++)
+                        if (owner[base_g + ob + v] < 0) free_s[nf++] = ob + v;
+                    if (!nf) continue;
+                    i64 nr = req_cnt[out_p];
+                    i64 *rs = req_s[out_p];
+                    if (nr > 1) {
+                        i64 ptr = va_ptr[i * 5 + out_p];
+                        for (i64 a = 1; a < nr; a++) {
+                            i64 x = rs[a];
+                            i64 kx = (x - ptr) % slots;
+                            if (kx < 0) kx += slots;
+                            i64 b = a - 1;
+                            while (b >= 0) {
+                                i64 kb = (rs[b] - ptr) % slots;
+                                if (kb < 0) kb += slots;
+                                if (kb <= kx) break;
+                                rs[b + 1] = rs[b];
+                                b--;
+                            }
+                            rs[b + 1] = x;
+                        }
+                    }
+                    i64 nz = nr < nf ? nr : nf;
+                    for (i64 a = 0; a < nz; a++) {
+                        i64 s = rs[a], os = free_s[a];
+                        vc_out[base_g + s] = os;
+                        vc_elig[base_g + s] = cycle + 1;
+                        owner[base_g + os] = s;
+                        va_ptr[i * 5 + out_p] = (s + 1) % slots;
+                        vap[i] &= ~(1LL << s);
+                        acted = 1;
+                        if (win) counters[i * 4 + 3]++;
+                    }
+                }
+            }
+
+            /* SA stage 1: each input port nominates one ready VC */
+            i64 mask = occ[i];
+            i64 nom_in[5], nom_v[5], nom_s[5], nom_os[5], n_nom = 0;
+            for (i64 in_p = 0; in_p < 5; in_p++) {
+                i64 pm = (mask >> (in_p * vcs)) & vmask;
+                if (!pm) continue;
+                i64 start = sa_in[i * 5 + in_p];
+                for (i64 k = 0; k < vcs; k++) {
+                    i64 v = start + k;
+                    if (v >= vcs) v -= vcs;
+                    if (!((pm >> v) & 1)) continue;
+                    i64 s = in_p * vcs + v, g = base_g + s;
+                    i64 os = vc_out[g];
+                    if (os < 0) continue;
+                    i64 fpos = g * depth + rh[g];
+                    if (f_idx[fpos] == 0) {   /* head: VA + one cycle   */
+                        i64 ready = vc_elig[g];
+                        if (cycle < ready) {
+                            if (ready < min_wait) min_wait = ready;
+                            continue;
+                        }
+                    } else {                  /* body: buffer write + 1 */
+                        i64 ready = f_arr[fpos] + 1;
+                        if (cycle < ready) {
+                            if (ready < min_wait) min_wait = ready;
+                            continue;
+                        }
+                    }
+                    if (credits[base_g + os] <= 0) continue;
+                    nom_in[n_nom] = in_p; nom_v[n_nom] = v;
+                    nom_s[n_nom] = s; nom_os[n_nom] = os;
+                    n_nom++;
+                    break;
+                }
+            }
+            if (!n_nom) {
+                wake[i] = acted ? cycle + 1 : min_wait;
+                continue;
+            }
+
+            /* SA stage 2: one grant per output port, groups resolved in
+             * first-nomination order */
+            i64 win_idx[5], n_win = 0;
+            if (n_nom == 1) {
+                win_idx[0] = 0; n_win = 1;
+            } else {
+                i64 seen_out[5], n_out = 0;
+                for (i64 a = 0; a < n_nom; a++) {
+                    i64 op = nom_os[a] / vcs;
+                    int dup = 0;
+                    for (i64 b = 0; b < n_out; b++)
+                        if (seen_out[b] == op) { dup = 1; break; }
+                    if (!dup) seen_out[n_out++] = op;
+                }
+                for (i64 b = 0; b < n_out; b++) {
+                    i64 op = seen_out[b];
+                    i64 ptr = sa_out[i * 5 + op];
+                    i64 best = -1, best_k = 1LL << 30;
+                    for (i64 a = 0; a < n_nom; a++) {
+                        if (nom_os[a] / vcs != op) continue;
+                        i64 kk = (nom_in[a] - ptr) % 5;
+                        if (kk < 0) kk += 5;
+                        if (kk < best_k) { best_k = kk; best = a; }
+                    }
+                    win_idx[n_win++] = best;
+                }
+            }
+
+            /* traversal */
+            for (i64 w = 0; w < n_win; w++) {
+                i64 a = win_idx[w];
+                i64 in_p = nom_in[a], v = nom_v[a];
+                i64 s = nom_s[a], os = nom_os[a];
+                i64 g = base_g + s;
+                i64 fpos = g * depth + rh[g];
+                i64 fi = f_idx[fpos], pk = f_pkt[fpos];
+                fl[g]--;
+                if (fl[g] == 0) {
+                    rh[g] = 0;
+                    occ[i] &= ~(1LL << s);
+                } else {
+                    rh[g] = rh[g] + 1 >= depth ? 0 : rh[g] + 1;
+                }
+                buffered[i]--;
+                credits[base_g + os]--;
+                if (win) counters[i * 4 + 1]++;
+                int is_tail = fi == p_len[pk] - 1;
+                if (in_p) {  /* return a credit upstream at +1 */
+                    i64 up = neighbor[i * 5 + in_p];
+                    i64 slot_up = rev[in_p] * vcs + v;
+                    i64 r = (cycle + 1) % 2;
+                    i64 e = cring_n[r]++;
+                    cring[(r * ring_cap + e) * 2] = up;
+                    cring[(r * ring_cap + e) * 2 + 1] = slot_up;
+                    events_pending++;
+                }
+                if (is_tail) {
+                    owner[base_g + os] = -1;
+                    vc_out[g] = -1;
+                    if (occ[i] & (1LL << s)) vap[i] |= 1LL << s;
+                }
+                if (os < vcs) {  /* LOCAL output: ejection */
+                    in_flight--;
+                    if (is_tail) {
+                        p_eject[pk] = cycle + 2;
+                        if (p_meas[pk]) {
+                            measured_ejected++;
+                            measured_flits += p_len[pk];
+                            ej_order[n_ej++] = pk;
+                        }
+                    }
+                } else {         /* link traversal, arrival at +2 */
+                    if (win) counters[i * 4 + 2]++;
+                    if (fi == 0) p_hops[pk]++;
+                    i64 out_p = os / vcs;
+                    i64 down = neighbor[i * 5 + out_p];
+                    i64 slot_down = rev[out_p] * vcs + (os - out_p * vcs);
+                    i64 r = (cycle + 2) % 3;
+                    i64 e = aring_n[r]++;
+                    i64 *ev = aring + (r * ring_cap + e) * 4;
+                    ev[0] = down; ev[1] = slot_down; ev[2] = fi; ev[3] = pk;
+                    events_pending++;
+                }
+                sa_in[i * 5 + in_p] = v + 1 < vcs ? v + 1 : 0;
+                sa_out[i * 5 + os / vcs] = (in_p + 1) % 5;
+            }
+            wake[i] = cycle + 1;
+        }
+
+        cycle++;
+        if (cycle > measure_end && measured_ejected >= created_measured) {
+            cycles_run = cycle;
+            break;
+        }
+    }
+
+    out[0] = cycles_run;
+    out[1] = flags;
+    out[2] = n_ej;
+    out[3] = created_measured;
+    out[4] = measured_ejected;
+    out[5] = measured_flits;
+
+    free(f_arr); free(f_idx); free(f_pkt); free(rh); free(fl);
+    free(vc_out); free(vc_elig); free(owner); free(credits);
+    free(va_ptr); free(sa_in); free(sa_out); free(occ); free(vap);
+    free(buffered); free(wake); free(qhead); free(qtail); free(pnext);
+    free(cur_pkt); free(cur_idx); free(cur_vc); free(ni_ptr);
+    free(cring); free(aring);
+    return 0;
+}
+"""
+
+_lock = threading.Lock()
+_lib = None
+_load_failed = False
+
+
+def _find_compiler() -> str | None:
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _build() -> ctypes.CDLL:
+    digest = hashlib.sha256(_KERNEL_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cached = os.path.join(tempfile.gettempdir(), f"repro-noc-kernel-{digest}.so")
+    if not os.path.exists(cached):
+        compiler = _find_compiler()
+        if compiler is None:
+            raise RuntimeError("no C compiler on PATH")
+        workdir = tempfile.mkdtemp(prefix="repro-noc-kernel-")
+        try:
+            source = os.path.join(workdir, "kernel.c")
+            with open(source, "w", encoding="utf-8") as handle:
+                handle.write(_KERNEL_SOURCE)
+            built = os.path.join(workdir, "kernel.so")
+            subprocess.run(
+                [compiler, "-O2", "-fPIC", "-shared", "-o", built, source],
+                check=True,
+                capture_output=True,
+            )
+            os.replace(built, cached)  # atomic publish for parallel workers
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    lib = ctypes.CDLL(cached)
+    ptr = ctypes.POINTER(ctypes.c_longlong)
+    c64 = ctypes.c_longlong
+    lib.run_kernel.restype = c64
+    lib.run_kernel.argtypes = [
+        c64, c64, c64, c64,          # count, vcs, depth, mesh
+        ptr, ptr, ptr,               # neighbor, route, rev
+        c64,                         # n_pkts
+        ptr, ptr, ptr, ptr, ptr,     # p_cycle, p_src, p_dest, p_len, p_meas
+        c64, c64, c64, c64,          # sched_upto, warmup, measure_end, deadline
+        ptr, ptr, ptr, ptr, ptr,     # p_hops, p_eject, ej_order, counters, out
+    ]
+    return lib
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _load_failed
+    if _lib is not None or _load_failed:
+        return _lib
+    with _lock:
+        if _lib is None and not _load_failed:
+            try:
+                _lib = _build()
+            except Exception:
+                _load_failed = True
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled kernel can run on this machine.
+
+    False when ``REPRO_NOC_NATIVE`` is set to ``0``/``no``/``off``, when
+    no C compiler is on the PATH, or when compilation failed once in
+    this process (the failure is remembered, not retried).
+    """
+    if os.environ.get("REPRO_NOC_NATIVE", "").strip().lower() in ("0", "no", "off"):
+        return False
+    return _load() is not None
+
+
+def _as_ptr(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong))
+
+
+def execute(spec: SimulationSpec) -> SimulationResult | None:
+    """Run ``spec`` on the compiled kernel; None means "use the fallback".
+
+    Only called for specs the vectorized backend already accepted (no
+    faults, deterministic routing, no active telemetry); returns None
+    when the kernel is unavailable or the configuration exceeds its
+    fixed-width state (more than ``_MAX_VCS`` virtual channels).
+    """
+    cfg = spec.config
+    vcs = cfg.vcs_per_port
+    if vcs > _MAX_VCS:
+        return None
+    lib = _load()
+    if lib is None:
+        return None
+
+    from repro.noc.backends.vectorized import _PacketSchedule
+    from repro.noc.routing import build_routing_table
+
+    topology = spec.topology
+    depth = cfg.buffers_per_vc
+    nodes = list(topology.active_nodes)
+    count = len(nodes)
+    index_of = {node: i for i, node in enumerate(nodes)}
+    mesh_size = topology.width * topology.height
+
+    route = np.zeros(count * mesh_size, dtype=np.int64)
+    for (current, dest), port in build_routing_table(topology, spec.routing).items():
+        route[index_of[current] * mesh_size + dest] = port
+    neighbor = np.full(count * PORT_COUNT, -1, dtype=np.int64)
+    for i, node in enumerate(nodes):
+        for port in range(1, PORT_COUNT):
+            other = topology.neighbor(node, PORT_TO_DIRECTION[port])
+            if other is not None and other in index_of:
+                neighbor[i * PORT_COUNT + port] = index_of[other]
+    rev = np.array(
+        [REVERSE_PORT.get(p, 0) for p in range(PORT_COUNT)], dtype=np.int64
+    )
+
+    warmup = spec.warmup_cycles
+    measure_cycles = spec.measure_cycles
+    measure_end = warmup + measure_cycles
+    deadline = measure_end + spec.drain_cycles
+
+    traffic = spec.traffic.build()
+    schedule = _PacketSchedule(traffic, warmup, measure_end)
+
+    # flatten the pre-drawn traffic into per-packet columns; grown (never
+    # redrawn -- the RNG stream must stay continuous) when the kernel
+    # outruns the horizon
+    p_cycle: list[int] = []
+    p_src: list[int] = []
+    p_dest: list[int] = []
+    p_len: list[int] = []
+    p_meas: list[int] = []
+    horizon = 0
+
+    def extend_to(limit: int) -> None:
+        nonlocal horizon
+        for c in range(horizon, limit):
+            for packet in schedule.take(c):
+                p_cycle.append(c)
+                p_src.append(index_of[packet.source])
+                p_dest.append(packet.destination)
+                p_len.append(packet.length)
+                p_meas.append(1 if packet.measured else 0)
+        horizon = limit
+
+    # most runs drain within a few hundred cycles of the window closing;
+    # only saturated runs walk the horizon out toward the full deadline
+    extend_to(min(deadline, measure_end + 1 + min(spec.drain_cycles, 2048)))
+
+    while True:
+        n_pkts = len(p_cycle)
+        cols = [
+            np.array(col, dtype=np.int64) if col else np.zeros(1, dtype=np.int64)
+            for col in (p_cycle, p_src, p_dest, p_len, p_meas)
+        ]
+        p_hops = np.zeros(max(n_pkts, 1), dtype=np.int64)
+        p_eject = np.full(max(n_pkts, 1), -1, dtype=np.int64)
+        ej_order = np.zeros(max(n_pkts, 1), dtype=np.int64)
+        counters = np.zeros(count * 4, dtype=np.int64)
+        out = np.zeros(8, dtype=np.int64)
+        status = lib.run_kernel(
+            count, vcs, depth, mesh_size,
+            _as_ptr(neighbor), _as_ptr(route), _as_ptr(rev),
+            n_pkts,
+            *(_as_ptr(col) for col in cols),
+            horizon, warmup, measure_end, deadline,
+            _as_ptr(p_hops), _as_ptr(p_eject), _as_ptr(ej_order),
+            _as_ptr(counters), _as_ptr(out),
+        )
+        if status != 0:
+            return None
+        if not out[1] & _FLAG_UNFINISHED:
+            break
+        extend_to(min(deadline, max(horizon * 4, horizon + 1)))
+
+    cycles_run = int(out[0])
+    n_ej = int(out[2])
+    created_measured = int(out[3])
+    measured_ejected = int(out[4])
+    measured_flits = int(out[5])
+    p_cycle_arr = cols[0]
+
+    latency = RunningStats()
+    hops_stats = RunningStats()
+    latencies: list[int] = []
+    for k in range(n_ej):
+        pk = int(ej_order[k])
+        lat = int(p_eject[pk]) - int(p_cycle_arr[pk])
+        latency.add(lat)
+        latencies.append(lat)
+        hops_stats.add(int(p_hops[pk]))
+
+    saturated = measured_ejected < created_measured
+    endpoints = len(traffic.endpoints)
+
+    activity = NetworkActivity()
+    for i, node in enumerate(nodes):
+        router_activity = activity.router(node)
+        router_activity.buffer_writes = int(counters[i * 4])
+        router_activity.buffer_reads = int(counters[i * 4 + 1])
+        router_activity.crossbar_traversals = int(counters[i * 4 + 1])
+        router_activity.switch_arbitrations = int(counters[i * 4 + 1])
+        router_activity.link_traversals = int(counters[i * 4 + 2])
+        router_activity.vc_allocations = int(counters[i * 4 + 3])
+        router_activity.cycles_powered = measure_cycles
+
+    return SimulationResult(
+        avg_latency=latency.mean if latency.count else 0.0,
+        avg_hops=hops_stats.mean if hops_stats.count else 0.0,
+        max_latency=int(latency.maximum) if latency.count else 0,
+        p50_latency=percentile(latencies, 50) if latencies else 0.0,
+        p95_latency=percentile(latencies, 95) if latencies else 0.0,
+        p99_latency=percentile(latencies, 99) if latencies else 0.0,
+        packets_measured=created_measured,
+        packets_ejected=measured_ejected,
+        offered_flits_per_cycle=traffic.injection_rate,
+        accepted_flits_per_cycle=(
+            measured_flits / (measure_cycles * endpoints)
+            if measure_cycles and endpoints
+            else 0.0
+        ),
+        saturated=saturated,
+        cycles_run=cycles_run,
+        measure_cycles=measure_cycles,
+        activity=activity,
+        endpoint_count=endpoints,
+    )
+
+
+__all__ = ["available", "execute"]

@@ -1,0 +1,56 @@
+"""The simulation outcome value every backend produces.
+
+:class:`SimulationResult` lives in its own module so that simulation
+*backends* (:mod:`repro.noc.backends`) and the driver facade
+(:mod:`repro.noc.sim`) can share it without importing each other.  The
+class is re-exported from :mod:`repro.noc.sim`, so results pickled by
+older versions (the on-disk :class:`~repro.exec.cache.ResultCache`
+records the class by its import path) keep unpickling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.activity import NetworkActivity
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one network simulation run."""
+
+    avg_latency: float
+    avg_hops: float
+    max_latency: int
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    packets_measured: int
+    packets_ejected: int
+    offered_flits_per_cycle: float  # per endpoint
+    accepted_flits_per_cycle: float  # per endpoint, over the measure window
+    saturated: bool
+    cycles_run: int
+    measure_cycles: int
+    activity: NetworkActivity = field(repr=False, default_factory=NetworkActivity)
+    endpoint_count: int = 0
+    # fault-injection outcome (all zero unless the spec carried a
+    # non-empty FaultSchedule, so fault-free runs are bit-identical to
+    # results produced before faults existed)
+    packets_dropped: int = 0
+    packets_retransmitted: int = 0
+    packets_rerouted: int = 0
+    reconfigurations: int = 0
+    min_region_level: int = 0
+
+    @property
+    def powered_router_count(self) -> int:
+        return len(self.activity.routers)
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fault forced the network to reconfigure mid-run."""
+        return self.reconfigurations > 0
+
+
+__all__ = ["SimulationResult"]

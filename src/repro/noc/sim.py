@@ -1,69 +1,42 @@
-"""Simulation driver: warmup / measurement / drain methodology.
+"""Simulation facade: spec in, result out, backend-pluggable.
 
-Follows the standard booksim methodology: the network warms up for
-``warmup_cycles``, every packet created during the next ``measure_cycles``
-is tagged as *measured*, injection continues (the traffic process stays
-stationary) until every measured packet has been ejected or the drain
-budget runs out.  A run that cannot drain is reported as saturated --
-exactly the behaviour behind the "NoC-sprinting saturates earlier"
-observation of Figure 11.
+:func:`simulate` (and its keyword-friendly wrapper :func:`run_simulation`)
+is the single entry point every caller -- the sweep engine, the CMP model,
+the CLI, the benchmarks -- goes through to run a network simulation.  The
+actual engine is looked up in the backend registry
+(:mod:`repro.noc.backends`) by name: ``"reference"`` is the cycle-accurate
+object-model simulator and the default; ``"vectorized"`` is the flat-array
+fast path.  The spec's declared capability needs (faults, gating,
+adaptive routing, telemetry sampling) are checked against the chosen
+backend before the run starts, so a fast path declines what it cannot
+simulate instead of silently mis-simulating it.
+
+The warmup / measure / drain methodology itself lives with the backends
+(see :mod:`repro.noc.backends.reference`); :class:`SimulationResult` is
+re-exported here for compatibility -- including for results pickled by
+older versions into the on-disk result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.config import NoCConfig
 from repro.core.topological import SprintTopology
-from repro.noc.activity import NetworkActivity
-from repro.noc.network import Network
-from repro.noc.routing import build_routing_table
+from repro.noc.backends import check_capabilities, get_backend
+from repro.noc.result import SimulationResult
 from repro.noc.spec import SimulationSpec, stable_key
 from repro.noc.traffic import TrafficGenerator
-from repro.telemetry import active as _active_telemetry
-from repro.util.stats import RunningStats, percentile
 
-
-@dataclass
-class SimulationResult:
-    """Outcome of one network simulation run."""
-
-    avg_latency: float
-    avg_hops: float
-    max_latency: int
-    p50_latency: float
-    p95_latency: float
-    p99_latency: float
-    packets_measured: int
-    packets_ejected: int
-    offered_flits_per_cycle: float  # per endpoint
-    accepted_flits_per_cycle: float  # per endpoint, over the measure window
-    saturated: bool
-    cycles_run: int
-    measure_cycles: int
-    activity: NetworkActivity = field(repr=False, default_factory=NetworkActivity)
-    endpoint_count: int = 0
-    # fault-injection outcome (all zero unless the spec carried a
-    # non-empty FaultSchedule, so fault-free runs are bit-identical to
-    # results produced before faults existed)
-    packets_dropped: int = 0
-    packets_retransmitted: int = 0
-    packets_rerouted: int = 0
-    reconfigurations: int = 0
-    min_region_level: int = 0
-
-    @property
-    def powered_router_count(self) -> int:
-        return len(self.activity.routers)
-
-    @property
-    def degraded(self) -> bool:
-        """True when a fault forced the network to reconfigure mid-run."""
-        return self.reconfigurations > 0
+__all__ = [
+    "SimulationResult",
+    "run_simulation",
+    "simulate",
+    "zero_load_cache",
+    "zero_load_latency",
+]
 
 
 def simulate(
-    spec: SimulationSpec, gating_policy=None, telemetry=None
+    spec: SimulationSpec, gating_policy=None, telemetry=None, backend: str | None = None
 ) -> SimulationResult:
     """Run the simulation a :class:`~repro.noc.spec.SimulationSpec` describes.
 
@@ -72,23 +45,21 @@ def simulate(
     spec yields bit-identical results in any process, which is what lets
     the sweep engine (:mod:`repro.exec`) parallelize and cache runs.
 
+    ``backend`` overrides the spec's ``backend`` field for this call (the
+    spec field is what the result cache keys on; the override is for
+    callers that own their caching, like the equivalence tests).  The
+    chosen engine's declared capabilities are checked against what the
+    run needs -- a :class:`~repro.noc.backends.BackendCapabilityError`
+    explains any mismatch.
+
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`, optional) records
     phase spans, periodic per-router samples and run counters; it never
     influences the simulation itself, so results stay bit-identical with
     telemetry on, off, or absent.
     """
-    return _execute(
-        spec.topology,
-        spec.traffic.build(),
-        spec.config,
-        spec.routing,
-        spec.warmup_cycles,
-        spec.measure_cycles,
-        spec.drain_cycles,
-        gating_policy,
-        faults=spec.faults,
-        telemetry=telemetry,
-    )
+    engine = get_backend(backend if backend is not None else spec.backend)
+    check_capabilities(engine, spec, gating_policy, telemetry)
+    return engine.run(spec, gating_policy=gating_policy, telemetry=telemetry)
 
 
 def run_simulation(
@@ -102,15 +73,19 @@ def run_simulation(
     gating_policy=None,
     faults=None,
     telemetry=None,
+    backend: str | None = None,
 ) -> SimulationResult:
     """Simulate a topology under a traffic load and collect statistics.
 
     Preferred form: ``run_simulation(spec)`` with a single
-    :class:`~repro.noc.spec.SimulationSpec` (see :func:`simulate`).  The
+    :class:`~repro.noc.spec.SimulationSpec` (see :func:`simulate`), where
+    ``backend=`` selects the simulation engine by registry name.  The
     keyword form below is retained as a thin back-compat wrapper and may be
     deprecated in a future release; it takes a live
     :class:`~repro.noc.traffic.TrafficGenerator`, whose consumed RNG state
-    makes the run ineligible for result caching.
+    makes the run ineligible for result caching (and, for the same reason,
+    restricts the keyword form to the ``"reference"`` backend: the other
+    engines consume the traffic process on their own schedule).
 
     ``routing`` is ``"cdor"``, ``"xy"``, or one of the adaptive turn models
     (``"west_first"``, ``"negative_first"``; full mesh only).
@@ -121,9 +96,16 @@ def run_simulation(
     """
     if isinstance(topology, SimulationSpec):
         return simulate(topology, gating_policy=gating_policy,
-                        telemetry=telemetry)
+                        telemetry=telemetry, backend=backend)
     if traffic is None:
         raise TypeError("run_simulation needs a TrafficGenerator (or a SimulationSpec)")
+    if backend is not None and backend != "reference":
+        raise ValueError(
+            "a live TrafficGenerator pins run_simulation to the 'reference' "
+            "backend; pass a SimulationSpec to select another engine"
+        )
+    from repro.noc.backends.reference import _execute
+
     return _execute(
         topology,
         traffic,
@@ -136,325 +118,6 @@ def run_simulation(
         faults=faults,
         telemetry=telemetry,
     )
-
-
-def _reconfigure(
-    network: Network,
-    topology: SprintTopology,
-    faults,
-    cfg: NoCConfig,
-    cycle: int,
-    counters: dict,
-) -> tuple[Network, SprintTopology]:
-    """Rebuild the network around the fault set active at ``cycle``.
-
-    Implements the drop-and-retransmit reconfiguration policy: a smaller
-    convex region is grown around the faults (falling back towards the
-    master when the full level is unreachable), packets whose source and
-    destination survive are re-injected at their source NI with their
-    original creation timestamps (the retransmission penalty shows up as
-    latency), and packets stranded on a dead endpoint are dropped.
-    """
-    from repro.core.faults import degraded_topology, link_fault_exclusions
-
-    excluded = set(faults.faulty_routers_at(cycle))
-    links = faults.faulty_links_at(cycle)
-    if links:
-        excluded |= link_fault_exclusions(
-            topology.width, topology.height, links, topology.master
-        )
-    if excluded:
-        new_topology = degraded_topology(
-            topology.width, topology.height, topology.level,
-            frozenset(excluded), topology.master,
-        )
-        # CDOR is the only routing that is sound on an arbitrary convex
-        # region (and equals XY on the full mesh), so reconfigured
-        # networks always route CDOR
-        table = build_routing_table(new_topology, "cdor")
-    else:
-        # every transient fault has recovered: restore the planned region
-        new_topology = topology
-        table = build_routing_table(new_topology, "cdor")
-
-    replacement = Network(new_topology, table, cfg, activity=network.activity)
-    replacement.cycle = cycle
-    replacement.counting = network.counting
-    replacement.on_packet_ejected = network.on_packet_ejected
-    for packet, entered in network.extract_in_flight():
-        if (
-            packet.source in replacement.routers
-            and packet.destination in replacement.routers
-        ):
-            packet.hops = 0
-            replacement.inject(packet)
-            counters["retransmitted" if entered else "rerouted"] += 1
-        else:
-            counters["dropped"] += 1
-            if packet.measured:
-                counters["lost_measured"] += 1
-    counters["reconfigurations"] += 1
-    return replacement, new_topology
-
-
-def _execute(
-    topology: SprintTopology,
-    traffic: TrafficGenerator,
-    cfg: NoCConfig,
-    routing: str,
-    warmup_cycles: int,
-    measure_cycles: int,
-    drain_cycles: int,
-    gating_policy,
-    faults=None,
-    telemetry=None,
-) -> SimulationResult:
-    """The warmup / measure / drain loop shared by both entry points."""
-    if routing in ("cdor", "xy"):
-        table = build_routing_table(topology, routing)
-    else:
-        from repro.noc.adaptive import build_adaptive_table
-
-        table = build_adaptive_table(topology, routing)
-    network = Network(topology, table, cfg)
-
-    tel = _active_telemetry(telemetry)
-    tracer = tel.tracer if tel is not None else None
-    interval = tel.sample_interval if tel is not None else 0
-    sampling = tel is not None
-    inj_flits: dict[int, int] = {}
-    ej_flits: dict[int, int] = {}
-    gated_cycles: dict[int, int] = {}
-    if tracer is not None:
-        sim_span = tracer.span(
-            "simulate",
-            level=topology.level,
-            routing=routing,
-            rate=round(traffic.injection_rate, 6),
-        )
-        phase_span = tracer.span("phase:warmup", parent=sim_span.id)
-
-    latency = RunningStats()
-    hops = RunningStats()
-    latencies: list[int] = []
-    ejected = {"measured": 0, "all": 0, "measured_flits": 0}
-
-    def on_eject(packet) -> None:
-        ejected["all"] += 1
-        if sampling:
-            ej_flits[packet.destination] = (
-                ej_flits.get(packet.destination, 0) + packet.length
-            )
-        if packet.measured:
-            ejected["measured"] += 1
-            ejected["measured_flits"] += packet.length
-            latency.add(packet.latency)
-            latencies.append(packet.latency)
-            hops.add(packet.hops)
-
-    network.on_packet_ejected = on_eject
-
-    boundaries = faults.boundaries() if faults else []
-    next_boundary = 0
-    counters = {
-        "dropped": 0, "retransmitted": 0, "rerouted": 0,
-        "lost_measured": 0, "reconfigurations": 0,
-    }
-    active_topology = topology
-    min_level = topology.level if boundaries else 0
-
-    created_measured = 0
-    measure_end = warmup_cycles + measure_cycles
-    deadline = measure_end + drain_cycles
-    while True:
-        cycle = network.cycle
-        if cycle >= deadline:
-            break
-        if next_boundary < len(boundaries) and boundaries[next_boundary] == cycle:
-            next_boundary += 1
-            if tracer is not None:
-                reconf_span = tracer.span(
-                    "reconfigure", parent=phase_span.id, cycle=cycle
-                )
-            network, active_topology = _reconfigure(
-                network, topology, faults, cfg, cycle, counters
-            )
-            min_level = min(min_level, active_topology.level)
-            if tracer is not None:
-                reconf_span.annotate(level=active_topology.level)
-                reconf_span.end()
-        in_window = warmup_cycles <= cycle < measure_end
-        for packet in traffic.packets_for_cycle(cycle, measured=in_window):
-            if active_topology is not topology and (
-                packet.source not in network.routers
-                or packet.destination not in network.routers
-            ):
-                # the endpoint's router fell out of the degraded region:
-                # the packet is lost at the NI before it is ever created
-                counters["dropped"] += 1
-                continue
-            network.inject(packet)
-            if sampling:
-                inj_flits[packet.source] = (
-                    inj_flits.get(packet.source, 0) + packet.length
-                )
-            if packet.measured:
-                created_measured += 1
-        if cycle == warmup_cycles:
-            network.counting = True
-            if tracer is not None:
-                phase_span.annotate(end_cycle=cycle)
-                phase_span.end()
-                phase_span = tracer.span(
-                    "phase:measure", parent=sim_span.id, start_cycle=cycle
-                )
-        if cycle == measure_end:
-            network.counting = False
-            if tracer is not None:
-                phase_span.annotate(end_cycle=cycle)
-                phase_span.end()
-                phase_span = tracer.span(
-                    "phase:drain", parent=sim_span.id, start_cycle=cycle
-                )
-        if interval and cycle % interval == 0:
-            _emit_router_sample(
-                tel, sim_span.id, network, cycle,
-                inj_flits, ej_flits, gated_cycles, interval,
-            )
-        if gating_policy is not None:
-            gating_policy.step(network)
-        network.step()
-        if cycle >= measure_end and (
-            ejected["measured"] >= created_measured - counters["lost_measured"]
-        ):
-            break
-
-    saturated = (
-        ejected["measured"] < created_measured - counters["lost_measured"]
-    )
-    endpoints = len(traffic.endpoints)
-    if tel is not None:
-        _record_sim_metrics(
-            tel, network, created_measured, ejected, counters, saturated,
-            inj_flits, ej_flits, gated_cycles,
-        )
-        if tracer is not None:
-            phase_span.annotate(end_cycle=network.cycle)
-            phase_span.end()
-            sim_span.annotate(
-                cycles=network.cycle,
-                packets=created_measured,
-                saturated=saturated,
-                reconfigurations=counters["reconfigurations"],
-            )
-            sim_span.end()
-    return SimulationResult(
-        avg_latency=latency.mean if latency.count else 0.0,
-        avg_hops=hops.mean if hops.count else 0.0,
-        max_latency=int(latency.maximum) if latency.count else 0,
-        p50_latency=percentile(latencies, 50) if latencies else 0.0,
-        p95_latency=percentile(latencies, 95) if latencies else 0.0,
-        p99_latency=percentile(latencies, 99) if latencies else 0.0,
-        packets_measured=created_measured,
-        packets_ejected=ejected["measured"],
-        offered_flits_per_cycle=traffic.injection_rate,
-        accepted_flits_per_cycle=(
-            ejected["measured_flits"] / (measure_cycles * endpoints)
-            if measure_cycles and endpoints
-            else 0.0
-        ),
-        saturated=saturated,
-        cycles_run=network.cycle,
-        measure_cycles=measure_cycles,
-        activity=network.activity,
-        endpoint_count=endpoints,
-        packets_dropped=counters["dropped"],
-        packets_retransmitted=counters["retransmitted"],
-        packets_rerouted=counters["rerouted"],
-        reconfigurations=counters["reconfigurations"],
-        min_region_level=min_level,
-    )
-
-
-def _emit_router_sample(
-    tel, span_id, network, cycle, inj_flits, ej_flits, gated_cycles, interval
-) -> None:
-    """One periodic in-simulation sample: per-router flit counts (cumulative
-    injected/ejected), instantaneous buffer occupancy and gating state.
-
-    Gated-cycle counts are accumulated at sampling granularity (a router
-    gated at the sample instant is charged the whole interval) -- an
-    approximation that keeps the per-cycle hot path untouched.
-    """
-    routers = {}
-    buffered_total = 0
-    for node, router in network.routers.items():
-        occupancy = router.buffered_flits
-        buffered_total += occupancy
-        if router.gated:
-            gated_cycles[node] = gated_cycles.get(node, 0) + interval
-        routers[str(node)] = {
-            "inj": inj_flits.get(node, 0),
-            "ej": ej_flits.get(node, 0),
-            "occ": occupancy,
-            "gated": 1 if router.gated else 0,
-        }
-    tel.metrics.histogram(
-        "noc_buffer_occupancy_flits",
-        help="total buffered flits at sample instants",
-        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
-    ).observe(buffered_total)
-    tel.tracer.sample(
-        {
-            "cycle": cycle,
-            "in_flight": network.flits_in_flight,
-            "buffered": buffered_total,
-            "routers": routers,
-        },
-        parent=span_id,
-    )
-
-
-def _record_sim_metrics(
-    tel, network, created_measured, ejected, counters, saturated,
-    inj_flits, ej_flits, gated_cycles,
-) -> None:
-    """Fold one finished run into the telemetry metrics registry."""
-    metrics = tel.metrics
-    metrics.counter("sim_runs_total", help="network simulations executed").inc()
-    metrics.counter("sim_cycles_total", help="simulated cycles").inc(network.cycle)
-    metrics.counter(
-        "sim_packets_measured_total", help="packets tagged in measure windows"
-    ).inc(created_measured)
-    metrics.counter(
-        "sim_packets_ejected_total", help="measured packets ejected"
-    ).inc(ejected["measured"])
-    metrics.counter(
-        "sim_packets_dropped_total", help="packets lost to faults"
-    ).inc(counters["dropped"])
-    metrics.counter(
-        "sim_packets_retransmitted_total", help="packets re-injected after faults"
-    ).inc(counters["retransmitted"])
-    metrics.counter(
-        "sim_reconfigurations_total", help="mid-run network reconfigurations"
-    ).inc(counters["reconfigurations"])
-    if saturated:
-        metrics.counter("sim_saturated_total", help="runs that failed to drain").inc()
-    for node, flits in sorted(inj_flits.items()):
-        metrics.counter(
-            "noc_router_injected_flits_total",
-            help="flits injected at each router's NI", router=node,
-        ).inc(flits)
-    for node, flits in sorted(ej_flits.items()):
-        metrics.counter(
-            "noc_router_ejected_flits_total",
-            help="flits ejected at each router's NI", router=node,
-        ).inc(flits)
-    for node, cycles in sorted(gated_cycles.items()):
-        metrics.counter(
-            "noc_router_gated_cycles_total",
-            help="cycles spent power-gated (sampled)", router=node,
-        ).inc(cycles)
 
 
 _zero_load_cache = None
@@ -474,6 +137,7 @@ def zero_load_latency(
     topology: SprintTopology,
     config: NoCConfig | None = None,
     routing: str = "cdor",
+    backend: str = "reference",
 ) -> float:
     """Analytic zero-load packet latency averaged over all endpoint pairs.
 
@@ -482,14 +146,22 @@ def zero_load_latency(
     Used by the CMP performance model as its communication-cost proxy when
     no cycle simulation is attached.
 
-    The O(n^2) pair walk is memoized per (topology, config, routing) in a
-    process-wide :class:`~repro.exec.cache.ResultCache`: callers in hot
-    loops (the performance model evaluates this per workload per scheme)
-    pay for each distinct topology once.
+    The O(n^2) pair walk is memoized per (backend, topology, config,
+    routing) in a process-wide :class:`~repro.exec.cache.ResultCache`:
+    callers in hot loops (the performance model evaluates this per workload
+    per scheme) pay for each distinct topology once.  The backend is part
+    of the memo key (with the default keeping its historical key) so a
+    backend with its own zero-load model can never serve, or be served,
+    another backend's entries.
     """
     cfg = config or NoCConfig()
     cache = zero_load_cache()
-    key = stable_key(("zero_load_latency", topology, cfg, routing))
+    if backend == "reference":
+        # historical key shape: entries memoized before backends existed
+        # stay valid for the default engine
+        key = stable_key(("zero_load_latency", topology, cfg, routing))
+    else:
+        key = stable_key(("zero_load_latency", backend, topology, cfg, routing))
     cached = cache.get(key)
     if cached is not None:
         return cached
@@ -506,7 +178,6 @@ def _zero_load_latency(
     if len(nodes) < 2:
         # local delivery: injection + ejection pipeline only
         return cfg.router_pipeline_stages + cfg.packet_length_flits - 1
-
     router = CdorRouter(topology)
     total = 0.0
     pairs = 0

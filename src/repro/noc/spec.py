@@ -205,10 +205,18 @@ class SimulationSpec:
     faults: FaultSchedule = field(
         default_factory=FaultSchedule, metadata={"omit_when_default": True}
     )
+    # which registered simulation engine executes the run (see
+    # repro.noc.backends).  Omitted from the canonical form at its default,
+    # so every pre-existing cache key is preserved; a non-default backend
+    # keys separately, as two engines are only *required* to agree on the
+    # feature set both support.
+    backend: str = field(default="reference", metadata={"omit_when_default": True})
 
     def __post_init__(self) -> None:
         if self.warmup_cycles < 0 or self.measure_cycles < 1 or self.drain_cycles < 0:
             raise ValueError("simulation windows must be non-negative (measure >= 1)")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty backend name")
         for node in self.traffic.endpoints:
             if not self.topology.is_active(node):
                 raise ValueError(f"traffic endpoint {node} is dark in this topology")
@@ -249,6 +257,10 @@ class SimulationSpec:
         return dataclasses.replace(
             self, traffic=dataclasses.replace(self.traffic, seed=seed)
         )
+
+    def with_backend(self, backend: str) -> "SimulationSpec":
+        """The same run executed by a different simulation engine."""
+        return dataclasses.replace(self, backend=backend)
 
 
 __all__ = ["FaultEvent", "FaultSchedule", "SimulationSpec", "TrafficSpec", "stable_key"]

@@ -52,12 +52,11 @@ def burst_energy(
     """
     if burst_work_s <= 0:
         raise ValueError("burst work must be positive")
-    execution_time = burst_work_s * system.execution_time(workload, scheme)
-    power = system.chip_power(workload, scheme).total
+    report = system.evaluate(workload, scheme)
     return EnergyReport(
         scheme=scheme,
-        execution_time_s=execution_time,
-        avg_power_w=power,
+        execution_time_s=burst_work_s * report.relative_time,
+        avg_power_w=report.chip_power.total,
     )
 
 

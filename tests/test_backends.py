@@ -1,0 +1,345 @@
+"""Tests for the pluggable simulation-backend registry and its engines.
+
+Covers the registry contract (register / look up / list), the capability
+model that lets a fast path decline runs it cannot simulate, cache-key
+stability across the backend field's introduction, and -- most
+importantly -- cross-backend equivalence: the vectorized engine must be
+*bit-identical* to the reference simulator on every spec both support.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.noc.backends import (
+    ALL_CAPABILITIES,
+    CAP_ADAPTIVE_ROUTING,
+    CAP_FAULTS,
+    CAP_GATING,
+    CAP_SAMPLING,
+    CAP_TRACING,
+    BackendCapabilityError,
+    ReferenceBackend,
+    SimBackend,
+    VectorizedBackend,
+    check_capabilities,
+    get_backend,
+    list_backends,
+    register_backend,
+    required_capabilities,
+)
+from repro.noc.sim import simulate, run_simulation, zero_load_cache, zero_load_latency
+from repro.noc.spec import (
+    FaultEvent,
+    FaultSchedule,
+    SimulationSpec,
+    TrafficSpec,
+    stable_key,
+)
+
+CFG = NoCConfig()
+
+
+def make_spec(level=4, rate=0.1, pattern="uniform", seed=0, routing="cdor",
+              warmup=200, measure=600, **kwargs):
+    topo = SprintTopology.for_level(4, 4, level)
+    traffic = TrafficSpec(tuple(topo.active_nodes), rate,
+                          CFG.packet_length_flits, pattern=pattern, seed=seed)
+    return SimulationSpec(topo, traffic, CFG, routing=routing,
+                          warmup_cycles=warmup, measure_cycles=measure, **kwargs)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = list_backends()
+        assert "reference" in names and "vectorized" in names
+        assert names == tuple(sorted(names))
+
+    def test_lookup_returns_declared_engines(self):
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+        assert isinstance(get_backend("vectorized"), VectorizedBackend)
+
+    def test_engines_satisfy_the_protocol(self):
+        for name in list_backends():
+            assert isinstance(get_backend(name), SimBackend)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            get_backend("gpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(ReferenceBackend())
+
+    def test_replace_swaps_and_restores(self):
+        original = get_backend("vectorized")
+        try:
+            swapped = register_backend(VectorizedBackend(), replace=True)
+            assert get_backend("vectorized") is swapped
+            assert swapped is not original
+        finally:
+            register_backend(original, replace=True)
+
+    def test_malformed_backends_rejected(self):
+        class NoName:
+            capabilities = frozenset()
+            def run(self, spec, **kw): ...
+
+        class NoRun:
+            name = "norun"
+            capabilities = frozenset()
+
+        class BadCaps:
+            name = "badcaps"
+            capabilities = ["faults"]
+            def run(self, spec, **kw): ...
+
+        with pytest.raises(ValueError, match="name"):
+            register_backend(NoName())
+        with pytest.raises(ValueError, match="run"):
+            register_backend(NoRun())
+        with pytest.raises(ValueError, match="capabilities"):
+            register_backend(BadCaps())
+
+    def test_declared_capability_sets(self):
+        assert get_backend("reference").capabilities == ALL_CAPABILITIES
+        assert get_backend("vectorized").capabilities == frozenset({CAP_TRACING})
+
+
+class TestCapabilities:
+    def test_plain_spec_needs_nothing(self):
+        assert required_capabilities(make_spec()) == frozenset()
+
+    def test_faulty_spec_needs_faults(self):
+        spec = make_spec(level=16, faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        assert CAP_FAULTS in required_capabilities(spec)
+
+    def test_adaptive_routing_flagged(self):
+        spec = make_spec(level=16, routing="west_first")
+        assert CAP_ADAPTIVE_ROUTING in required_capabilities(spec)
+
+    def test_gating_policy_flagged(self):
+        need = required_capabilities(make_spec(), gating_policy=object())
+        assert CAP_GATING in need
+
+    def test_telemetry_needs_tracing_and_sampling(self):
+        from repro.telemetry import Telemetry
+
+        tracing = required_capabilities(make_spec(), telemetry=Telemetry())
+        assert CAP_TRACING in tracing and CAP_SAMPLING not in tracing
+        sampling = required_capabilities(
+            make_spec(), telemetry=Telemetry(sample_interval=50))
+        assert CAP_SAMPLING in sampling
+
+    def test_vectorized_declines_faults_with_hint(self):
+        spec = make_spec(level=16, faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)), backend="vectorized")
+        with pytest.raises(BackendCapabilityError, match="reference"):
+            simulate(spec)
+
+    def test_vectorized_declines_adaptive_routing(self):
+        engine = get_backend("vectorized")
+        spec = make_spec(level=16, routing="negative_first")
+        with pytest.raises(BackendCapabilityError, match="adaptive_routing"):
+            check_capabilities(engine, spec)
+
+    def test_vectorized_declines_sampling_with_hint(self):
+        from repro.telemetry import Telemetry
+
+        engine = get_backend("vectorized")
+        with pytest.raises(BackendCapabilityError, match="sample_interval"):
+            check_capabilities(engine, make_spec(),
+                               telemetry=Telemetry(sample_interval=25))
+
+    def test_error_carries_structured_fields(self):
+        err = BackendCapabilityError("vectorized", frozenset({CAP_FAULTS}))
+        assert err.backend == "vectorized"
+        assert err.missing == frozenset({CAP_FAULTS})
+        assert isinstance(err, ValueError)
+
+    def test_reference_accepts_everything(self):
+        engine = get_backend("reference")
+        spec = make_spec(level=16, faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        check_capabilities(engine, spec, gating_policy=object())
+
+
+class TestCacheKeys:
+    """Adding the backend field must not invalidate pre-existing caches."""
+
+    def test_default_backend_absent_from_canonical_form(self):
+        from repro.noc.spec import _canonical
+
+        payload = _canonical(make_spec())
+        assert "backend" not in payload
+        assert "backend" in _canonical(make_spec(backend="vectorized"))
+
+    def test_default_and_explicit_reference_share_a_key(self):
+        assert make_spec().cache_key() == make_spec(backend="reference").cache_key()
+
+    def test_non_default_backend_keys_separately(self):
+        assert make_spec().cache_key() != make_spec(backend="vectorized").cache_key()
+
+    def test_with_backend_round_trip(self):
+        spec = make_spec()
+        fast = spec.with_backend("vectorized")
+        assert fast.backend == "vectorized"
+        assert fast.with_backend("reference").cache_key() == spec.cache_key()
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            make_spec(backend="")
+
+    def test_zero_load_memo_keys_by_backend(self):
+        topo = SprintTopology.for_level(4, 4, 4)
+        ref = zero_load_latency(topo, CFG, "cdor")
+        fast = zero_load_latency(topo, CFG, "cdor", backend="vectorized")
+        assert ref == fast  # same analytic model today
+        cache = zero_load_cache()
+        # the default engine keeps the historical (backend-free) key shape
+        assert cache.get(stable_key(("zero_load_latency", topo, CFG, "cdor"))) == ref
+        assert cache.get(stable_key(
+            ("zero_load_latency", "vectorized", topo, CFG, "cdor"))) == fast
+
+
+class TestResultCompat:
+    def test_pickled_results_keep_their_import_path(self):
+        import repro.noc.result
+        import repro.noc.sim
+
+        assert repro.noc.sim.SimulationResult is repro.noc.result.SimulationResult
+
+
+def assert_identical(a, b, label):
+    """Every field of two SimulationResults must match exactly."""
+    da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+    assert set(da) == set(db)
+    for name in da:
+        assert da[name] == db[name], f"{label}: field {name!r} diverges"
+
+
+EQUIV_CASES = [
+    # (level, rate, pattern, routing)
+    (16, 0.05, "uniform", "xy"),
+    (16, 0.30, "transpose", "xy"),
+    (16, 0.15, "bit_complement", "cdor"),
+    (8, 0.20, "uniform", "cdor"),
+    (4, 0.10, "tornado", "cdor"),
+    (4, 0.45, "hotspot", "cdor"),
+    (2, 0.25, "neighbor", "cdor"),
+    (1, 0.20, "uniform", "cdor"),
+]
+
+
+class TestCrossBackendEquivalence:
+    """The acceptance bar: bit-for-bit agreement on the shared feature set."""
+
+    @pytest.mark.parametrize("level,rate,pattern,routing", EQUIV_CASES)
+    def test_results_bit_identical(self, level, rate, pattern, routing):
+        spec = make_spec(level=level, rate=rate, pattern=pattern,
+                         routing=routing, seed=level)
+        ref = simulate(spec, backend="reference")
+        fast = simulate(spec, backend="vectorized")
+        assert_identical(ref, fast, f"L{level} r{rate} {pattern}/{routing}")
+
+    def test_saturated_run_agrees(self):
+        spec = make_spec(level=16, rate=1.8, routing="xy",
+                         warmup=200, measure=400, drain_cycles=500)
+        ref = simulate(spec, backend="reference")
+        fast = simulate(spec, backend="vectorized")
+        assert ref.saturated and fast.saturated
+        assert_identical(ref, fast, "saturated")
+
+    def test_python_fallback_agrees(self, monkeypatch):
+        """With the native kernel disabled the pure-Python vectorized path
+        must produce the same bits."""
+        from repro.noc.backends import native
+
+        monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
+        assert not native.available()
+        spec = make_spec(level=8, rate=0.2, seed=3)
+        fast = simulate(spec, backend="vectorized")
+        monkeypatch.delenv("REPRO_NOC_NATIVE")
+        assert_identical(simulate(spec, backend="reference"), fast, "fallback")
+
+    def test_spec_backend_field_selects_engine(self):
+        spec = make_spec(level=4, rate=0.1, seed=7)
+        via_field = run_simulation(spec.with_backend("vectorized"))
+        via_override = run_simulation(spec, backend="vectorized")
+        assert_identical(via_field, via_override, "selection")
+
+
+class TestInvariants:
+    """Physical invariants that must hold on every backend."""
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_deadlock_free_below_saturation(self, backend):
+        res = simulate(make_spec(level=16, rate=0.1, routing="cdor"),
+                       backend=backend)
+        assert not res.saturated
+        assert res.packets_ejected == res.packets_measured
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_latency_monotone_in_load(self, backend):
+        lat = [simulate(make_spec(level=16, rate=r, routing="xy"),
+                        backend=backend).avg_latency
+               for r in (0.05, 0.3, 0.6)]
+        assert lat[0] < lat[1] < lat[2]
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_region_latency_convex_in_level(self, backend):
+        """Smaller sprint regions have shorter paths: zero-load-ish latency
+        must not increase as the region shrinks (paper Fig. 9 shape)."""
+        lat = {level: simulate(make_spec(level=level, rate=0.05), backend=backend
+                               ).avg_latency
+               for level in (2, 4, 8, 16)}
+        assert lat[2] <= lat[4] <= lat[8] <= lat[16]
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_activity_covers_exactly_the_region(self, backend):
+        res = simulate(make_spec(level=4, rate=0.1), backend=backend)
+        assert res.powered_router_count == 4
+
+
+class TestDriverPlumbing:
+    def test_live_generator_pins_reference(self):
+        from repro.noc.traffic import TrafficGenerator
+
+        topo = SprintTopology.for_level(4, 4, 4)
+        traffic = TrafficGenerator(list(topo.active_nodes), 0.1,
+                                   CFG.packet_length_flits)
+        with pytest.raises(ValueError, match="reference"):
+            run_simulation(topo, traffic, CFG, backend="vectorized")
+
+    def test_cli_sweep_accepts_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--levels", "4", "--rates", "0.1",
+                     "--warmup", "100", "--measure", "300", "--drain", "400",
+                     "--backend", "vectorized"]) == 0
+        assert "grid sweep" in capsys.readouterr().out
+
+    def test_cli_rejects_backend_capability_mismatch(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--levels", "16", "--rates", "0.1",
+                     "--backend", "vectorized", "--fault", "5@100"]) == 2
+        assert "invalid sweep grid" in capsys.readouterr().out
+
+    def test_system_backend_parameter(self):
+        from repro.core.system import NoCSprintingSystem
+
+        fast = NoCSprintingSystem(backend="vectorized")
+        ref = NoCSprintingSystem()
+        spec = fast.simulation_spec("dedup", "noc_sprinting",
+                                    warmup_cycles=100, measure_cycles=300)
+        assert spec.backend == "vectorized"
+        a = fast.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                          warmup_cycles=200, measure_cycles=600).network
+        b = ref.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                         warmup_cycles=200, measure_cycles=600).network
+        assert a.avg_latency == b.avg_latency
+        assert a.total_power_w == b.total_power_w

@@ -239,20 +239,23 @@ class TestZeroLoadMemo:
 class TestSystemIntegration:
     def test_evaluate_network_served_from_cache_on_repeat(self):
         system = NoCSprintingSystem()
-        first = system.evaluate_network("dedup", "noc_sprinting",
-                                        warmup_cycles=100, measure_cycles=300)
+        first = system.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                                warmup_cycles=100, measure_cycles=300).network
         stores = system.cache.stats().stores
-        second = system.evaluate_network("dedup", "noc_sprinting",
-                                         warmup_cycles=100, measure_cycles=300)
+        second = system.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                                 warmup_cycles=100, measure_cycles=300).network
         assert system.cache.stats().stores == stores  # nothing re-simulated
         assert result_fields(first.sim) == result_fields(second.sim)
 
     def test_delegates_agree_with_evaluate(self):
         system = NoCSprintingSystem()
         report = system.evaluate("dedup", "noc_sprinting")
-        assert system.speedup("dedup", "noc_sprinting") == report.speedup
-        assert system.core_power("dedup", "noc_sprinting") == report.core_power_w
-        assert system.execution_time("dedup", "noc_sprinting") == report.relative_time
+        with pytest.warns(DeprecationWarning):
+            assert system.speedup("dedup", "noc_sprinting") == report.speedup
+        with pytest.warns(DeprecationWarning):
+            assert system.core_power("dedup", "noc_sprinting") == report.core_power_w
+        with pytest.warns(DeprecationWarning):
+            assert system.execution_time("dedup", "noc_sprinting") == report.relative_time
 
     def test_evaluation_report_is_workload_evaluation(self):
         from repro.core.system import EvaluationReport, WorkloadEvaluation
@@ -263,17 +266,17 @@ class TestSystemIntegration:
         system = NoCSprintingSystem()
         spec = system.simulation_spec("dedup", "noc_sprinting",
                                       warmup_cycles=100, measure_cycles=300)
-        via_system = system.evaluate_network("dedup", "noc_sprinting",
-                                             warmup_cycles=100, measure_cycles=300)
+        via_system = system.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                                     warmup_cycles=100, measure_cycles=300).network
         assert result_fields(simulate(spec)) == result_fields(via_system.sim)
 
     def test_shared_cache_across_systems(self):
         cache = ResultCache()
         a = NoCSprintingSystem(cache=cache)
         b = NoCSprintingSystem(cache=cache)
-        a.evaluate_network("dedup", "noc_sprinting",
-                           warmup_cycles=100, measure_cycles=300)
+        a.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                   warmup_cycles=100, measure_cycles=300)
         stores = cache.stats().stores
-        b.evaluate_network("dedup", "noc_sprinting",
-                           warmup_cycles=100, measure_cycles=300)
+        b.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                   warmup_cycles=100, measure_cycles=300)
         assert cache.stats().stores == stores

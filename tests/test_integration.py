@@ -23,10 +23,10 @@ class TestFig9Fig10Aggregates:
             level = system.scheme_level(profile, "noc_sprinting")
             if level < 2:
                 continue
-            noc = system.evaluate_network(profile, "noc_sprinting",
-                                          warmup_cycles=200, measure_cycles=700)
-            full = system.evaluate_network(profile, "full_sprinting",
-                                           warmup_cycles=200, measure_cycles=700)
+            noc = system.evaluate(profile, "noc_sprinting", simulate_network=True,
+                                  warmup_cycles=200, measure_cycles=700).network
+            full = system.evaluate(profile, "full_sprinting", simulate_network=True,
+                                   warmup_cycles=200, measure_cycles=700).network
             rows.append((profile.name, level, noc, full))
         return rows
 

@@ -9,7 +9,14 @@ PACKAGES = {
         "NoCConfig", "SystemConfig", "default_config", "CdorRouter",
         "NoCSprintingSystem", "SprintController", "SprintPlan",
         "SprintTopology", "check_deadlock_freedom", "sprint_order",
-        "thermal_aware_floorplan",
+        "thermal_aware_floorplan", "EvaluationReport", "SimulationSpec",
+        "TrafficSpec", "run_simulation", "SweepRunner", "ResultCache",
+        "register_backend", "get_backend", "list_backends",
+    ],
+    "repro.noc.backends": [
+        "SimBackend", "BackendCapabilityError", "register_backend",
+        "get_backend", "list_backends", "required_capabilities",
+        "check_capabilities", "ReferenceBackend", "VectorizedBackend",
     ],
     "repro.core": [
         "SprintTopology", "CdorRouter", "LbdrRouter", "Floorplan",
@@ -21,7 +28,9 @@ PACKAGES = {
         "Network", "Router", "Packet", "Flit", "TrafficGenerator",
         "run_simulation", "run_llc_simulation", "zero_load_latency",
         "TraceRecorder", "TraceTraffic", "build_adaptive_table",
-        "TimeoutGatingPolicy", "break_even_cycles",
+        "TimeoutGatingPolicy", "break_even_cycles", "SimBackend",
+        "BackendCapabilityError", "register_backend", "get_backend",
+        "list_backends",
     ],
     "repro.power": [
         "RouterPowerModel", "LinkPowerModel", "ChipPowerModel",

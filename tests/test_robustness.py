@@ -17,10 +17,12 @@ class TestSeedStability:
         system = NoCSprintingSystem()
 
         def reduction(seed):
-            noc = system.evaluate_network("dedup", "noc_sprinting", seed=seed,
-                                          warmup_cycles=250, measure_cycles=900)
-            full = system.evaluate_network("dedup", "full_sprinting", seed=seed,
-                                           warmup_cycles=250, measure_cycles=900)
+            noc = system.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                                  seed=seed, warmup_cycles=250,
+                                  measure_cycles=900).network
+            full = system.evaluate("dedup", "full_sprinting", simulate_network=True,
+                                   seed=seed, warmup_cycles=250,
+                                   measure_cycles=900).network
             return 1 - noc.avg_latency / full.avg_latency
 
         a, b = reduction(1), reduction(2)
@@ -31,10 +33,12 @@ class TestSeedStability:
         system = NoCSprintingSystem()
 
         def saving(seed):
-            noc = system.evaluate_network("canneal", "noc_sprinting", seed=seed,
-                                          warmup_cycles=250, measure_cycles=900)
-            full = system.evaluate_network("canneal", "full_sprinting", seed=seed,
-                                           warmup_cycles=250, measure_cycles=900)
+            noc = system.evaluate("canneal", "noc_sprinting", simulate_network=True,
+                                  seed=seed, warmup_cycles=250,
+                                  measure_cycles=900).network
+            full = system.evaluate("canneal", "full_sprinting", simulate_network=True,
+                                   seed=seed, warmup_cycles=250,
+                                   measure_cycles=900).network
             return 1 - noc.total_power_w / full.total_power_w
 
         a, b = saving(3), saving(4)

@@ -29,15 +29,15 @@ class TestSchemeLevels:
 
 class TestPerformance:
     def test_speedup_is_inverse_time(self, system):
-        t = system.execution_time("dedup", "noc_sprinting")
-        assert system.speedup("dedup", "noc_sprinting") == pytest.approx(1 / t)
+        row = system.evaluate("dedup", "noc_sprinting")
+        assert row.speedup == pytest.approx(1 / row.relative_time)
 
     def test_non_sprinting_baseline(self, system):
-        assert system.execution_time("dedup", "non_sprinting") == 1.0
+        assert system.evaluate("dedup", "non_sprinting").relative_time == 1.0
 
     def test_fig7_noc_beats_full_on_average(self, system):
-        noc = [system.speedup(p, "noc_sprinting") for p in all_profiles()]
-        full = [system.speedup(p, "full_sprinting") for p in all_profiles()]
+        noc = [system.evaluate(p, "noc_sprinting").speedup for p in all_profiles()]
+        full = [system.evaluate(p, "full_sprinting").speedup for p in all_profiles()]
         assert sum(noc) / 13 > sum(full) / 13
         assert sum(noc) / 13 == pytest.approx(3.6, abs=0.25)
         assert sum(full) / 13 == pytest.approx(1.9, abs=0.25)
@@ -50,35 +50,35 @@ class TestPower:
         for p in all_profiles():
             if p.optimal_level() == 16:
                 continue
-            noc = system.core_power(p, "noc_sprinting")
-            naive = system.core_power(p, "naive_fine_grained")
-            full = system.core_power(p, "full_sprinting")
+            noc = system.evaluate(p, "noc_sprinting").core_power_w
+            naive = system.evaluate(p, "naive_fine_grained").core_power_w
+            full = system.evaluate(p, "full_sprinting").core_power_w
             assert noc < naive < full, p.name
 
     def test_scalable_benchmarks_no_gating_headroom(self, system):
         """blackscholes/bodytrack sprint on all 16 cores, leaving no room
         for power gating (the paper's exception in Figure 8)."""
         for name in ("blackscholes", "bodytrack"):
-            assert system.core_power(name, "noc_sprinting") == pytest.approx(
-                system.core_power(name, "full_sprinting")
+            assert system.evaluate(name, "noc_sprinting").core_power_w == pytest.approx(
+                system.evaluate(name, "full_sprinting").core_power_w
             )
 
     def test_chip_power_noc_component_gated(self, system):
-        noc = system.chip_power("dedup", "noc_sprinting")
-        full = system.chip_power("dedup", "full_sprinting")
+        noc = system.evaluate("dedup", "noc_sprinting").chip_power
+        full = system.evaluate("dedup", "full_sprinting").chip_power
         assert noc.noc == pytest.approx(full.noc * 4 / 16)
 
     def test_nominal_chip_power(self, system):
-        report = system.chip_power("dedup", "non_sprinting")
+        report = system.evaluate("dedup", "non_sprinting").chip_power
         assert report.share("noc") == pytest.approx(0.35, abs=0.03)
 
 
 class TestNetwork:
     def test_noc_sprinting_fewer_routers(self, system):
-        noc = system.evaluate_network("dedup", "noc_sprinting",
-                                      warmup_cycles=200, measure_cycles=600)
-        full = system.evaluate_network("dedup", "full_sprinting",
-                                       warmup_cycles=200, measure_cycles=600)
+        noc = system.evaluate("dedup", "noc_sprinting", simulate_network=True,
+                              warmup_cycles=200, measure_cycles=600).network
+        full = system.evaluate("dedup", "full_sprinting", simulate_network=True,
+                               warmup_cycles=200, measure_cycles=600).network
         assert noc.power.powered_router_count == 4
         assert full.power.powered_router_count == 16
         assert noc.avg_latency < full.avg_latency
@@ -93,9 +93,13 @@ class TestNetwork:
 
 class TestThermalAndDuration:
     def test_fig12_ordering(self, system):
-        full = system.peak_temperature("dedup", "full_sprinting")
-        cluster = system.peak_temperature("dedup", "noc_sprinting", floorplanned=False)
-        planned = system.peak_temperature("dedup", "noc_sprinting", floorplanned=True)
+        def peak(scheme, floorplanned):
+            return system.evaluate("dedup", scheme, thermal=True,
+                                   floorplanned=floorplanned).peak_temperature_k
+
+        full = peak("full_sprinting", False)
+        cluster = peak("noc_sprinting", False)
+        planned = peak("noc_sprinting", True)
         assert full > cluster > planned
         assert full == pytest.approx(358.3, abs=1.5)
         assert cluster == pytest.approx(347.79, abs=1.5)
@@ -139,3 +143,27 @@ class TestEvaluate:
         assert system.floorplan is not None
         row = system.evaluate("dedup", "noc_sprinting", thermal=True)
         assert row.peak_temperature_k == pytest.approx(343.81, abs=1.5)
+
+
+class TestDeprecatedDelegates:
+    """The per-axis one-number methods still work but warn once per call."""
+
+    def test_each_delegate_warns_and_matches_evaluate(self, system):
+        row = system.evaluate("dedup", "noc_sprinting")
+        with pytest.warns(DeprecationWarning, match="execution_time"):
+            assert system.execution_time("dedup", "noc_sprinting") == row.relative_time
+        with pytest.warns(DeprecationWarning, match="speedup"):
+            assert system.speedup("dedup", "noc_sprinting") == row.speedup
+        with pytest.warns(DeprecationWarning, match="core_power"):
+            assert system.core_power("dedup", "noc_sprinting") == row.core_power_w
+        with pytest.warns(DeprecationWarning, match="chip_power"):
+            assert system.chip_power("dedup", "noc_sprinting") == row.chip_power
+
+    def test_network_and_thermal_delegates_warn(self, system):
+        with pytest.warns(DeprecationWarning, match="evaluate_network"):
+            net = system.evaluate_network("dedup", "noc_sprinting",
+                                          warmup_cycles=100, measure_cycles=200)
+        assert net.sim.packets_measured >= 0
+        with pytest.warns(DeprecationWarning, match="peak_temperature"):
+            peak = system.peak_temperature("dedup", "noc_sprinting")
+        assert peak > 300.0
