@@ -21,6 +21,7 @@ import os
 
 from repro.core.system import NoCSprintingSystem
 from repro.exec import ResultCache, SweepReport, SweepRunner
+from repro.telemetry import Ledger
 
 
 def report(title: str, body: str) -> None:
@@ -46,15 +47,33 @@ def shared_cache() -> ResultCache:
 
 
 @functools.lru_cache(maxsize=1)
+def shared_ledger() -> Ledger:
+    """One run ledger shared across bench modules.
+
+    Every benchmark sweep leaves a ``bench``-labelled
+    :class:`~repro.telemetry.ledger.RunRecord` under ``.repro/ledger``
+    (``REPRO_LEDGER=0`` disables, ``REPRO_LEDGER_DIR`` relocates), so
+    figure runs accumulate a history ``repro compare`` / ``repro
+    regress`` can diff across sessions.
+    """
+    return Ledger()
+
+
+@functools.lru_cache(maxsize=1)
 def shared_system() -> NoCSprintingSystem:
     """One system instance shared across bench modules."""
-    return NoCSprintingSystem(cache=shared_cache(), workers=sweep_workers())
+    return NoCSprintingSystem(
+        cache=shared_cache(), workers=sweep_workers(), ledger=shared_ledger()
+    )
 
 
 @functools.lru_cache(maxsize=1)
 def shared_runner() -> SweepRunner:
     """One sweep runner (shared cache, env-configured workers)."""
-    return SweepRunner(workers=sweep_workers(), cache=shared_cache())
+    return SweepRunner(
+        workers=sweep_workers(), cache=shared_cache(),
+        ledger=shared_ledger(), ledger_label="bench",
+    )
 
 
 def run_specs(specs) -> SweepReport:

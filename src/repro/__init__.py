@@ -33,7 +33,9 @@ the declarative :class:`~repro.noc.spec.SimulationSpec` /
 the simulation-backend registry
 (:func:`~repro.noc.backends.register_backend` /
 :func:`~repro.noc.backends.get_backend` /
-:func:`~repro.noc.backends.list_backends`).
+:func:`~repro.noc.backends.list_backends`), and the run-history
+observatory (:class:`~repro.telemetry.Ledger`,
+:func:`~repro.telemetry.compare_runs`).
 """
 
 from repro.config import NoCConfig, SystemConfig, default_config
@@ -51,6 +53,7 @@ from repro.core.system import EvaluationReport
 from repro.exec import ResultCache, SweepRunner
 from repro.noc import SimulationSpec, TrafficSpec, run_simulation
 from repro.noc.backends import get_backend, list_backends, register_backend
+from repro.telemetry import Ledger, RunRecord, compare_runs
 
 __version__ = "1.0.0"
 
@@ -80,5 +83,9 @@ __all__ = [
     "register_backend",
     "get_backend",
     "list_backends",
+    # run ledger + cross-run diffing
+    "Ledger",
+    "RunRecord",
+    "compare_runs",
     "__version__",
 ]

@@ -11,7 +11,12 @@ Commands map onto the paper's evaluation axes:
 - ``thermal [benchmark]``    heat maps and PCM phases (Figs. 1, 12)
 - ``duration``               per-benchmark sprint-duration gains (Sec. 4.4)
 - ``report <trace.jsonl>``   span tree, top time sinks and metrics of a
-  trace produced with ``sweep --trace``
+  trace produced with ``sweep --trace`` (``--metrics sweep.prom`` folds
+  in a Prometheus sidecar, with estimated histogram quantiles)
+- ``compare A B``            statistical diff of two ledger runs
+- ``regress --baseline REF`` gate the newest run against a baseline;
+  exits 4 on regression (the CI regression observatory)
+- ``cache stats``            counters and on-disk footprint of a result cache
 """
 
 from __future__ import annotations
@@ -66,7 +71,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if (args.levels or args.rates or args.patterns or args.fault
             or args.resume or args.cache_dir or args.max_retries
             or args.point_timeout is not None or args.trace
-            or args.metrics or args.backend != "reference"):
+            or args.metrics or args.backend != "reference"
+            or args.ledger_dir or args.ledger_label):
         return _cmd_sweep_grid(args)
     system = NoCSprintingSystem()
     rows = []
@@ -184,12 +190,16 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     except (BackendCapabilityError, ValueError) as err:
         print(f"invalid sweep grid: {err}")
         return 2
+    from repro.telemetry import Ledger
+
     try:
         runner = SweepRunner(workers=args.workers,
                              cache=ResultCache(directory=args.cache_dir),
                              max_retries=args.max_retries,
                              point_timeout=args.point_timeout,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             ledger=Ledger(directory=args.ledger_dir),
+                             ledger_label=args.ledger_label)
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
@@ -230,6 +240,9 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         float_format="{:.2f}",
     ))
     print(report.summary())
+    if report.run_record is not None:
+        print(f"run recorded: {report.run_record.run_id} "
+              f"(ledger: {runner.ledger.path}; diff with `repro compare`)")
     if report.failures:
         for line in report.failure_lines():
             print(f"sweep failure: {line}")
@@ -393,8 +406,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--backend", default="reference",
                        choices=_backend_names(),
                        help="simulation engine for every point (grid mode; "
-                            "'vectorized' is the fast path for fault-free, "
-                            "non-sampled sweeps)")
+                            "'vectorized' is the fast path, now including "
+                            "sampled/traced sweeps)")
+    sweep.add_argument("--ledger-dir", default=None, metavar="DIR",
+                       help="run-ledger directory (grid mode; default "
+                            ".repro/ledger or $REPRO_LEDGER_DIR; "
+                            "REPRO_LEDGER=0 disables recording)")
+    sweep.add_argument("--ledger-label", default=None, metavar="NAME",
+                       help="label the recorded run (e.g. 'nightly') so "
+                            "`repro regress --baseline NAME` can find it")
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
@@ -422,6 +442,59 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("trace", help="JSONL trace from `repro sweep --trace`")
     report.add_argument("--top", type=int, default=10,
                         help="number of time sinks to list")
+    report.add_argument("--metrics", default=None, metavar="PATH",
+                        help="Prometheus sidecar from `repro sweep --metrics`; "
+                             "replaces the trace's embedded snapshot and adds "
+                             "estimated histogram p50/p95/p99")
+
+    def _add_ledger_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ledger-dir", default=None, metavar="DIR",
+                       help="ledger directory (default .repro/ledger, or "
+                            "$REPRO_LEDGER_DIR)")
+
+    compare = sub.add_parser(
+        "compare", help="statistical diff of two ledger runs (per-point "
+                        "headline deltas, direction-aware thresholds)"
+    )
+    compare.add_argument("run_a", help="baseline: run id / id prefix / label "
+                                       "/ 'latest'")
+    compare.add_argument("run_b", help="candidate: run id / id prefix / label "
+                                       "/ 'latest'")
+    _add_ledger_args(compare)
+    compare.add_argument("--rel-threshold", type=float, default=None,
+                         metavar="FRAC",
+                         help="override every metric's relative threshold")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the comparison as one JSON document")
+    compare.add_argument("--html", default=None, metavar="PATH",
+                         help="also write a self-contained HTML drill-down")
+
+    regress = sub.add_parser(
+        "regress", help="gate the newest run against a baseline: exit 4 on "
+                        "regression, 0 when clean"
+    )
+    regress.add_argument("--baseline", required=True, metavar="REF",
+                         help="baseline run id / id prefix / label / 'latest'")
+    regress.add_argument("--candidate", default="latest", metavar="REF",
+                         help="candidate run (default: latest)")
+    _add_ledger_args(regress)
+    regress.add_argument("--rel-threshold", type=float, default=None,
+                         metavar="FRAC",
+                         help="override every metric's relative threshold")
+    regress.add_argument("--json", action="store_true",
+                         help="emit the comparison as one JSON document")
+    regress.add_argument("--html", default=None, metavar="PATH",
+                         help="also write a self-contained HTML drill-down")
+
+    cache = sub.add_parser(
+        "cache", help="inspect a result cache (`cache stats`)"
+    )
+    cache.add_argument("action", choices=["stats"],
+                       help="'stats': hit/miss/byte counters and on-disk "
+                            "footprint")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="on-disk cache directory (as passed to "
+                            "`sweep --cache-dir`)")
 
     figure = sub.add_parser(
         "figure", help="regenerate a paper figure via its benchmark harness"
@@ -442,11 +515,117 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not os.path.exists(args.trace):
         print(f"no such trace file: {args.trace}")
         return 2
+    if args.metrics and not os.path.exists(args.metrics):
+        print(f"no such metrics file: {args.metrics}")
+        return 2
     try:
-        print(render_report(args.trace, sink_limit=args.top))
+        print(render_report(args.trace, sink_limit=args.top,
+                            metrics_path=args.metrics))
     except ValueError as err:
         print(f"unreadable trace: {err}")
         return 2
+    return 0
+
+
+def _resolve_run(ledger, ref: str):
+    """Resolve a run reference or print why it could not be found."""
+    record = ledger.baseline(ref)
+    if record is None:
+        print(f"no ledger run matches {ref!r} under {ledger.path} "
+              f"(run `repro sweep --levels ...` to record one)")
+    return record
+
+
+def _selftest_skew(record):
+    """Inflate every latency metric by 10% (``REPRO_REGRESS_SELFTEST=1``).
+
+    Lets CI prove the gate trips without a real regression: +10% meets the
+    default ``avg_latency`` policy (rel 0.10) exactly.
+    """
+    import dataclasses
+
+    def skew(metrics: dict) -> dict:
+        return {name: value * 1.10 if "latency" in name else value
+                for name, value in metrics.items()}
+
+    return dataclasses.replace(
+        record,
+        headline=skew(record.headline),
+        points={key: skew(metrics) for key, metrics in record.points.items()},
+    )
+
+
+def _render_comparison(comparison, args) -> None:
+    from repro.telemetry.compare import render_html, render_json, render_terminal
+
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(comparison))
+    print(render_json(comparison) if args.json else render_terminal(comparison))
+    if args.html:
+        print(f"html drill-down written: {args.html}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Diff two ledger runs; exit 0 either way (``regress`` is the gate)."""
+    from repro.telemetry import Ledger, compare_runs
+
+    ledger = Ledger(directory=args.ledger_dir)
+    baseline = _resolve_run(ledger, args.run_a)
+    candidate = _resolve_run(ledger, args.run_b) if baseline is not None else None
+    if baseline is None or candidate is None:
+        return 2
+    comparison = compare_runs(baseline, candidate,
+                              rel_threshold=args.rel_threshold)
+    _render_comparison(comparison, args)
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Compare candidate vs baseline and exit 4 when anything regressed."""
+    import os
+
+    from repro.telemetry import Ledger, compare_runs
+
+    ledger = Ledger(directory=args.ledger_dir)
+    baseline = _resolve_run(ledger, args.baseline)
+    candidate = _resolve_run(ledger, args.candidate) if baseline is not None else None
+    if baseline is None or candidate is None:
+        return 2
+    if os.environ.get("REPRO_REGRESS_SELFTEST", "").strip() == "1":
+        candidate = _selftest_skew(candidate)
+    comparison = compare_runs(baseline, candidate,
+                              rel_threshold=args.rel_threshold)
+    _render_comparison(comparison, args)
+    return 4 if comparison.regressed else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``cache stats``: counters plus the on-disk footprint of a cache dir."""
+    import os
+
+    from repro.exec import ResultCache
+
+    cache = ResultCache(directory=args.cache_dir)
+    stats = cache.stats()
+    rows = [[name, getattr(stats, name)]
+            for name in ("hits", "misses", "stores", "memory_hits",
+                         "disk_hits", "corrupt", "bytes_read", "bytes_written")]
+    rows.append(["lookups", stats.lookups])
+    rows.append(["hit_rate", f"{stats.hit_rate:.3f}"])
+    if args.cache_dir:
+        entries, size = 0, 0
+        if os.path.isdir(args.cache_dir):
+            with os.scandir(args.cache_dir) as it:
+                for entry in it:
+                    if entry.is_file() and entry.name.endswith(".pkl"):
+                        entries += 1
+                        size += entry.stat().st_size
+        rows.append(["disk_entries", entries])
+        rows.append(["disk_bytes", size])
+    title = (f"result cache: {args.cache_dir}" if args.cache_dir
+             else "result cache: (memory only, this process)")
+    print(format_table(["counter", "value"], rows, title=title))
     return 0
 
 
@@ -482,6 +661,9 @@ _HANDLERS = {
     "thermal": _cmd_thermal,
     "duration": _cmd_duration,
     "report": _cmd_report,
+    "compare": _cmd_compare,
+    "regress": _cmd_regress,
+    "cache": _cmd_cache,
     "figure": _cmd_figure,
 }
 

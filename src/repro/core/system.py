@@ -28,6 +28,7 @@ Schemes:
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 
@@ -39,7 +40,8 @@ from repro.core.floorplanning import Floorplan, thermal_aware_floorplan
 from repro.core.topological import SprintTopology
 from repro.exec import ResultCache, SweepReport, SweepRunner
 from repro.noc.sim import SimulationResult
-from repro.noc.spec import SimulationSpec
+from repro.noc.spec import SimulationSpec, stable_key
+from repro.telemetry.ledger import Ledger, result_headline
 from repro.power.activity import NetworkPowerReport, network_power
 from repro.power.chip_power import ChipPowerModel, ChipPowerReport
 from repro.thermal.floorplan import sprint_tile_powers
@@ -124,6 +126,7 @@ class NoCSprintingSystem:
         cache: ResultCache | None = None,
         workers: int = 1,
         backend: str = "reference",
+        ledger: Ledger | None = None,
     ):
         self.config = config or default_config()
         self.pcm = pcm
@@ -131,6 +134,9 @@ class NoCSprintingSystem:
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
         self.backend = backend
+        # run history: evaluate() and sweep() append RunRecords here
+        # (None: the env-configured default; Ledger.disabled() opts out)
+        self.ledger = ledger if ledger is not None else Ledger()
         self.chip_model = ChipPowerModel(self.config.core_count)
         self.floorplan: Floorplan | None = (
             thermal_aware_floorplan(
@@ -207,15 +213,16 @@ class NoCSprintingSystem:
         ``floorplanned`` defaults to whether the system was built with a
         thermal-aware floorplan.
         """
+        start = time.perf_counter()
+        cpu_start = time.process_time()
         profile = self._resolve(workload)
         level = self.scheme_level(profile, scheme)
-        network = (
-            self._network_evaluation(
+        spec = None
+        network = None
+        if simulate_network:
+            spec, network = self._network_evaluation(
                 profile, scheme, seed, warmup_cycles, measure_cycles
             )
-            if simulate_network
-            else None
-        )
         if floorplanned is None:
             floorplanned = self.floorplan is not None
         peak = (
@@ -225,7 +232,7 @@ class NoCSprintingSystem:
             self.sprint_duration_gain(profile) if scheme == "noc_sprinting" else None
         )
         relative_time = profile.relative_time(level)
-        return EvaluationReport(
+        report = EvaluationReport(
             benchmark=profile.name,
             scheme=scheme,
             level=level,
@@ -236,6 +243,50 @@ class NoCSprintingSystem:
             network=network,
             peak_temperature_k=peak,
             sprint_duration_s=duration,
+        )
+        self._record_evaluation(
+            report, spec,
+            wall_s=time.perf_counter() - start,
+            cpu_s=time.process_time() - cpu_start,
+        )
+        return report
+
+    def _record_evaluation(self, report: EvaluationReport,
+                           spec: SimulationSpec | None,
+                           wall_s: float, cpu_s: float) -> None:
+        """Append one ``evaluate`` RunRecord to the ledger (best-effort)."""
+        if not self.ledger.enabled:
+            return
+        headline = {
+            "speedup": report.speedup,
+            "core_power_w": report.core_power_w,
+            "chip_power_w": report.chip_power.total,
+        }
+        if report.network is not None:
+            headline["avg_latency"] = report.network.avg_latency
+            headline["network_power_w"] = report.network.total_power_w
+        if report.peak_temperature_k is not None:
+            headline["peak_temperature_k"] = report.peak_temperature_k
+        if report.sprint_duration_s is not None:
+            headline["sprint_duration_s"] = report.sprint_duration_s
+        points: dict[str, dict] = {}
+        keys: tuple[str, ...] = ()
+        if spec is not None and report.network is not None:
+            key = spec.cache_key()
+            keys = (key,)
+            points[key] = result_headline(report.network.sim)
+        self.ledger.record(
+            "evaluate",
+            label=f"{report.benchmark}/{report.scheme}",
+            backend=self.backend,
+            spec_keys=keys,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            points=points,
+            headline=headline,
+            fingerprint=stable_key(
+                (report.benchmark, report.scheme, self.backend)
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -332,7 +383,9 @@ class NoCSprintingSystem:
 
     def sweep(self, specs) -> SweepReport:
         """Run a batch of specs through the cached sweep engine."""
-        return SweepRunner(workers=self.workers, cache=self.cache).run(specs)
+        return SweepRunner(
+            workers=self.workers, cache=self.cache, ledger=self.ledger
+        ).run(specs)
 
     def network_evaluation_for(
         self, spec: SimulationSpec, sim: SimulationResult, scheme: str
@@ -349,7 +402,7 @@ class NoCSprintingSystem:
         seed: int | None,
         warmup_cycles: int,
         measure_cycles: int,
-    ) -> NetworkEvaluation:
+    ) -> tuple[SimulationSpec, NetworkEvaluation]:
         spec = self.simulation_spec(
             profile,
             scheme,
@@ -357,8 +410,13 @@ class NoCSprintingSystem:
             warmup_cycles=warmup_cycles,
             measure_cycles=measure_cycles,
         )
-        sim = self.sweep([spec]).results[0]
-        return self.network_evaluation_for(spec, sim, scheme)
+        # the nested runner's ledger is disabled: evaluate() records the
+        # enclosing run itself, so the point is never double-counted
+        runner = SweepRunner(
+            workers=self.workers, cache=self.cache, ledger=Ledger.disabled()
+        )
+        sim = runner.run([spec]).results[0]
+        return spec, self.network_evaluation_for(spec, sim, scheme)
 
     def evaluate_network(
         self,

@@ -45,6 +45,7 @@ from repro.noc.sim import SimulationResult, simulate
 from repro.noc.spec import SimulationSpec, stable_key
 from repro.telemetry import Telemetry, TelemetryContext
 from repro.telemetry import active as _active_telemetry
+from repro.telemetry.ledger import Ledger, RunRecord, result_headline
 
 #: Environment hook for fault-injecting the harness itself (CI smoke tests
 #: and the runner's own test suite).  Recipes, applied per point with a
@@ -230,6 +231,7 @@ class SweepReport:
     cache_stats: CacheStats | None = field(default=None, repr=False)
     failures: list[FailedPoint] = field(default_factory=list)
     resumed: int = 0  # cache hits recognized as a resumed earlier sweep
+    run_record: RunRecord | None = field(default=None, repr=False)
 
     @property
     def results(self) -> list[SimulationResult]:
@@ -321,6 +323,8 @@ class SweepRunner:
         point_timeout: float | None = None,
         retry_backoff_s: float = 0.05,
         telemetry: Telemetry | None = None,
+        ledger: Ledger | None = None,
+        ledger_label: str | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -340,11 +344,17 @@ class SweepRunner:
         self.point_timeout = point_timeout
         self.retry_backoff_s = retry_backoff_s
         self.telemetry = telemetry
+        # every run leaves one RunRecord in the ledger (None: the default
+        # env-configured ledger; Ledger.disabled() opts a runner out, e.g.
+        # a nested runner whose owner records the enclosing run instead)
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.ledger_label = ledger_label
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[SimulationSpec]) -> SweepReport:
         """Run every spec, returning surviving points in input order."""
         start = time.perf_counter()
+        cpu_start = time.process_time()
         specs = list(specs)
         total = len(specs)
         keys = [spec.cache_key() for spec in specs]
@@ -510,7 +520,7 @@ class SweepRunner:
                 parallel=parallel,
             )
             sweep_span.end()
-        return SweepReport(
+        report = SweepReport(
             points=[points[i] for i in sorted(points)],
             wall_time_s=time.perf_counter() - start,
             workers=self.workers,
@@ -522,6 +532,39 @@ class SweepRunner:
             cache_stats=self.cache.stats(),
             failures=[failures[i] for i in sorted(failures)],
             resumed=hits if prior_manifest is not None else 0,
+        )
+        report.run_record = self._record_run(
+            report, specs, keys, tel, time.process_time() - cpu_start
+        )
+        return report
+
+    def _record_run(self, report: SweepReport, specs, keys, tel,
+                    cpu_s: float) -> RunRecord | None:
+        """Append this sweep's RunRecord to the ledger (best-effort)."""
+        if not self.ledger.enabled:
+            return None
+        point_payload: dict[str, dict] = {}
+        for point in report.points:
+            point_payload.setdefault(point.key, result_headline(point.result))
+        headline: dict[str, float] = {}
+        if point_payload:
+            for metric in ("avg_latency", "p95_latency", "throughput"):
+                values = [m[metric] for m in point_payload.values()]
+                headline[metric] = sum(values) / len(values)
+        headline["failures"] = float(len(report.failures))
+        backends = {spec.backend for spec in specs}
+        return self.ledger.record(
+            "sweep",
+            label=self.ledger_label,
+            backend=(backends.pop() if len(backends) == 1
+                     else "mixed" if backends else None),
+            spec_keys=keys,
+            wall_s=report.wall_time_s,
+            cpu_s=cpu_s,
+            points=point_payload,
+            headline=headline,
+            metrics=tel.metrics.snapshot() if tel is not None else None,
+            fingerprint=stable_key(tuple(keys)),
         )
 
     # ------------------------------------------------------------------

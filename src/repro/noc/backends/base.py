@@ -142,7 +142,10 @@ def check_capabilities(
     if missing:
         hint = ""
         if CAP_SAMPLING in missing:
-            hint = "disable periodic sampling (sample_interval=0) or use 'reference'"
+            hint = (
+                "disable periodic sampling (sample_interval=0) or use a "
+                "sampling-capable backend ('reference' or 'vectorized')"
+            )
         elif missing & {CAP_FAULTS, CAP_GATING, CAP_ADAPTIVE_ROUTING}:
             hint = "use the 'reference' backend for this run"
         raise BackendCapabilityError(backend.name, missing, hint)

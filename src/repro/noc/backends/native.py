@@ -30,7 +30,14 @@ Division of labour with the Python driver:
   checkpointing state across the boundary);
 - the kernel returns the measured packets' ejection order, and Python
   replays the latency/hop statistics in that order so the Welford mean
-  accumulates in exactly the reference sequence.
+  accumulates in exactly the reference sequence;
+- telemetry runs batch their per-interval activity capture inside the
+  kernel (sample cycle, flits in flight, per-router buffer occupancy and
+  cumulative ejections land in flat arrays, including back-filled rows
+  for fast-forwarded idle stretches), and the driver replays them as the
+  same spans, sample events and metrics the Python kernels emit --
+  cumulative per-router injection counts are reconstructed from the
+  pre-drawn packet columns, so the kernel never touches them.
 """
 
 from __future__ import annotations
@@ -89,7 +96,14 @@ i64 run_kernel(
     i64 *p_eject,          /* n_pkts, tail-ejection cycle or -1        */
     i64 *ej_order,         /* capacity n_pkts: measured ejection order */
     i64 *counters,         /* count*4: writes, reads, links, va grants */
-    i64 *out)              /* 8 scalars, see driver                    */
+    i64 *out,              /* 8 scalars, see driver                    */
+    i64 interval,          /* telemetry sample period, 0 = no capture  */
+    i64 s_cap,             /* capacity of the sample arrays            */
+    i64 *s_cycle,          /* s_cap: sample instants                   */
+    i64 *s_inflight,       /* s_cap: flits in flight at the instant    */
+    i64 *s_occ,            /* s_cap*count: per-router buffered flits   */
+    i64 *s_ej,             /* s_cap*count: cumulative ejected flits    */
+    i64 *ej_out)           /* count: final cumulative ejected flits    */
 {
     i64 slots = 5 * vcs;
     i64 gslots = count * slots;
@@ -112,6 +126,7 @@ i64 run_kernel(
     i64 *occ = calloc((size_t)count, sizeof(i64));
     i64 *vap = calloc((size_t)count, sizeof(i64));
     i64 *buffered = calloc((size_t)count, sizeof(i64));
+    i64 *ej_cum = calloc((size_t)count, sizeof(i64));
     i64 *wake = calloc((size_t)count, sizeof(i64));
     /* network interfaces: packet queues as linked lists over pnext */
     i64 *qhead = malloc((size_t)count * sizeof(i64));
@@ -130,16 +145,32 @@ i64 run_kernel(
 
     if (!f_arr || !f_idx || !f_pkt || !rh || !fl || !vc_out || !vc_elig ||
         !owner || !credits || !va_ptr || !sa_in || !sa_out || !occ || !vap ||
-        !buffered || !wake || !qhead || !qtail || !pnext || !cur_pkt ||
-        !cur_idx || !cur_vc || !ni_ptr || !cring || !aring) {
+        !buffered || !ej_cum || !wake || !qhead || !qtail || !pnext ||
+        !cur_pkt || !cur_idx || !cur_vc || !ni_ptr || !cring || !aring) {
         free(f_arr); free(f_idx); free(f_pkt); free(rh); free(fl);
         free(vc_out); free(vc_elig); free(owner); free(credits);
         free(va_ptr); free(sa_in); free(sa_out); free(occ); free(vap);
-        free(buffered); free(wake); free(qhead); free(qtail); free(pnext);
-        free(cur_pkt); free(cur_idx); free(cur_vc); free(ni_ptr);
-        free(cring); free(aring);
+        free(buffered); free(ej_cum); free(wake); free(qhead); free(qtail);
+        free(pnext); free(cur_pkt); free(cur_idx); free(cur_vc);
+        free(ni_ptr); free(cring); free(aring);
         return 1;
     }
+
+/* one telemetry sample row: instant, in-flight count (this cycle's
+ * creations are folded in by the driver), per-router buffer occupancy
+ * and cumulative ejected flits -- captured before the cycle's event
+ * deliveries, i.e. the state the previous cycle's step left behind */
+#define CAPTURE(c_) do {                                                  \
+        if (n_s < s_cap) {                                                \
+            s_cycle[n_s] = (c_);                                          \
+            s_inflight[n_s] = in_flight;                                  \
+            memcpy(s_occ + n_s * count, buffered,                         \
+                   (size_t)count * sizeof(i64));                          \
+            memcpy(s_ej + n_s * count, ej_cum,                            \
+                   (size_t)count * sizeof(i64));                          \
+            n_s++;                                                        \
+        }                                                                 \
+    } while (0)
 
     for (i64 g = 0; g < gslots; g++) { vc_out[g] = -1; owner[g] = -1; }
     for (i64 i = 0; i < count; i++) {
@@ -155,7 +186,7 @@ i64 run_kernel(
     i64 cycle = 0, cycles_run = 0, flags = 0;
     i64 in_flight = 0, events_pending = 0, p = 0;
     i64 created_measured = 0, measured_ejected = 0, measured_flits = 0;
-    i64 n_ej = 0;
+    i64 n_ej = 0, n_s = 0;
 
     for (;;) {
         if (cycle >= deadline) { cycles_run = deadline; break; }
@@ -163,18 +194,30 @@ i64 run_kernel(
         if (!in_flight && !events_pending) {
             /* whole-mesh idle: jump to the next scheduled packet, or
              * exit the way the reference loop does when none is due
-             * before the measurement window closes */
+             * before the measurement window closes; either way, back-
+             * fill the sample instants the jump skips (all-idle rows) */
             if (p < n_pkts && p_cycle[p] < measure_end) {
-                cycle = p_cycle[p];
+                i64 tgt = p_cycle[p];
+                if (interval) {
+                    i64 c = (cycle + interval - 1) / interval * interval;
+                    for (; c < tgt; c += interval) CAPTURE(c);
+                }
+                cycle = tgt;
             } else {
                 cycles_run = deadline > measure_end ? measure_end + 1
                                                     : deadline;
                 flags |= FLAG_IDLE_BREAK;
+                if (interval) {
+                    i64 c = (cycle + interval - 1) / interval * interval;
+                    for (; c < cycles_run; c += interval) CAPTURE(c);
+                }
                 break;
             }
         }
 
         if (cycle >= sched_upto) { flags |= FLAG_UNFINISHED; break; }
+
+        if (interval && cycle % interval == 0) CAPTURE(cycle);
 
         int win = warmup <= cycle && cycle < measure_end;
 
@@ -434,6 +477,7 @@ i64 run_kernel(
                 if (os < vcs) {  /* LOCAL output: ejection */
                     in_flight--;
                     if (is_tail) {
+                        ej_cum[i] += p_len[pk];
                         p_eject[pk] = cycle + 2;
                         if (p_meas[pk]) {
                             measured_ejected++;
@@ -472,15 +516,18 @@ i64 run_kernel(
     out[3] = created_measured;
     out[4] = measured_ejected;
     out[5] = measured_flits;
+    out[6] = n_s;
+    memcpy(ej_out, ej_cum, (size_t)count * sizeof(i64));
 
     free(f_arr); free(f_idx); free(f_pkt); free(rh); free(fl);
     free(vc_out); free(vc_elig); free(owner); free(credits);
     free(va_ptr); free(sa_in); free(sa_out); free(occ); free(vap);
-    free(buffered); free(wake); free(qhead); free(qtail); free(pnext);
-    free(cur_pkt); free(cur_idx); free(cur_vc); free(ni_ptr);
+    free(buffered); free(ej_cum); free(wake); free(qhead); free(qtail);
+    free(pnext); free(cur_pkt); free(cur_idx); free(cur_vc); free(ni_ptr);
     free(cring); free(aring);
     return 0;
 }
+#undef CAPTURE
 """
 
 _lock = threading.Lock()
@@ -528,6 +575,8 @@ def _build() -> ctypes.CDLL:
         ptr, ptr, ptr, ptr, ptr,     # p_cycle, p_src, p_dest, p_len, p_meas
         c64, c64, c64, c64,          # sched_upto, warmup, measure_end, deadline
         ptr, ptr, ptr, ptr, ptr,     # p_hops, p_eject, ej_order, counters, out
+        c64, c64,                    # interval, s_cap
+        ptr, ptr, ptr, ptr, ptr,     # s_cycle, s_inflight, s_occ, s_ej, ej_out
     ]
     return lib
 
@@ -561,14 +610,107 @@ def _as_ptr(array: np.ndarray):
     return array.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong))
 
 
-def execute(spec: SimulationSpec) -> SimulationResult | None:
+def _emit_run_telemetry(
+    tel, spec, traffic, nodes, packet_cols, cycles_run, flags, saturated,
+    created_measured, measured_ejected, measured_flits,
+    n_s, s_cycle, s_inflight, s_occ, s_ej, ej_out,
+) -> None:
+    """Replay one kernel run's batched activity capture as telemetry.
+
+    Reconstructs what the Python kernels emit live: the simulate/phase
+    span tree, one sample event per captured instant, and the end-of-run
+    metrics fold.  Per-router cumulative injection counts (and the
+    in-flight contribution of packets created *at* a sample instant,
+    which the kernel's capture point precedes) are rebuilt from the
+    pre-drawn packet columns; occupancies and ejections come from the
+    kernel's capture arrays.
+    """
+    from repro.noc.backends.reference import _record_sim_metrics
+    from repro.noc.backends.vectorized import _emit_flat_sample
+
+    warmup = spec.warmup_cycles
+    measure_end = warmup + spec.measure_cycles
+    count = len(nodes)
+    p_cycle, p_src, p_len = packet_cols
+    n_pkts = len(p_cycle)
+
+    tracer = tel.tracer
+    sim_span = tracer.span(
+        "simulate",
+        level=spec.topology.level,
+        routing=spec.routing,
+        rate=round(traffic.injection_rate, 6),
+    )
+    phase_span = tracer.span("phase:warmup", parent=sim_span.id)
+    # phase boundaries the run actually crossed (an idle exit walks the
+    # remaining ones to measure_end, exactly like the reference loop)
+    if flags & _FLAG_IDLE_BREAK or cycles_run > warmup:
+        phase_span.annotate(end_cycle=warmup)
+        phase_span.end()
+        phase_span = tracer.span(
+            "phase:measure", parent=sim_span.id, start_cycle=warmup
+        )
+    if cycles_run > measure_end:
+        phase_span.annotate(end_cycle=measure_end)
+        phase_span.end()
+        phase_span = tracer.span(
+            "phase:drain", parent=sim_span.id, start_cycle=measure_end
+        )
+
+    inj: dict[int, int] = {}
+    ptr = 0
+    for k in range(n_s):
+        c = int(s_cycle[k])
+        flits_now = 0
+        while ptr < n_pkts and p_cycle[ptr] <= c:
+            node = nodes[p_src[ptr]]
+            length = p_len[ptr]
+            inj[node] = inj.get(node, 0) + length
+            if p_cycle[ptr] == c:
+                flits_now += length
+            ptr += 1
+        base = k * count
+        occ_row = [int(x) for x in s_occ[base:base + count]]
+        ej_row = s_ej[base:base + count]
+        ej_map = {nodes[i]: int(ej_row[i]) for i in range(count)}
+        _emit_flat_sample(
+            tel, sim_span.id, c, nodes, occ_row,
+            int(s_inflight[k]) + flits_now, inj, ej_map,
+        )
+    while ptr < n_pkts and p_cycle[ptr] < cycles_run:
+        inj[nodes[p_src[ptr]]] = inj.get(nodes[p_src[ptr]], 0) + p_len[ptr]
+        ptr += 1
+
+    ej_final = {nodes[i]: int(ej_out[i]) for i in range(count) if ej_out[i]}
+    _record_sim_metrics(
+        tel, cycles_run, created_measured,
+        {"measured": measured_ejected, "measured_flits": measured_flits},
+        {"dropped": 0, "retransmitted": 0, "reconfigurations": 0},
+        saturated, inj, ej_final, {},
+    )
+    phase_span.annotate(end_cycle=cycles_run)
+    phase_span.end()
+    sim_span.annotate(
+        cycles=cycles_run,
+        packets=created_measured,
+        saturated=saturated,
+        reconfigurations=0,
+    )
+    sim_span.end()
+
+
+def execute(spec: SimulationSpec, telemetry=None) -> SimulationResult | None:
     """Run ``spec`` on the compiled kernel; None means "use the fallback".
 
     Only called for specs the vectorized backend already accepted (no
-    faults, deterministic routing, no active telemetry); returns None
-    when the kernel is unavailable or the configuration exceeds its
-    fixed-width state (more than ``_MAX_VCS`` virtual channels).
+    faults, deterministic routing); returns None when the kernel is
+    unavailable or the configuration exceeds its fixed-width state (more
+    than ``_MAX_VCS`` virtual channels).  With active telemetry the
+    kernel batches per-interval activity captures and the driver replays
+    them as the spans, samples and metrics the Python kernels emit.
     """
+    from repro.telemetry import active as _active_telemetry
+
     cfg = spec.config
     vcs = cfg.vcs_per_port
     if vcs > _MAX_VCS:
@@ -576,6 +718,8 @@ def execute(spec: SimulationSpec) -> SimulationResult | None:
     lib = _load()
     if lib is None:
         return None
+    tel = _active_telemetry(telemetry)
+    interval = tel.sample_interval if tel is not None else 0
 
     from repro.noc.backends.vectorized import _PacketSchedule
     from repro.noc.routing import build_routing_table
@@ -633,6 +777,7 @@ def execute(spec: SimulationSpec) -> SimulationResult | None:
     # only saturated runs walk the horizon out toward the full deadline
     extend_to(min(deadline, measure_end + 1 + min(spec.drain_cycles, 2048)))
 
+    s_cap = deadline // interval + 2 if interval else 1
     while True:
         n_pkts = len(p_cycle)
         cols = [
@@ -644,6 +789,11 @@ def execute(spec: SimulationSpec) -> SimulationResult | None:
         ej_order = np.zeros(max(n_pkts, 1), dtype=np.int64)
         counters = np.zeros(count * 4, dtype=np.int64)
         out = np.zeros(8, dtype=np.int64)
+        s_cycle = np.zeros(s_cap, dtype=np.int64)
+        s_inflight = np.zeros(s_cap, dtype=np.int64)
+        s_occ = np.zeros(s_cap * count, dtype=np.int64)
+        s_ej = np.zeros(s_cap * count, dtype=np.int64)
+        ej_out = np.zeros(max(count, 1), dtype=np.int64)
         status = lib.run_kernel(
             count, vcs, depth, mesh_size,
             _as_ptr(neighbor), _as_ptr(route), _as_ptr(rev),
@@ -652,6 +802,9 @@ def execute(spec: SimulationSpec) -> SimulationResult | None:
             horizon, warmup, measure_end, deadline,
             _as_ptr(p_hops), _as_ptr(p_eject), _as_ptr(ej_order),
             _as_ptr(counters), _as_ptr(out),
+            interval, s_cap,
+            _as_ptr(s_cycle), _as_ptr(s_inflight), _as_ptr(s_occ),
+            _as_ptr(s_ej), _as_ptr(ej_out),
         )
         if status != 0:
             return None
@@ -678,6 +831,15 @@ def execute(spec: SimulationSpec) -> SimulationResult | None:
 
     saturated = measured_ejected < created_measured
     endpoints = len(traffic.endpoints)
+
+    if tel is not None:
+        _emit_run_telemetry(
+            tel, spec, traffic, nodes,
+            (p_cycle, p_src, p_len),
+            cycles_run, int(out[1]), saturated,
+            created_measured, measured_ejected, measured_flits,
+            int(out[6]), s_cycle, s_inflight, s_occ, s_ej, ej_out,
+        )
 
     activity = NetworkActivity()
     for i, node in enumerate(nodes):

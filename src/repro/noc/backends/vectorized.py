@@ -27,9 +27,13 @@ stream (enforced by the cross-backend equivalence suite in
 ``tests/test_backends.py`` and the CI smoke in
 ``benchmarks/bench_extension_backend.py``).
 
-Capabilities: tracing spans and end-of-run metrics are supported; fault
-schedules, dynamic gating policies, adaptive routing and periodic
-telemetry sampling are declined with a
+Capabilities: tracing spans, end-of-run metrics and periodic telemetry
+sampling are supported -- sampled runs emit the same per-router sample
+events as the reference backend (buffer occupancies are captured from
+the flat state arrays at the same pipeline instant, and whole-mesh idle
+stretches the kernel fast-forwards over are back-filled with the idle
+samples the reference would have taken).  Fault schedules, dynamic
+gating policies and adaptive routing are declined with a
 :class:`~repro.noc.backends.base.BackendCapabilityError`.
 """
 
@@ -38,7 +42,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.noc.activity import NetworkActivity
-from repro.noc.backends.base import CAP_TRACING, check_capabilities
+from repro.noc.backends.base import CAP_SAMPLING, CAP_TRACING, check_capabilities
 from repro.noc.backends.reference import _record_sim_metrics
 from repro.noc.result import SimulationResult
 from repro.noc.routing import (
@@ -115,23 +119,70 @@ class VectorizedBackend:
     """Flat-array exact replica of the reference pipeline."""
 
     name = "vectorized"
-    capabilities = frozenset({CAP_TRACING})
+    capabilities = frozenset({CAP_TRACING, CAP_SAMPLING})
 
     def run(
         self, spec: SimulationSpec, *, gating_policy=None, telemetry=None
     ) -> SimulationResult:
         check_capabilities(self, spec, gating_policy, telemetry)
-        if _active_telemetry(telemetry) is None:
-            # the compiled kernel produces the same bits, faster; it
-            # carries no tracing instrumentation, so runs with telemetry
-            # attached stay on the Python kernel
-            from repro.noc.backends import native
+        # the compiled kernel produces the same bits, faster; telemetry
+        # runs ride it too -- the kernel batches per-interval activity
+        # captures and the driver replays them as spans/samples/metrics
+        from repro.noc.backends import native
 
-            if native.available():
-                result = native.execute(spec)
-                if result is not None:
-                    return result
+        if native.available():
+            result = native.execute(spec, telemetry=telemetry)
+            if result is not None:
+                return result
         return _execute_vectorized(spec, telemetry)
+
+
+def _emit_flat_sample(
+    tel, span_id, cycle, nodes, occ_list, in_flight, inj_flits, ej_flits
+) -> None:
+    """One periodic sample from flat-array state, byte-compatible with the
+    reference backend's :func:`_emit_router_sample` payload.
+
+    ``occ_list`` is the per-router buffered-flit counts at the sample
+    instant (``None`` for whole-mesh idle instants the kernel skipped);
+    ``gated`` is always 0 -- specs with a gating policy never reach the
+    fast path.
+    """
+    routers = {}
+    buffered_total = 0
+    for i, node in enumerate(nodes):
+        occupancy = occ_list[i] if occ_list is not None else 0
+        buffered_total += occupancy
+        routers[str(node)] = {
+            "inj": inj_flits.get(node, 0),
+            "ej": ej_flits.get(node, 0),
+            "occ": occupancy,
+            "gated": 0,
+        }
+    tel.metrics.histogram(
+        "noc_buffer_occupancy_flits",
+        help="total buffered flits at sample instants",
+        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+    ).observe(buffered_total)
+    tel.tracer.sample(
+        {
+            "cycle": cycle,
+            "in_flight": in_flight,
+            "buffered": buffered_total,
+            "routers": routers,
+        },
+        parent=span_id,
+    )
+
+
+def _emit_idle_samples(
+    tel, span_id, start, stop, interval, nodes, inj_flits, ej_flits
+) -> None:
+    """Back-fill the samples the reference loop would have taken over the
+    whole-mesh idle cycles ``[start, stop)`` the kernel fast-forwarded."""
+    first = -(-start // interval) * interval  # first multiple >= start
+    for c in range(first, stop, interval):
+        _emit_flat_sample(tel, span_id, c, nodes, None, 0, inj_flits, ej_flits)
 
 
 def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResult:
@@ -220,6 +271,7 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
 
     tel = _active_telemetry(telemetry)
     tracer = tel.tracer if tel is not None else None
+    interval = tel.sample_interval if tel is not None else 0
     inj_flits: dict[int, int] = {}
     ej_flits: dict[int, int] = {}
     if tracer is not None:
@@ -273,7 +325,33 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                             "phase:drain", parent=sim_span.id,
                             start_cycle=measure_end,
                         )
+                if interval:
+                    _emit_idle_samples(
+                        tel, sim_span.id, cycle, measure_end, interval,
+                        nodes, inj_flits, ej_flits,
+                    )
+                if tel is not None and deadline > measure_end:
+                    # the reference loop still visits measure_end before
+                    # its drained exit and creates that cycle's
+                    # (unmeasured) packets; mirror its injection
+                    # accounting so samples and final counters agree
+                    tail_flits = 0
+                    for packet in schedule.take(measure_end):
+                        inj_flits[packet.source] = (
+                            inj_flits.get(packet.source, 0) + packet.length
+                        )
+                        tail_flits += packet.length
+                    if interval and measure_end % interval == 0:
+                        _emit_flat_sample(
+                            tel, sim_span.id, measure_end, nodes, None,
+                            tail_flits, inj_flits, ej_flits,
+                        )
                 break
+            if interval:
+                _emit_idle_samples(
+                    tel, sim_span.id, cycle, nxt, interval,
+                    nodes, inj_flits, ej_flits,
+                )
             cycle = nxt
 
         if tracer is not None:
@@ -291,6 +369,13 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                 phase_span = tracer.span(
                     "phase:drain", parent=sim_span.id, start_cycle=measure_end
                 )
+
+        take_sample = interval and cycle % interval == 0
+        if take_sample:
+            # the reference samples buffer state as left by the previous
+            # cycle's step: capture occupancies before this cycle's link
+            # arrivals are delivered
+            sample_occ = buffered[:]
 
         win = warmup <= cycle < measure_end
 
@@ -328,6 +413,14 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                     inj_flits[packet.source] = (
                         inj_flits.get(packet.source, 0) + packet.length
                     )
+
+        if take_sample:
+            # emitted at the reference's sample point: after this cycle's
+            # packet creations, before the step that moves any flit
+            _emit_flat_sample(
+                tel, sim_span.id, cycle, nodes, sample_occ,
+                in_flight, inj_flits, ej_flits,
+            )
 
         # NI injection: one flit per node per cycle into a claimed LOCAL VC
         if ni_active:

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.telemetry.compare import Comparison, MetricPolicy, compare_runs
+from repro.telemetry.ledger import Ledger, RunRecord
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -135,15 +137,20 @@ def active(telemetry: "Telemetry | None") -> "Telemetry | None":
 
 
 __all__ = [
+    "Comparison",
     "Counter",
     "Gauge",
     "Histogram",
+    "Ledger",
+    "MetricPolicy",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "NULL_SPAN",
+    "RunRecord",
     "Span",
     "Telemetry",
     "TelemetryContext",
     "Tracer",
     "active",
+    "compare_runs",
 ]

@@ -1,0 +1,340 @@
+"""Statistical cross-run diffing over ledger records.
+
+Two :class:`~repro.telemetry.ledger.RunRecord`\\ s are compared point by
+point: every spec key the runs share yields paired deltas for each
+headline metric, judged by a direction-aware :class:`MetricPolicy`
+(latency up is a regression, throughput down is); points present in only
+one run are reported explicitly as added/removed rather than silently
+dropped.  A delta only counts when it clears *both* the relative
+threshold and a minimum absolute change, so microscopic jitter on tiny
+values never trips the gate.
+
+Backs ``repro compare RUN_A RUN_B`` and ``repro regress --baseline REF``
+(exit 4 on regression); the terminal drill-down reuses the span-tree
+renderer from :mod:`repro.telemetry.report`, and :func:`render_html`
+emits a self-contained page for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+
+from repro.telemetry.ledger import RunRecord
+from repro.telemetry.report import SpanNode, render_span_tree
+
+#: Slack so an injected delta of exactly the threshold still trips it.
+_REL_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one headline metric is judged across runs.
+
+    ``direction`` is ``"lower"`` (smaller is better: latency) or
+    ``"higher"`` (bigger is better: throughput).  A change regresses only
+    when its magnitude clears both ``rel_threshold`` (fraction of the
+    baseline value) and ``min_abs`` (in the metric's own unit).
+    """
+
+    direction: str = "lower"
+    rel_threshold: float = 0.10
+    min_abs: float = 0.0
+
+
+#: Default judgement for the :func:`~repro.telemetry.ledger.result_headline`
+#: vocabulary.  Latency thresholds carry a min-abs guard in cycles so a
+#: near-zero-load point cannot regress on sub-flit noise.
+DEFAULT_POLICIES: dict[str, MetricPolicy] = {
+    "avg_latency": MetricPolicy("lower", 0.10, 0.5),
+    "p95_latency": MetricPolicy("lower", 0.15, 1.0),
+    "throughput": MetricPolicy("higher", 0.10, 0.005),
+    "packets_measured": MetricPolicy("higher", 0.10, 1.0),
+    "saturated": MetricPolicy("lower", 0.0, 0.5),
+    "failures": MetricPolicy("lower", 0.0, 0.5),
+    # evaluate()-level headline metrics
+    "speedup": MetricPolicy("higher", 0.05, 0.01),
+    "sprint_duration_s": MetricPolicy("higher", 0.05, 0.01),
+    "core_power_w": MetricPolicy("lower", 0.05, 0.05),
+    "chip_power_w": MetricPolicy("lower", 0.05, 0.05),
+    "network_power_w": MetricPolicy("lower", 0.05, 0.01),
+    "peak_temperature_k": MetricPolicy("lower", 0.01, 0.25),
+}
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One paired (baseline, candidate) observation of one metric."""
+
+    point: str  # spec cache key, or "headline" for run-level aggregates
+    metric: str
+    baseline: float
+    candidate: float
+    status: str  # "ok" | "regressed" | "improved"
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def rel(self) -> float:
+        """Relative change against the baseline (inf from a zero base)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.delta == 0.0 else float("inf")
+        return self.delta / abs(self.baseline)
+
+    def to_json(self) -> dict:
+        return {
+            "point": self.point,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "rel": None if self.rel in (float("inf"), float("-inf")) else self.rel,
+            "status": self.status,
+        }
+
+
+def _judge(metric: str, base: float, cand: float,
+           policies: dict[str, MetricPolicy]) -> Delta:
+    policy = policies.get(metric, MetricPolicy())
+    delta = cand - base
+    worse = delta > 0 if policy.direction == "lower" else delta < 0
+    magnitude = abs(delta)
+    rel = magnitude / abs(base) if base != 0.0 else (
+        float("inf") if magnitude else 0.0
+    )
+    significant = (
+        magnitude >= policy.min_abs
+        and rel + _REL_EPSILON >= policy.rel_threshold
+    )
+    status = "ok"
+    if significant:
+        status = "regressed" if worse else "improved"
+    return Delta(point="", metric=metric, baseline=base, candidate=cand,
+                 status=status)
+
+
+@dataclass
+class Comparison:
+    """The full outcome of diffing a candidate run against a baseline."""
+
+    baseline: RunRecord
+    candidate: RunRecord
+    deltas: list[Delta] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    @property
+    def improvements(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status == "improved"]
+
+    @property
+    def regressed(self) -> bool:
+        """True when any metric regressed or baseline points disappeared
+        (lost coverage is a regression of the experiment, not a wash)."""
+        return bool(self.regressions) or bool(self.removed)
+
+    def to_json(self) -> dict:
+        return {
+            "baseline": {"run_id": self.baseline.run_id,
+                         "ts": self.baseline.ts,
+                         "label": self.baseline.label,
+                         "git_rev": self.baseline.git_rev},
+            "candidate": {"run_id": self.candidate.run_id,
+                          "ts": self.candidate.ts,
+                          "label": self.candidate.label,
+                          "git_rev": self.candidate.git_rev},
+            "deltas": [d.to_json() for d in self.deltas],
+            "added_points": list(self.added),
+            "removed_points": list(self.removed),
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "regressed": self.regressed,
+        }
+
+
+def compare_runs(baseline: RunRecord, candidate: RunRecord,
+                 policies: dict[str, MetricPolicy] | None = None,
+                 rel_threshold: float | None = None) -> Comparison:
+    """Pairwise diff of two ledger records.
+
+    ``rel_threshold`` overrides every policy's relative threshold (the
+    CLI's ``--rel-threshold``); per-metric ``min_abs`` guards still apply.
+    """
+    if policies is None:
+        policies = DEFAULT_POLICIES
+    if rel_threshold is not None:
+        policies = {
+            name: MetricPolicy(p.direction, rel_threshold, p.min_abs)
+            for name, p in policies.items()
+        }
+    comparison = Comparison(baseline=baseline, candidate=candidate)
+    base_points = baseline.points or {}
+    cand_points = candidate.points or {}
+    comparison.removed = sorted(set(base_points) - set(cand_points))
+    comparison.added = sorted(set(cand_points) - set(base_points))
+    for key in sorted(set(base_points) & set(cand_points)):
+        base_metrics = base_points[key] or {}
+        cand_metrics = cand_points[key] or {}
+        for metric in sorted(set(base_metrics) & set(cand_metrics)):
+            judged = _judge(metric, float(base_metrics[metric]),
+                            float(cand_metrics[metric]), policies)
+            comparison.deltas.append(
+                Delta(point=key, metric=metric, baseline=judged.baseline,
+                      candidate=judged.candidate, status=judged.status)
+            )
+    for metric in sorted(set(baseline.headline) & set(candidate.headline)):
+        judged = _judge(metric, float(baseline.headline[metric]),
+                        float(candidate.headline[metric]), policies)
+        comparison.deltas.append(
+            Delta(point="headline", metric=metric, baseline=judged.baseline,
+                  candidate=judged.candidate, status=judged.status)
+        )
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+_STATUS_MARK = {"ok": " ", "improved": "+", "regressed": "!"}
+
+
+def _format_rel(delta: Delta) -> str:
+    rel = delta.rel
+    if rel in (float("inf"), float("-inf")):
+        return "  n/a"
+    return f"{rel * 100:+5.1f}%"
+
+
+def _run_title(record: RunRecord) -> str:
+    label = f" [{record.label}]" if record.label else ""
+    rev = f" @{record.git_rev[:10]}" if record.git_rev else ""
+    return f"{record.run_id}{label}{rev}"
+
+
+def comparison_tree(comparison: Comparison) -> tuple[list[SpanNode], object]:
+    """The comparison as a span forest plus its describe callback.
+
+    One root per run pair, one child per point, one leaf per metric --
+    rendered through :func:`repro.telemetry.report.render_span_tree`, so
+    the drill-down inherits the tree walk (indentation, child capping)
+    the trace report already uses.
+    """
+    root = SpanNode(
+        id="cmp", parent=None,
+        name=(f"compare  {_run_title(comparison.baseline)}  ->  "
+              f"{_run_title(comparison.candidate)}"),
+    )
+    descriptions: dict[int, str] = {}
+    by_point: dict[str, list[Delta]] = {}
+    for delta in comparison.deltas:
+        by_point.setdefault(delta.point, []).append(delta)
+    serial = 0
+    for point, deltas in by_point.items():
+        serial += 1
+        flags = {d.status for d in deltas}
+        verdict = ("REGRESSED" if "regressed" in flags
+                   else "improved" if "improved" in flags else "ok")
+        node = SpanNode(id=f"p{serial}", parent="cmp",
+                        name=f"point {point[:12]}")
+        descriptions[id(node)] = f"point {point[:12]}  {verdict}"
+        for delta in deltas:
+            serial += 1
+            leaf = SpanNode(id=f"m{serial}", parent=node.id, name=delta.metric)
+            descriptions[id(leaf)] = (
+                f"{_STATUS_MARK[delta.status]} {delta.metric:<18} "
+                f"{delta.baseline:10.4g} -> {delta.candidate:10.4g}  "
+                f"{_format_rel(delta)}  {delta.status}"
+            )
+            node.children.append(leaf)
+        root.children.append(node)
+    for key, title in (("removed", "removed points"), ("added", "added points")):
+        keys = getattr(comparison, key)
+        if keys:
+            serial += 1
+            node = SpanNode(id=f"x{serial}", parent="cmp", name=title)
+            descriptions[id(node)] = f"{title}: {', '.join(k[:12] for k in keys)}"
+            root.children.append(node)
+
+    def describe(node: SpanNode) -> str:
+        return descriptions.get(id(node), node.name)
+
+    return [root], describe
+
+
+def render_terminal(comparison: Comparison) -> str:
+    """The per-point delta drill-down plus a one-line verdict."""
+    roots, describe = comparison_tree(comparison)
+    tree = render_span_tree(roots, max_children=64, describe=describe)
+    regressions = comparison.regressions
+    verdict = (
+        f"REGRESSED: {len(regressions)} metric deltas over threshold"
+        + (f", {len(comparison.removed)} points removed" if comparison.removed else "")
+        if comparison.regressed
+        else f"OK: no regressions ({len(comparison.deltas)} paired deltas, "
+             f"{len(comparison.improvements)} improvements)"
+    )
+    return tree + "\n\n" + verdict
+
+
+def render_html(comparison: Comparison) -> str:
+    """A self-contained HTML drill-down (for CI artifacts)."""
+    colors = {"ok": "#2e7d32", "improved": "#1565c0", "regressed": "#c62828"}
+    rows = []
+    for delta in comparison.deltas:
+        rows.append(
+            "<tr>"
+            f"<td><code>{html.escape(delta.point[:16])}</code></td>"
+            f"<td>{html.escape(delta.metric)}</td>"
+            f"<td>{delta.baseline:.6g}</td><td>{delta.candidate:.6g}</td>"
+            f"<td>{delta.delta:+.6g}</td><td>{html.escape(_format_rel(delta))}</td>"
+            f'<td style="color:{colors[delta.status]}">{delta.status}</td>'
+            "</tr>"
+        )
+    extra = ""
+    if comparison.removed:
+        extra += ("<p>removed points: "
+                  + ", ".join(f"<code>{html.escape(k[:16])}</code>"
+                              for k in comparison.removed) + "</p>")
+    if comparison.added:
+        extra += ("<p>added points: "
+                  + ", ".join(f"<code>{html.escape(k[:16])}</code>"
+                              for k in comparison.added) + "</p>")
+    verdict = "REGRESSED" if comparison.regressed else "OK"
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro compare</title>"
+        "<style>body{font-family:monospace}table{border-collapse:collapse}"
+        "td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}"
+        "td:first-child,th:first-child{text-align:left}</style></head><body>"
+        f"<h1>repro compare: {verdict}</h1>"
+        f"<p>baseline {html.escape(_run_title(comparison.baseline))}<br>"
+        f"candidate {html.escape(_run_title(comparison.candidate))}</p>"
+        "<table><tr><th>point</th><th>metric</th><th>baseline</th>"
+        "<th>candidate</th><th>delta</th><th>rel</th><th>status</th></tr>"
+        + "".join(rows) + "</table>" + extra + "</body></html>"
+    )
+
+
+def render_json(comparison: Comparison) -> str:
+    """Machine-readable output for ``--json`` (one JSON document)."""
+    return json.dumps(comparison.to_json(), sort_keys=True, indent=2)
+
+
+__all__ = [
+    "Comparison",
+    "DEFAULT_POLICIES",
+    "Delta",
+    "MetricPolicy",
+    "compare_runs",
+    "comparison_tree",
+    "render_html",
+    "render_json",
+    "render_terminal",
+]

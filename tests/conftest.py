@@ -1,0 +1,16 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    Sweeps record to ``.repro/ledger`` by default; without this every
+    test that touches :class:`~repro.exec.SweepRunner` would leave run
+    records in the checkout.  Tests that need a specific ledger location
+    still pass ``Ledger(directory=...)`` or set ``REPRO_LEDGER_DIR``
+    themselves (monkeypatch overrides win over this fixture).
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))

@@ -105,7 +105,9 @@ class TestRegistry:
 
     def test_declared_capability_sets(self):
         assert get_backend("reference").capabilities == ALL_CAPABILITIES
-        assert get_backend("vectorized").capabilities == frozenset({CAP_TRACING})
+        assert get_backend("vectorized").capabilities == frozenset(
+            {CAP_TRACING, CAP_SAMPLING}
+        )
 
 
 class TestCapabilities:
@@ -146,12 +148,24 @@ class TestCapabilities:
         with pytest.raises(BackendCapabilityError, match="adaptive_routing"):
             check_capabilities(engine, spec)
 
-    def test_vectorized_declines_sampling_with_hint(self):
+    def test_vectorized_accepts_sampling(self):
         from repro.telemetry import Telemetry
 
         engine = get_backend("vectorized")
+        check_capabilities(engine, make_spec(),
+                           telemetry=Telemetry(sample_interval=25))
+
+    def test_sampling_refusal_keeps_its_hint(self):
+        """A backend without the capability still gets the guidance."""
+        from repro.telemetry import Telemetry
+
+        class NoSampling:
+            name = "nosampling"
+            capabilities = frozenset({CAP_TRACING})
+            def run(self, spec, **kw): ...
+
         with pytest.raises(BackendCapabilityError, match="sample_interval"):
-            check_capabilities(engine, make_spec(),
+            check_capabilities(NoSampling(), make_spec(),
                                telemetry=Telemetry(sample_interval=25))
 
     def test_error_carries_structured_fields(self):
@@ -270,6 +284,77 @@ class TestCrossBackendEquivalence:
         via_field = run_simulation(spec.with_backend("vectorized"))
         via_override = run_simulation(spec, backend="vectorized")
         assert_identical(via_field, via_override, "selection")
+
+
+class TestSamplingParity:
+    """Sampled telemetry runs must produce identical sample streams and
+    metrics on every backend -- the fast path earns its ``sampling``
+    capability by emitting byte-for-byte what the reference emits."""
+
+    @staticmethod
+    def _run(spec, backend, interval=100):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(sample_interval=interval)
+        result = simulate(spec, backend=backend, telemetry=tel)
+        events = tel.tracer.drain()
+        samples = [e["data"] for e in events if e["ev"] == "sample"]
+        spans = sorted(e["name"] for e in events if e["ev"] == "begin")
+        return result, samples, spans, tel.metrics.snapshot()
+
+    SAMPLED_CASES = [
+        dict(level=16, rate=0.30, pattern="transpose", routing="xy", seed=2),
+        dict(level=4, rate=0.15, seed=3),
+        dict(level=4, rate=0.001, seed=9),  # mostly idle: back-filled rows
+        dict(level=1, rate=0.20, seed=7),
+    ]
+
+    @pytest.mark.parametrize("case", SAMPLED_CASES)
+    def test_python_kernel_matches_reference(self, case, monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
+        spec = make_spec(**case)
+        ref, ref_samples, ref_spans, ref_metrics = self._run(spec, "reference")
+        fast, samples, spans, metrics = self._run(spec, "vectorized")
+        assert_identical(ref, fast, f"sampled {case}")
+        assert ref_samples == samples
+        assert ref_spans == spans
+        assert ref_metrics == metrics
+
+    @pytest.mark.parametrize("case", SAMPLED_CASES)
+    def test_native_kernel_matches_reference(self, case, monkeypatch):
+        from repro.noc.backends import native
+
+        monkeypatch.delenv("REPRO_NOC_NATIVE", raising=False)
+        if not native.available():
+            pytest.skip("no C compiler / native kernel disabled")
+        spec = make_spec(**case)
+        ref, ref_samples, ref_spans, ref_metrics = self._run(spec, "reference")
+        fast, samples, spans, metrics = self._run(spec, "vectorized")
+        assert_identical(ref, fast, f"native sampled {case}")
+        assert ref_samples == samples
+        assert ref_spans == spans
+        assert ref_metrics == metrics
+
+    def test_saturated_sampled_run_agrees(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
+        spec = make_spec(level=16, rate=1.8, routing="xy",
+                         warmup=200, measure=400, drain_cycles=500)
+        ref, ref_samples, _, _ = self._run(spec, "reference")
+        fast, samples, _, _ = self._run(spec, "vectorized")
+        assert ref.saturated and fast.saturated
+        assert ref_samples == samples
+
+    def test_sample_payload_shape(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
+        _, samples, _, _ = self._run(make_spec(level=4, rate=0.15), "vectorized")
+        assert samples
+        for data in samples:
+            assert data["cycle"] % 100 == 0
+            assert set(data) == {"cycle", "in_flight", "buffered", "routers"}
+            assert len(data["routers"]) == 4
+            for stats in data["routers"].values():
+                assert set(stats) == {"inj", "ej", "occ", "gated"}
+                assert stats["gated"] == 0
 
 
 class TestInvariants:

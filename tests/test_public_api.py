@@ -12,6 +12,11 @@ PACKAGES = {
         "thermal_aware_floorplan", "EvaluationReport", "SimulationSpec",
         "TrafficSpec", "run_simulation", "SweepRunner", "ResultCache",
         "register_backend", "get_backend", "list_backends",
+        "Ledger", "RunRecord", "compare_runs",
+    ],
+    "repro.telemetry": [
+        "Telemetry", "Ledger", "RunRecord", "compare_runs", "Comparison",
+        "MetricPolicy",
     ],
     "repro.noc.backends": [
         "SimBackend", "BackendCapabilityError", "register_backend",
