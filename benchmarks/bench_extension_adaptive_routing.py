@@ -3,12 +3,17 @@
 CDOR owns the irregular regions; on the full mesh the classic partially-
 adaptive turn models (west-first, negative-first) are the natural baseline.
 Under benign uniform traffic all three match; under an adversarial
-permutation near saturation the adaptive routers spread the load."""
+permutation near saturation the adaptive routers spread the load.
+
+Each point is a declarative :class:`SimulationSpec` run through
+``backend="auto"``: adaptive-routing parity in the fast path (C kernel
+included) makes this sweep cheap, and the credit-based selection is
+bit-identical to the reference engine's."""
 
 from repro.config import NoCConfig
 from repro.core.topological import SprintTopology
-from repro.noc.sim import run_simulation
-from repro.noc.traffic import TrafficGenerator
+from repro.noc.sim import simulate
+from repro.noc.spec import SimulationSpec, TrafficSpec
 from repro.util.tables import format_table
 
 from benchmarks.common import once, report
@@ -23,12 +28,18 @@ def sweep(pattern, rates):
     for rate in rates:
         latencies = []
         for algorithm in ALGORITHMS:
-            traffic = TrafficGenerator(list(range(16)), rate,
-                                       CFG.packet_length_flits, pattern, seed=4)
-            result = run_simulation(FULL, traffic, CFG, routing=algorithm,
-                                    warmup_cycles=300, measure_cycles=1500,
-                                    drain_cycles=6000)
-            latencies.append(result.avg_latency)
+            spec = SimulationSpec(
+                topology=FULL,
+                traffic=TrafficSpec(tuple(FULL.active_nodes), rate,
+                                    CFG.packet_length_flits, pattern, seed=4),
+                config=CFG,
+                routing=algorithm,
+                warmup_cycles=300,
+                measure_cycles=1500,
+                drain_cycles=6000,
+                backend="auto",
+            )
+            latencies.append(simulate(spec).avg_latency)
         rows.append((rate, *latencies))
     return rows
 

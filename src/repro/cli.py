@@ -17,6 +17,7 @@ Commands map onto the paper's evaluation axes:
 - ``regress --baseline REF`` gate the newest run against a baseline;
   exits 4 on regression (the CI regression observatory)
 - ``cache stats``            counters and on-disk footprint of a result cache
+- ``backends``               the live simulation-backend capability matrix
 """
 
 from __future__ import annotations
@@ -179,16 +180,33 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
 
         telemetry = Telemetry(sample_interval=args.sample_interval)
     # validate the backend against each point's needs up front, so an
-    # incompatible combination (say --backend vectorized with --fault)
-    # fails with one clear message instead of N worker errors
-    from repro.noc.backends import BackendCapabilityError, check_capabilities, get_backend
+    # incompatible combination fails before any worker launches -- and
+    # reports *every* bad point, not just the first, since a partial grid
+    # is usually misconfigured in more than one place
+    from repro.noc.backends import (
+        BackendCapabilityError,
+        check_capabilities,
+        get_backend,
+        resolve_backend,
+    )
 
-    try:
-        engine = get_backend(args.backend)
-        for spec in specs:
-            check_capabilities(engine, spec, None, telemetry)
-    except (BackendCapabilityError, ValueError) as err:
-        print(f"invalid sweep grid: {err}")
+    problems = []
+    for spec in specs:
+        try:
+            if args.backend == "auto":
+                resolve_backend(spec, telemetry=telemetry)
+            else:
+                check_capabilities(get_backend(args.backend), spec, None, telemetry)
+        except (BackendCapabilityError, ValueError) as err:
+            problems.append(
+                f"level={spec.topology.level} pattern={spec.traffic.pattern} "
+                f"rate={spec.traffic.injection_rate:g}: {err}"
+            )
+    if problems:
+        for line in problems:
+            print(f"invalid sweep grid: {line}")
+        print(f"invalid sweep grid: {len(problems)} of {len(specs)} points "
+              f"incompatible with backend {args.backend!r}")
         return 2
     from repro.telemetry import Ledger
 
@@ -337,7 +355,9 @@ def _cmd_duration(args: argparse.Namespace) -> int:
 def _backend_names() -> list[str]:
     from repro.noc.backends import list_backends
 
-    return list(list_backends())
+    # "auto" is a selection policy, not a registered engine: the fastest
+    # backend whose capabilities cover each run (see resolve_backend)
+    return ["auto", *list_backends()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,8 +426,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--backend", default="reference",
                        choices=_backend_names(),
                        help="simulation engine for every point (grid mode; "
-                            "'vectorized' is the fast path, now including "
-                            "sampled/traced sweeps)")
+                            "'vectorized' is the fast path, 'auto' picks "
+                            "the fastest engine covering each point)")
     sweep.add_argument("--ledger-dir", default=None, metavar="DIR",
                        help="run-ledger directory (grid mode; default "
                             ".repro/ledger or $REPRO_LEDGER_DIR; "
@@ -427,7 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
     network.add_argument("--workers", type=int, default=1)
     network.add_argument("--backend", default="reference",
                          choices=_backend_names(),
-                         help="simulation engine for every point")
+                         help="simulation engine for every point ('auto' "
+                              "picks the fastest capable engine)")
 
     thermal = sub.add_parser("thermal", help="heat maps and PCM phases")
     thermal.add_argument("benchmark", nargs="?", default="dedup",
@@ -495,6 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="on-disk cache directory (as passed to "
                             "`sweep --cache-dir`)")
+
+    sub.add_parser(
+        "backends",
+        help="list registered simulation backends, their capabilities and "
+             "native-kernel availability",
+    )
 
     figure = sub.add_parser(
         "figure", help="regenerate a paper figure via its benchmark harness"
@@ -629,6 +656,31 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """Print the live capability matrix of the registered backends."""
+    from repro.noc.backends import get_backend, list_backends
+    from repro.noc.backends import native
+
+    rows = []
+    for name in list_backends():
+        backend = get_backend(name)
+        caps = ", ".join(sorted(getattr(backend, "capabilities", frozenset())))
+        kernel = "-"
+        if name == "vectorized":
+            kernel = ("available" if native.available()
+                      else "unavailable (pure-Python flat engine)")
+        rows.append([name, getattr(backend, "speed_rank", 0), caps, kernel])
+    print(format_table(
+        ["backend", "speed rank", "capabilities", "native kernel"],
+        rows,
+        title="registered simulation backends",
+    ))
+    print("backend='auto' (spec, run_simulation, sweep --backend) picks the "
+          "highest-ranked engine whose capabilities cover the run; see "
+          "repro.noc.backends.requirements / supports")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     """Run a figure's benchmark file through pytest and show its tables."""
     import glob
@@ -664,6 +716,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "regress": _cmd_regress,
     "cache": _cmd_cache,
+    "backends": _cmd_backends,
     "figure": _cmd_figure,
 }
 

@@ -116,6 +116,30 @@ def link_fault_exclusions(
     return frozenset(excluded)
 
 
+def reconfigured_topology(topology, faults, cycle: int):
+    """The region a fault schedule forces at ``cycle``, shared by engines.
+
+    Maps the schedule's router faults plus the deterministic node cost of
+    its link faults (:func:`link_fault_exclusions`) onto the planned
+    topology: a non-empty exclusion set degrades to the largest reachable
+    convex region, an empty one (every transient fault recovered) restores
+    the planned region.  Both simulation backends reconfigure through this
+    helper so their degraded regions can never diverge.
+    """
+    excluded = set(faults.faulty_routers_at(cycle))
+    links = faults.faulty_links_at(cycle)
+    if links:
+        excluded |= link_fault_exclusions(
+            topology.width, topology.height, links, topology.master
+        )
+    if not excluded:
+        return topology
+    return degraded_topology(
+        topology.width, topology.height, topology.level,
+        frozenset(excluded), topology.master,
+    )
+
+
 def degraded_topology(
     width: int,
     height: int,

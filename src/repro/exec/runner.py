@@ -552,7 +552,9 @@ class SweepRunner:
                 values = [m[metric] for m in point_payload.values()]
                 headline[metric] = sum(values) / len(values)
         headline["failures"] = float(len(report.failures))
-        backends = {spec.backend for spec in specs}
+        # record the *resolved* engine so ledger entries for backend="auto"
+        # runs are unambiguous about what actually executed them
+        backends = {spec.resolved_backend() for spec in specs}
         return self.ledger.record(
             "sweep",
             label=self.ledger_label,

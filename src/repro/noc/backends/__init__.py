@@ -2,14 +2,17 @@
 
 Importing this package registers the two built-in engines:
 
-- ``"reference"`` -- the cycle-accurate object-model simulator (supports
-  every feature: faults, gating policies, adaptive routing, telemetry
-  sampling and tracing);
-- ``"vectorized"`` -- the flat-array fast path (bit-identical results on
-  fault-free deterministic-routing specs, several times faster; declines
-  anything else with a :class:`BackendCapabilityError`).
+- ``"reference"`` -- the cycle-accurate object-model simulator, the
+  semantic ground truth every other engine is validated against;
+- ``"vectorized"`` -- the flat-array fast path, bit-identical to the
+  reference on *every* capability (fault schedules, gating policies,
+  adaptive routing, telemetry sampling and tracing) and several times
+  faster; a self-compiled C kernel accelerates the runs it covers, with
+  a pure-Python flat engine as the documented fallback for the rest.
 
-Third-party engines join with::
+Both engines declare the full capability set, so explicit backend
+selection never needs to fall back for feature reasons; capability
+checks still guard third-party engines, which join with::
 
     from repro.noc.backends import register_backend
 
@@ -17,6 +20,10 @@ Third-party engines join with::
 
 and become selectable through ``SimulationSpec(backend="...")``,
 ``run_simulation(..., backend="...")`` and ``repro sweep --backend ...``.
+Passing ``backend="auto"`` anywhere a backend name is accepted resolves
+through :func:`resolve_backend`: the fastest registered engine (highest
+``speed_rank``) whose capabilities cover the run's
+:func:`requirements` wins.
 """
 
 from repro.noc.backends.base import (
@@ -33,6 +40,9 @@ from repro.noc.backends.base import (
     list_backends,
     register_backend,
     required_capabilities,
+    requirements,
+    resolve_backend,
+    supports,
 )
 from repro.noc.backends.reference import ReferenceBackend
 from repro.noc.backends.vectorized import VectorizedBackend
@@ -56,4 +66,7 @@ __all__ = [
     "list_backends",
     "register_backend",
     "required_capabilities",
+    "requirements",
+    "resolve_backend",
+    "supports",
 ]

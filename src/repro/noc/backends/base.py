@@ -55,16 +55,32 @@ class SimBackend(Protocol):
 
 
 class BackendCapabilityError(ValueError):
-    """A spec asked a backend for a feature it does not implement."""
+    """A spec asked a backend for a feature it does not implement.
 
-    def __init__(self, backend: str, missing: frozenset[str], hint: str = ""):
+    Carries a structured payload alongside the message: ``missing`` is the
+    capability tokens the backend lacks for this run, ``alternatives`` the
+    names of registered backends whose declared capabilities do cover it.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        missing: frozenset[str],
+        hint: str = "",
+        alternatives: tuple[str, ...] = (),
+    ):
         self.backend = backend
         self.missing = frozenset(missing)
+        self.alternatives = tuple(alternatives)
         needs = ", ".join(sorted(self.missing))
         message = (
             f"backend {backend!r} does not support: {needs}"
             f" (available backends: {', '.join(list_backends())})"
         )
+        if self.alternatives:
+            message += (
+                f"; supported by: {', '.join(self.alternatives)}"
+            )
         if hint:
             message += f"; {hint}"
         super().__init__(message)
@@ -133,13 +149,85 @@ def required_capabilities(
     return frozenset(need)
 
 
+def requirements(
+    spec: SimulationSpec, *, gating_policy=None, telemetry=None
+) -> frozenset[str]:
+    """The capability tokens a concrete run needs from its backend.
+
+    Public keyword-only face of :func:`required_capabilities` -- the single
+    source of truth :func:`check_capabilities` and ``backend="auto"``
+    resolution are built on.  A spec alone (no policy, no telemetry) needs
+    at most ``faults`` and ``adaptive_routing``; the run-time arguments add
+    ``gating_policy``, ``tracing`` and ``telemetry_sampling``.
+    """
+    return required_capabilities(spec, gating_policy, telemetry)
+
+
+def supports(
+    backend: SimBackend,
+    spec: SimulationSpec,
+    *,
+    gating_policy=None,
+    telemetry=None,
+) -> bool:
+    """True when ``backend`` declares every capability the run needs.
+
+    Backends may provide their own ``supports`` method (e.g. to decline
+    specs on grounds finer than capability tokens); this falls back to the
+    declared-capability subset test for those that do not.
+    """
+    own = getattr(backend, "supports", None)
+    if callable(own):
+        return bool(own(spec, gating_policy=gating_policy, telemetry=telemetry))
+    return requirements(
+        spec, gating_policy=gating_policy, telemetry=telemetry
+    ) <= backend.capabilities
+
+
+def _speed_rank(backend: SimBackend) -> int:
+    """Higher = faster; third-party backends default to the reference's 0."""
+    rank = getattr(backend, "speed_rank", 0)
+    return rank if isinstance(rank, int) else 0
+
+
+def resolve_backend(
+    spec: SimulationSpec, *, gating_policy=None, telemetry=None
+) -> SimBackend:
+    """The fastest registered backend that supports this run.
+
+    This is what ``backend="auto"`` resolves through: every registered
+    backend is tested with :func:`supports`, and the supporting one with
+    the highest ``speed_rank`` wins (ties break deterministically by
+    name).  The reference backend supports everything, so resolution
+    never fails while it stays registered.
+    """
+    candidates = [
+        backend
+        for backend in _REGISTRY.values()
+        if supports(backend, spec, gating_policy=gating_policy, telemetry=telemetry)
+    ]
+    if not candidates:
+        raise BackendCapabilityError(
+            "auto",
+            requirements(spec, gating_policy=gating_policy, telemetry=telemetry),
+            hint="no registered backend supports this run",
+        )
+    return max(candidates, key=lambda b: (_speed_rank(b), b.name))
+
+
 def check_capabilities(
     backend: SimBackend, spec: SimulationSpec, gating_policy=None, telemetry=None
 ) -> None:
     """Raise :class:`BackendCapabilityError` if the run needs more than
     ``backend`` declares."""
-    missing = required_capabilities(spec, gating_policy, telemetry) - backend.capabilities
+    need = required_capabilities(spec, gating_policy, telemetry)
+    missing = need - backend.capabilities
     if missing:
+        alternatives = tuple(
+            name
+            for name in list_backends()
+            if name != backend.name and need <= _REGISTRY[name].capabilities
+        )
         hint = ""
         if CAP_SAMPLING in missing:
             hint = (
@@ -147,8 +235,8 @@ def check_capabilities(
                 "sampling-capable backend ('reference' or 'vectorized')"
             )
         elif missing & {CAP_FAULTS, CAP_GATING, CAP_ADAPTIVE_ROUTING}:
-            hint = "use the 'reference' backend for this run"
-        raise BackendCapabilityError(backend.name, missing, hint)
+            hint = "pass backend='auto' to pick a capable engine"
+        raise BackendCapabilityError(backend.name, missing, hint, alternatives)
 
 
 __all__ = [
@@ -165,4 +253,7 @@ __all__ = [
     "list_backends",
     "register_backend",
     "required_capabilities",
+    "requirements",
+    "resolve_backend",
+    "supports",
 ]

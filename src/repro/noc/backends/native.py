@@ -37,7 +37,17 @@ Division of labour with the Python driver:
   for fast-forwarded idle stretches), and the driver replays them as the
   same spans, sample events and metrics the Python kernels emit --
   cumulative per-router injection counts are reconstructed from the
-  pre-drawn packet columns, so the kernel never touches them.
+  pre-drawn packet columns, so the kernel never touches them;
+- fault schedules run as a *chain* of kernel segments, one per region
+  configuration: the kernel stops at the next fault boundary (reporting
+  per-packet progress), the driver replays the reference's teardown /
+  drop-and-retransmit policy in Python -- survivors become seed rows of
+  the next segment's packet columns, re-entering through the normal NI
+  path in pid order -- and the fault counters, activity folds and
+  telemetry accumulate across segments.  Gated runs are the one thing
+  this module never sees: the policy is an arbitrary Python object the
+  kernel cannot call back into every cycle, so they stay on the
+  pure-Python flat engine.
 """
 
 from __future__ import annotations
@@ -64,6 +74,7 @@ _MAX_VCS = 12
 
 _FLAG_UNFINISHED = 1  # simulation ran past the pre-drawn traffic horizon
 _FLAG_IDLE_BREAK = 2  # whole-mesh idle exit before the window closed
+_FLAG_BOUNDARY = 4  # stopped at a fault boundary (stop_cycle) for the driver
 
 _KERNEL_SOURCE = r"""
 #include <stdint.h>
@@ -75,28 +86,41 @@ typedef long long i64;
 #define NEVER (1LL << 60)
 #define FLAG_UNFINISHED 1
 #define FLAG_IDLE_BREAK 2
+#define FLAG_BOUNDARY 4
 
 /* One cycle-exact replica of the reference wormhole-VC pipeline over
  * flat arrays.  Every arbitration order (VC allocation request order,
  * free-VC assignment, both switch-allocation round-robins), every
  * pipeline delay (VA at arrival+2, head SA one cycle after VA, body SA
  * at arrival+1, credits at +1, links at +2) and the ejection sequence
- * match the Python kernels bit for bit. */
+ * match the Python kernels bit for bit.
+ *
+ * Fault schedules run as a chain of segments: each reconfiguration
+ * tears the network down to fresh state anyway, so the driver invokes
+ * the kernel once per region with `start_cycle` at the boundary,
+ * `stop_cycle` at the next one, and the surviving packets spliced into
+ * the packet columns at `start_cycle` (seed rows precede that cycle's
+ * creations, preserving the reference's re-injection order). */
 i64 run_kernel(
     i64 count, i64 vcs, i64 depth, i64 mesh,
     const i64 *neighbor,   /* count*5 router indices, -1 when absent   */
-    const i64 *route,      /* count*mesh output port per dest node id  */
+    const i64 *route,      /* count*mesh output port per dest node id;
+                            * adaptive candidate pairs are packed as
+                            * 8 | (c0 << 4) | (c1 << 8)                */
     const i64 *rev,        /* 5: reverse port map                      */
     i64 n_pkts,
     const i64 *p_cycle, const i64 *p_src, const i64 *p_dest,
     const i64 *p_len, const i64 *p_meas,
     i64 sched_upto,        /* cycles of traffic pre-drawn              */
     i64 warmup, i64 measure_end, i64 deadline,
+    i64 start_cycle,       /* first cycle (a fault-segment boundary)   */
+    i64 stop_cycle,        /* break before this cycle, -1 for never    */
     i64 *p_hops,           /* n_pkts, zero-initialised                 */
     i64 *p_eject,          /* n_pkts, tail-ejection cycle or -1        */
+    i64 *p_started,        /* n_pkts: >=1 flit left the source NI      */
     i64 *ej_order,         /* capacity n_pkts: measured ejection order */
     i64 *counters,         /* count*4: writes, reads, links, va grants */
-    i64 *out,              /* 8 scalars, see driver                    */
+    i64 *out,              /* 10 scalars, see driver                   */
     i64 interval,          /* telemetry sample period, 0 = no capture  */
     i64 s_cap,             /* capacity of the sample arrays            */
     i64 *s_cycle,          /* s_cap: sample instants                   */
@@ -183,27 +207,31 @@ i64 run_kernel(
                     credits[i * slots + port * vcs + v] = depth;
     }
 
-    i64 cycle = 0, cycles_run = 0, flags = 0;
+    i64 cycle = start_cycle, cycles_run = 0, flags = 0;
     i64 in_flight = 0, events_pending = 0, p = 0;
     i64 created_measured = 0, measured_ejected = 0, measured_flits = 0;
     i64 n_ej = 0, n_s = 0;
+    i64 first_wu = -1, first_me = -1;
 
     for (;;) {
         if (cycle >= deadline) { cycles_run = deadline; break; }
 
-        if (!in_flight && !events_pending) {
-            /* whole-mesh idle: jump to the next scheduled packet, or
-             * exit the way the reference loop does when none is due
-             * before the measurement window closes; either way, back-
-             * fill the sample instants the jump skips (all-idle rows) */
-            if (p < n_pkts && p_cycle[p] < measure_end) {
-                i64 tgt = p_cycle[p];
-                if (interval) {
-                    i64 c = (cycle + interval - 1) / interval * interval;
-                    for (; c < tgt; c += interval) CAPTURE(c);
-                }
-                cycle = tgt;
-            } else {
+        /* the reference loop reaches a boundary cycle with the old
+         * segment's flits still in flight, so its idle check never
+         * fires there; a seeded segment starts with in_flight == 0
+         * (seeds enter through the packet columns below), so skip the
+         * idle check on the seeded first cycle to match */
+        if (!in_flight && !events_pending
+            && (start_cycle == 0 || cycle != start_cycle)) {
+            /* whole-mesh idle: jump to the next scheduled packet or the
+             * stop boundary, or exit the way the reference loop does
+             * when neither is due before the measurement window closes
+             * (a boundary beyond it stays unprocessed, exactly like the
+             * reference's); back-fill the sample instants the jump
+             * skips (all-idle rows) */
+            i64 nxt = (p < n_pkts && p_cycle[p] < measure_end)
+                          ? p_cycle[p] : -1;
+            if (nxt < 0 && (stop_cycle < 0 || stop_cycle > measure_end)) {
                 cycles_run = deadline > measure_end ? measure_end + 1
                                                     : deadline;
                 flags |= FLAG_IDLE_BREAK;
@@ -213,9 +241,31 @@ i64 run_kernel(
                 }
                 break;
             }
+            i64 tgt = nxt;
+            if (nxt < 0 || (stop_cycle >= 0 && stop_cycle < nxt))
+                tgt = stop_cycle;
+            if (interval) {
+                i64 c = (cycle + interval - 1) / interval * interval;
+                for (; c < tgt; c += interval) CAPTURE(c);
+            }
+            cycle = tgt;
+        }
+
+        /* fault boundary: hand control back to the driver, which
+         * rebuilds the region and re-seeds the survivors (deadline
+         * wins over a boundary, exactly like the reference loop) */
+        if (cycle == stop_cycle) {
+            cycles_run = cycle;
+            flags |= FLAG_BOUNDARY;
+            break;
         }
 
         if (cycle >= sched_upto) { flags |= FLAG_UNFINISHED; break; }
+
+        /* first *visited* cycles past the phase thresholds -- the
+         * driver replays the reference's phase-span transitions there */
+        if (first_wu < 0 && cycle >= warmup) first_wu = cycle;
+        if (first_me < 0 && cycle >= measure_end) first_me = cycle;
 
         if (interval && cycle % interval == 0) CAPTURE(cycle);
 
@@ -300,6 +350,7 @@ i64 run_kernel(
             if (vc_out[g] < 0) vap[i] |= 1LL << v;
             wake[i] = cycle;
             if (win) counters[i * 4]++;
+            p_started[cp] = 1;  /* past the NI: a fault would retransmit */
             cur_idx[i]++;
             if (cur_idx[i] >= p_len[cp]) cur_pkt[i] = -1;
         }
@@ -330,6 +381,25 @@ i64 run_kernel(
                         continue;
                     }
                     i64 out_p = route_i[p_dest[f_pkt[fpos]]];
+                    if (out_p >= 8) {
+                        /* packed adaptive candidate pair: prefer a free
+                         * out-VC, then most downstream credits; strict
+                         * improvement only, so ties keep the first
+                         * (turn-model-preferred) candidate */
+                        i64 cand[2] = {(out_p >> 4) & 7, (out_p >> 8) & 7};
+                        i64 bf = -1, bc = -1;
+                        for (int ci = 0; ci < 2; ci++) {
+                            i64 ob = base_g + cand[ci] * vcs;
+                            i64 fr = 0, cr = 0;
+                            for (i64 v = 0; v < vcs; v++) {
+                                if (owner[ob + v] < 0) fr = 1;
+                                cr += credits[ob + v];
+                            }
+                            if (fr > bf || (fr == bf && cr > bc)) {
+                                bf = fr; bc = cr; out_p = cand[ci];
+                            }
+                        }
+                    }
                     if (req_cnt[out_p] == 0) req_order[n_req++] = out_p;
                     req_s[out_p][req_cnt[out_p]++] = s;
                 }
@@ -517,6 +587,8 @@ i64 run_kernel(
     out[4] = measured_ejected;
     out[5] = measured_flits;
     out[6] = n_s;
+    out[7] = first_wu;
+    out[8] = first_me;
     memcpy(ej_out, ej_cum, (size_t)count * sizeof(i64));
 
     free(f_arr); free(f_idx); free(f_pkt); free(rh); free(fl);
@@ -574,7 +646,9 @@ def _build() -> ctypes.CDLL:
         c64,                         # n_pkts
         ptr, ptr, ptr, ptr, ptr,     # p_cycle, p_src, p_dest, p_len, p_meas
         c64, c64, c64, c64,          # sched_upto, warmup, measure_end, deadline
-        ptr, ptr, ptr, ptr, ptr,     # p_hops, p_eject, ej_order, counters, out
+        c64, c64,                    # start_cycle, stop_cycle
+        ptr, ptr, ptr, ptr,          # p_hops, p_eject, p_started, ej_order
+        ptr, ptr,                    # counters, out
         c64, c64,                    # interval, s_cap
         ptr, ptr, ptr, ptr, ptr,     # s_cycle, s_inflight, s_occ, s_ej, ej_out
     ]
@@ -608,6 +682,37 @@ def available() -> bool:
 
 def _as_ptr(array: np.ndarray):
     return array.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong))
+
+
+def _region_arrays(topology, routing):
+    """Flattened routing/neighbor tables for one region, kernel-ready.
+
+    Returns ``(nodes, index_of, route, neighbor)`` where ``route`` maps
+    ``router_index * mesh_size + dest_node`` to an output port (adaptive
+    candidate pairs packed as ``8 | (c0 << 4) | (c1 << 8)``) and
+    ``neighbor`` maps ``router_index * 5 + port`` to the neighboring
+    router index (-1 when unconnected)."""
+    from repro.noc.routing import build_table
+
+    nodes = list(topology.active_nodes)
+    count = len(nodes)
+    index_of = {node: i for i, node in enumerate(nodes)}
+    mesh_size = topology.width * topology.height
+
+    route = np.zeros(count * mesh_size, dtype=np.int64)
+    for (current, dest), port in build_table(topology, routing).items():
+        if type(port) is tuple:
+            # adaptive tables hold candidate tuples; singletons collapse
+            # to a plain port, pairs pack into one word for the kernel
+            port = port[0] if len(port) == 1 else 8 | (port[0] << 4) | (port[1] << 8)
+        route[index_of[current] * mesh_size + dest] = port
+    neighbor = np.full(count * PORT_COUNT, -1, dtype=np.int64)
+    for i, node in enumerate(nodes):
+        for port in range(1, PORT_COUNT):
+            other = topology.neighbor(node, PORT_TO_DIRECTION[port])
+            if other is not None and other in index_of:
+                neighbor[i * PORT_COUNT + port] = index_of[other]
+    return nodes, index_of, route, neighbor
 
 
 def _emit_run_telemetry(
@@ -702,12 +807,16 @@ def _emit_run_telemetry(
 def execute(spec: SimulationSpec, telemetry=None) -> SimulationResult | None:
     """Run ``spec`` on the compiled kernel; None means "use the fallback".
 
-    Only called for specs the vectorized backend already accepted (no
-    faults, deterministic routing); returns None when the kernel is
-    unavailable or the configuration exceeds its fixed-width state (more
-    than ``_MAX_VCS`` virtual channels).  With active telemetry the
-    kernel batches per-interval activity captures and the driver replays
-    them as the spans, samples and metrics the Python kernels emit.
+    Returns None -- meaning "run the pure-Python flat engine instead" --
+    when the kernel is unavailable or when the configuration exceeds its
+    fixed-width state (more than ``_MAX_VCS`` virtual channels).  Fault
+    schedules run as a chain of kernel segments, one per reconfigured
+    region, with the Python side replaying the reference's boundary
+    policy (drop-and-retransmit) between invocations.  Gated runs never
+    reach this function (the policy is a Python object the kernel cannot
+    call back into every cycle).  With active telemetry the kernel
+    batches per-interval activity captures and the driver replays them
+    as the spans, samples and metrics the Python kernels emit.
     """
     from repro.telemetry import active as _active_telemetry
 
@@ -720,26 +829,16 @@ def execute(spec: SimulationSpec, telemetry=None) -> SimulationResult | None:
         return None
     tel = _active_telemetry(telemetry)
     interval = tel.sample_interval if tel is not None else 0
+    if spec.faults:
+        return _execute_faulted(spec, lib, tel, interval)
 
     from repro.noc.backends.vectorized import _PacketSchedule
-    from repro.noc.routing import build_routing_table
 
     topology = spec.topology
     depth = cfg.buffers_per_vc
-    nodes = list(topology.active_nodes)
-    count = len(nodes)
-    index_of = {node: i for i, node in enumerate(nodes)}
+    count = len(topology.active_nodes)
     mesh_size = topology.width * topology.height
-
-    route = np.zeros(count * mesh_size, dtype=np.int64)
-    for (current, dest), port in build_routing_table(topology, spec.routing).items():
-        route[index_of[current] * mesh_size + dest] = port
-    neighbor = np.full(count * PORT_COUNT, -1, dtype=np.int64)
-    for i, node in enumerate(nodes):
-        for port in range(1, PORT_COUNT):
-            other = topology.neighbor(node, PORT_TO_DIRECTION[port])
-            if other is not None and other in index_of:
-                neighbor[i * PORT_COUNT + port] = index_of[other]
+    nodes, index_of, route, neighbor = _region_arrays(topology, spec.routing)
     rev = np.array(
         [REVERSE_PORT.get(p, 0) for p in range(PORT_COUNT)], dtype=np.int64
     )
@@ -786,9 +885,10 @@ def execute(spec: SimulationSpec, telemetry=None) -> SimulationResult | None:
         ]
         p_hops = np.zeros(max(n_pkts, 1), dtype=np.int64)
         p_eject = np.full(max(n_pkts, 1), -1, dtype=np.int64)
+        p_started = np.zeros(max(n_pkts, 1), dtype=np.int64)
         ej_order = np.zeros(max(n_pkts, 1), dtype=np.int64)
         counters = np.zeros(count * 4, dtype=np.int64)
-        out = np.zeros(8, dtype=np.int64)
+        out = np.zeros(10, dtype=np.int64)
         s_cycle = np.zeros(s_cap, dtype=np.int64)
         s_inflight = np.zeros(s_cap, dtype=np.int64)
         s_occ = np.zeros(s_cap * count, dtype=np.int64)
@@ -800,8 +900,9 @@ def execute(spec: SimulationSpec, telemetry=None) -> SimulationResult | None:
             n_pkts,
             *(_as_ptr(col) for col in cols),
             horizon, warmup, measure_end, deadline,
-            _as_ptr(p_hops), _as_ptr(p_eject), _as_ptr(ej_order),
-            _as_ptr(counters), _as_ptr(out),
+            0, -1,  # start at cycle 0, no fault boundary to stop at
+            _as_ptr(p_hops), _as_ptr(p_eject), _as_ptr(p_started),
+            _as_ptr(ej_order), _as_ptr(counters), _as_ptr(out),
             interval, s_cap,
             _as_ptr(s_cycle), _as_ptr(s_inflight), _as_ptr(s_occ),
             _as_ptr(s_ej), _as_ptr(ej_out),
@@ -873,6 +974,404 @@ def execute(spec: SimulationSpec, telemetry=None) -> SimulationResult | None:
         activity=activity,
         endpoint_count=endpoints,
     )
+
+
+def _execute_faulted(spec, lib, tel, interval) -> SimulationResult | None:
+    """Run a faulted spec as a chain of fresh-network kernel segments.
+
+    A fault boundary in the reference engine tears the network down and
+    rebuilds it from scratch on the reconfigured region, re-injecting
+    every surviving packet through the normal NI path -- so the only
+    state that crosses a boundary is the survivor list, the fault
+    counters and the cumulative telemetry.  Each segment is therefore an
+    ordinary kernel run: it starts at the boundary with the survivors
+    spliced into the packet columns (in pid order, ahead of that cycle's
+    creations, exactly the reference's re-injection order) and stops at
+    the next boundary, where the driver replays the reference's
+    drop-and-retransmit policy before launching the next segment.
+    """
+    from repro.core.faults import reconfigured_topology
+    from repro.noc.backends.vectorized import _PacketSchedule
+
+    cfg = spec.config
+    vcs = cfg.vcs_per_port
+    depth = cfg.buffers_per_vc
+    planned = spec.topology
+    faults = spec.faults
+    mesh_size = planned.width * planned.height
+
+    warmup = spec.warmup_cycles
+    measure_cycles = spec.measure_cycles
+    measure_end = warmup + measure_cycles
+    deadline = measure_end + spec.drain_cycles
+
+    traffic = spec.traffic.build()
+    schedule = _PacketSchedule(traffic, warmup, measure_end)
+    boundaries = faults.boundaries()
+    rev = np.array(
+        [REVERSE_PORT.get(p, 0) for p in range(PORT_COUNT)], dtype=np.int64
+    )
+    s_cap = deadline // interval + 2 if interval else 1
+
+    counters = {
+        "dropped": 0, "retransmitted": 0, "rerouted": 0,
+        "lost_measured": 0, "reconfigurations": 0,
+    }
+    min_level = planned.level
+    created_measured = measured_ejected = measured_flits = 0
+    latency = RunningStats()
+    hops_stats = RunningStats()
+    latencies: list[int] = []
+    activity = NetworkActivity()
+    segments: list[dict] = []  # per-segment telemetry replay payloads
+    reconf_events: list[tuple[int, int]] = []  # (boundary cycle, new level)
+
+    region, routing = planned, spec.routing
+    degraded = False
+    seg_start, next_b = 0, 0
+    seeds: list[tuple] = []  # (Packet, started) in pid order
+    cycles_run = 0
+    idle_break = False
+    # first *visited* cycle at/past each phase threshold, reference-true:
+    # the reference lands on every busy cycle, including ones whose whole
+    # creation batch is dropped -- invisible to the kernel, so they merge
+    # in from the driver-side drop list
+    first_wu = first_me = -1
+
+    def _merge_first(cur: int, cand: int) -> int:
+        return cand if cur < 0 or 0 <= cand < cur else cur
+
+    while True:
+        stop = boundaries[next_b] if next_b < len(boundaries) else -1
+        nodes, index_of, route, neighbor = _region_arrays(region, routing)
+        count = len(nodes)
+        for node in nodes:
+            activity.router(node)
+
+        # traffic horizon for this segment: a stopped segment needs
+        # exactly [seg_start, stop); a final one starts modest and grows
+        # on UNFINISHED like the unfaulted driver
+        if stop >= 0:
+            limit = stop
+        else:
+            limit = min(
+                deadline,
+                max(measure_end + 1, seg_start + 1)
+                + min(spec.drain_cycles, 2048),
+            )
+        while True:
+            seg_pkts = [pkt for pkt, _ in seeds]
+            p_cycle = [seg_start] * len(seeds)
+            p_src = [index_of[pkt.source] for pkt, _ in seeds]
+            p_dest = [pkt.destination for pkt, _ in seeds]
+            p_len = [pkt.length for pkt, _ in seeds]
+            p_meas = [1 if pkt.measured else 0 for pkt, _ in seeds]
+            n_seed = len(seeds)
+            drop_cycles: list[int] = []  # creation-time drops, per cycle
+            for c in range(seg_start, limit):
+                for packet in schedule.take(c):
+                    if degraded and (
+                        packet.source not in index_of
+                        or packet.destination not in index_of
+                    ):
+                        drop_cycles.append(c)
+                        continue
+                    seg_pkts.append(packet)
+                    p_cycle.append(c)
+                    p_src.append(index_of[packet.source])
+                    p_dest.append(packet.destination)
+                    p_len.append(packet.length)
+                    p_meas.append(1 if packet.measured else 0)
+            n_pkts = len(seg_pkts)
+            cols = [
+                np.array(col, dtype=np.int64) if col else np.zeros(1, dtype=np.int64)
+                for col in (p_cycle, p_src, p_dest, p_len, p_meas)
+            ]
+            p_hops = np.zeros(max(n_pkts, 1), dtype=np.int64)
+            p_eject = np.full(max(n_pkts, 1), -1, dtype=np.int64)
+            p_started = np.zeros(max(n_pkts, 1), dtype=np.int64)
+            ej_order = np.zeros(max(n_pkts, 1), dtype=np.int64)
+            kcounters = np.zeros(count * 4, dtype=np.int64)
+            out = np.zeros(10, dtype=np.int64)
+            s_cycle = np.zeros(s_cap, dtype=np.int64)
+            s_inflight = np.zeros(s_cap, dtype=np.int64)
+            s_occ = np.zeros(s_cap * count, dtype=np.int64)
+            s_ej = np.zeros(s_cap * count, dtype=np.int64)
+            ej_out = np.zeros(max(count, 1), dtype=np.int64)
+            status = lib.run_kernel(
+                count, vcs, depth, mesh_size,
+                _as_ptr(neighbor), _as_ptr(route), _as_ptr(rev),
+                n_pkts,
+                *(_as_ptr(col) for col in cols),
+                limit, warmup, measure_end, deadline,
+                seg_start, stop,
+                _as_ptr(p_hops), _as_ptr(p_eject), _as_ptr(p_started),
+                _as_ptr(ej_order), _as_ptr(kcounters), _as_ptr(out),
+                interval, s_cap,
+                _as_ptr(s_cycle), _as_ptr(s_inflight), _as_ptr(s_occ),
+                _as_ptr(s_ej), _as_ptr(ej_out),
+            )
+            if status != 0:
+                return None  # nothing emitted yet; fall back cleanly
+            flags = int(out[1])
+            if flags & _FLAG_UNFINISHED:
+                limit = min(deadline, max(limit * 4, limit + 1))
+                continue
+            break
+
+        # fold this segment's activity and (analytic) powered cycles
+        for i, node in enumerate(nodes):
+            ra = activity.router(node)
+            ra.buffer_writes += int(kcounters[i * 4])
+            ra.buffer_reads += int(kcounters[i * 4 + 1])
+            ra.crossbar_traversals += int(kcounters[i * 4 + 1])
+            ra.switch_arbitrations += int(kcounters[i * 4 + 1])
+            ra.link_traversals += int(kcounters[i * 4 + 2])
+            ra.vc_allocations += int(kcounters[i * 4 + 3])
+        stopped = bool(flags & _FLAG_BOUNDARY)
+        span = (min(stop, measure_end) if stopped else measure_end) - max(
+            seg_start, warmup
+        )
+        if span > 0:
+            for node in nodes:
+                activity.router(node).cycles_powered += span
+
+        # global tallies: the kernel re-counts re-injected seeds in its
+        # created_measured (they enter through the normal NI path), the
+        # driver nets them back out
+        created_measured += int(out[3]) - sum(
+            1 for pkt, _ in seeds if pkt.measured
+        )
+        measured_ejected += int(out[4])
+        measured_flits += int(out[5])
+        for k in range(int(out[2])):
+            pk = int(ej_order[k])
+            lat = int(p_eject[pk]) - seg_pkts[pk].created_at
+            latency.add(lat)
+            latencies.append(lat)
+            hops_stats.add(int(p_hops[pk]))
+        # creation-time drops count only for cycles the loop visited
+        cap = stop if stopped else int(out[0])
+        counters["dropped"] += sum(1 for c in drop_cycles if c < cap)
+        first_wu = _merge_first(first_wu, int(out[7]))
+        first_me = _merge_first(first_me, int(out[8]))
+        first_wu = _merge_first(
+            first_wu, next((c for c in drop_cycles if warmup <= c < cap), -1)
+        )
+        first_me = _merge_first(
+            first_me,
+            next((c for c in drop_cycles if measure_end <= c < cap), -1),
+        )
+
+        if tel is not None:
+            segments.append(dict(
+                nodes=nodes, n_seed=n_seed, p_cycle=p_cycle, p_src=p_src,
+                p_len=p_len, n_s=int(out[6]), s_cycle=s_cycle,
+                s_inflight=s_inflight, s_occ=s_occ, s_ej=s_ej,
+                ej_out=ej_out, cap=cap,
+            ))
+
+        if not stopped:
+            cycles_run = int(out[0])
+            idle_break = bool(flags & _FLAG_IDLE_BREAK)
+            break
+
+        # boundary: reconfigure and replay drop-and-retransmit (survivor
+        # order is pid order, exactly like Network.extract_in_flight)
+        region = reconfigured_topology(planned, faults, stop)
+        degraded = region is not planned
+        keep = region.active_nodes
+        survivors = [
+            (seg_pkts[k], bool(p_started[k]))
+            for k in range(n_pkts)
+            if p_eject[k] < 0
+        ]
+        survivors.sort(key=lambda entry: entry[0].pid)
+        seeds = []
+        for pkt, started in survivors:
+            if pkt.source in keep and pkt.destination in keep:
+                seeds.append((pkt, started))
+                counters["retransmitted" if started else "rerouted"] += 1
+            else:
+                counters["dropped"] += 1
+                if pkt.measured:
+                    counters["lost_measured"] += 1
+        counters["reconfigurations"] += 1
+        min_level = min(min_level, region.level)
+        reconf_events.append((stop, region.level))
+        # reconfigured regions always route CDOR (sound on any convex
+        # region, equals XY on the restored full mesh)
+        routing = "cdor"
+        seg_start = stop
+        next_b += 1
+
+    saturated = (
+        measured_ejected < created_measured - counters["lost_measured"]
+    )
+    endpoints = len(traffic.endpoints)
+
+    if tel is not None:
+        _emit_faulted_telemetry(
+            tel, spec, traffic, segments, reconf_events, first_wu, first_me,
+            cycles_run, idle_break, deadline, saturated, created_measured,
+            measured_ejected, measured_flits, counters,
+        )
+
+    return SimulationResult(
+        avg_latency=latency.mean if latency.count else 0.0,
+        avg_hops=hops_stats.mean if hops_stats.count else 0.0,
+        max_latency=int(latency.maximum) if latency.count else 0,
+        p50_latency=percentile(latencies, 50) if latencies else 0.0,
+        p95_latency=percentile(latencies, 95) if latencies else 0.0,
+        p99_latency=percentile(latencies, 99) if latencies else 0.0,
+        packets_measured=created_measured,
+        packets_ejected=measured_ejected,
+        offered_flits_per_cycle=traffic.injection_rate,
+        accepted_flits_per_cycle=(
+            measured_flits / (measure_cycles * endpoints)
+            if measure_cycles and endpoints
+            else 0.0
+        ),
+        saturated=saturated,
+        cycles_run=cycles_run,
+        measure_cycles=measure_cycles,
+        activity=activity,
+        endpoint_count=endpoints,
+        packets_dropped=counters["dropped"],
+        packets_retransmitted=counters["retransmitted"],
+        packets_rerouted=counters["rerouted"],
+        reconfigurations=counters["reconfigurations"],
+        min_region_level=min_level,
+    )
+
+
+def _emit_faulted_telemetry(
+    tel, spec, traffic, segments, reconf_events, first_wu, first_me,
+    cycles_run, idle_break, deadline, saturated, created_measured,
+    measured_ejected, measured_flits, counters,
+) -> None:
+    """Replay a segmented faulted run's telemetry in reference order.
+
+    Phase-span transitions happen at the first *visited* cycle past each
+    threshold (the kernel reports it per segment), reconfigure spans at
+    their boundary cycle -- a boundary that coincides with a transition
+    keeps the reference order: boundary processing precedes the phase
+    check, so the reconfigure span lands in the outgoing phase's span.
+    Samples replay per segment with the cumulative injection/ejection
+    maps carried across boundaries, like the reference's live dicts.
+    """
+    from repro.noc.backends.reference import _record_sim_metrics
+    from repro.noc.backends.vectorized import _emit_flat_sample
+
+    warmup = spec.warmup_cycles
+    measure_end = warmup + spec.measure_cycles
+
+    tracer = tel.tracer
+    sim_span = tracer.span(
+        "simulate",
+        level=spec.topology.level,
+        routing=spec.routing,
+        rate=round(traffic.injection_rate, 6),
+    )
+    phase_span = tracer.span("phase:warmup", parent=sim_span.id)
+    phase = 0
+
+    def flip_measure():
+        nonlocal phase, phase_span
+        phase = 1
+        phase_span.annotate(end_cycle=warmup)
+        phase_span.end()
+        phase_span = tracer.span(
+            "phase:measure", parent=sim_span.id, start_cycle=warmup
+        )
+
+    def flip_drain():
+        nonlocal phase, phase_span
+        phase = 2
+        phase_span.annotate(end_cycle=measure_end)
+        phase_span.end()
+        phase_span = tracer.span(
+            "phase:drain", parent=sim_span.id, start_cycle=measure_end
+        )
+
+    for boundary, level in reconf_events:
+        if phase == 0 and 0 <= first_wu < boundary:
+            flip_measure()
+        if phase == 1 and 0 <= first_me < boundary:
+            flip_drain()
+        reconf_span = tracer.span(
+            "reconfigure", parent=phase_span.id, cycle=boundary
+        )
+        reconf_span.annotate(level=level)
+        reconf_span.end()
+        if phase == 0 and 0 <= first_wu <= boundary:
+            flip_measure()
+        if phase == 1 and 0 <= first_me <= boundary:
+            flip_drain()
+    if phase == 0 and (first_wu >= 0 or idle_break):
+        flip_measure()
+    if phase == 1 and (
+        first_me >= 0 or (idle_break and deadline > measure_end)
+    ):
+        flip_drain()
+
+    inj: dict[int, int] = {}
+    ej_base: dict[int, int] = {}
+    for seg in segments:
+        nodes = seg["nodes"]
+        count = len(nodes)
+        p_cycle, p_src, p_len = seg["p_cycle"], seg["p_src"], seg["p_len"]
+        n_rows, n_seed = len(p_cycle), seg["n_seed"]
+        s_cycle, s_occ, s_ej = seg["s_cycle"], seg["s_occ"], seg["s_ej"]
+        ptr = 0
+        for k in range(seg["n_s"]):
+            c = int(s_cycle[k])
+            # the kernel captures before the cycle's queue entries; the
+            # reference samples after them, so fold in this instant's
+            # rows (re-injected seeds count toward in-flight flits but
+            # not toward the cumulative injection map)
+            flits_now = 0
+            while ptr < n_rows and p_cycle[ptr] <= c:
+                if p_cycle[ptr] == c:
+                    flits_now += p_len[ptr]
+                if ptr >= n_seed:
+                    node = nodes[p_src[ptr]]
+                    inj[node] = inj.get(node, 0) + p_len[ptr]
+                ptr += 1
+            base = k * count
+            occ_row = [int(x) for x in s_occ[base:base + count]]
+            ej_map = {
+                nodes[i]: ej_base.get(nodes[i], 0) + int(s_ej[base + i])
+                for i in range(count)
+            }
+            _emit_flat_sample(
+                tel, sim_span.id, c, nodes, occ_row,
+                int(seg["s_inflight"][k]) + flits_now, inj, ej_map,
+            )
+        while ptr < n_rows and p_cycle[ptr] < seg["cap"]:
+            if ptr >= n_seed:
+                node = nodes[p_src[ptr]]
+                inj[node] = inj.get(node, 0) + p_len[ptr]
+            ptr += 1
+        ej_out = seg["ej_out"]
+        for i, node in enumerate(nodes):
+            if ej_out[i]:
+                ej_base[node] = ej_base.get(node, 0) + int(ej_out[i])
+
+    _record_sim_metrics(
+        tel, cycles_run, created_measured,
+        {"measured": measured_ejected, "measured_flits": measured_flits},
+        counters, saturated, inj, ej_base, {},
+    )
+    phase_span.annotate(end_cycle=cycles_run)
+    phase_span.end()
+    sim_span.annotate(
+        cycles=cycles_run,
+        packets=created_measured,
+        saturated=saturated,
+        reconfigurations=counters["reconfigurations"],
+    )
+    sim_span.end()
 
 
 __all__ = ["available", "execute"]

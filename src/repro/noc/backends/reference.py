@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from repro.config import NoCConfig
 from repro.core.topological import SprintTopology
-from repro.noc.backends.base import ALL_CAPABILITIES
+from repro.noc.backends.base import ALL_CAPABILITIES, required_capabilities
 from repro.noc.network import Network
 from repro.noc.result import SimulationResult
-from repro.noc.routing import build_routing_table
+from repro.noc.routing import build_table
 from repro.noc.spec import SimulationSpec
 from repro.noc.traffic import TrafficGenerator
 from repro.telemetry import active as _active_telemetry
@@ -35,6 +35,13 @@ class ReferenceBackend:
 
     name = "reference"
     capabilities = ALL_CAPABILITIES
+    # backend="auto" picks the supporting backend with the highest rank;
+    # the reference engine is the universal (slowest) floor at 0
+    speed_rank = 0
+
+    def supports(self, spec, *, gating_policy=None, telemetry=None) -> bool:
+        """The reference engine simulates every declared capability."""
+        return required_capabilities(spec, gating_policy, telemetry) <= self.capabilities
 
     def run(
         self, spec: SimulationSpec, *, gating_policy=None, telemetry=None
@@ -70,27 +77,14 @@ def _reconfigure(
     original creation timestamps (the retransmission penalty shows up as
     latency), and packets stranded on a dead endpoint are dropped.
     """
-    from repro.core.faults import degraded_topology, link_fault_exclusions
+    from repro.core.faults import reconfigured_topology
 
-    excluded = set(faults.faulty_routers_at(cycle))
-    links = faults.faulty_links_at(cycle)
-    if links:
-        excluded |= link_fault_exclusions(
-            topology.width, topology.height, links, topology.master
-        )
-    if excluded:
-        new_topology = degraded_topology(
-            topology.width, topology.height, topology.level,
-            frozenset(excluded), topology.master,
-        )
-        # CDOR is the only routing that is sound on an arbitrary convex
-        # region (and equals XY on the full mesh), so reconfigured
-        # networks always route CDOR
-        table = build_routing_table(new_topology, "cdor")
-    else:
-        # every transient fault has recovered: restore the planned region
-        new_topology = topology
-        table = build_routing_table(new_topology, "cdor")
+    new_topology = reconfigured_topology(topology, faults, cycle)
+    # CDOR is the only routing that is sound on an arbitrary convex
+    # region (and equals XY on the full mesh), so reconfigured networks
+    # always route CDOR -- including when a recovery restores the
+    # planned region
+    table = build_table(new_topology, "cdor")
 
     replacement = Network(new_topology, table, cfg, activity=network.activity)
     replacement.cycle = cycle
@@ -125,13 +119,7 @@ def _execute(
     telemetry=None,
 ) -> SimulationResult:
     """The warmup / measure / drain loop shared by both entry points."""
-    if routing in ("cdor", "xy"):
-        table = build_routing_table(topology, routing)
-    else:
-        from repro.noc.adaptive import build_adaptive_table
-
-        table = build_adaptive_table(topology, routing)
-    network = Network(topology, table, cfg)
+    network = Network(topology, build_table(topology, routing), cfg)
 
     tel = _active_telemetry(telemetry)
     tracer = tel.tracer if tel is not None else None

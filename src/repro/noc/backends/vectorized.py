@@ -17,38 +17,69 @@ and batched work:
   whole-mesh idle cycles in O(1);
 - **analytic accounting** -- counters the reference increments every
   cycle (``cycles_powered``) are computed in closed form from the
-  measurement window.
+  measurement window whenever no gating policy forces per-cycle state.
 
 The arbitration order, credit timing and round-robin pointer updates
-replicate the reference kernel decision for decision, so for any
-fault-free, non-sampled spec the two backends produce *bit-identical*
+replicate the reference kernel decision for decision, so for any spec
+the two backends produce *bit-identical*
 :class:`~repro.noc.result.SimulationResult` values from the same RNG
 stream (enforced by the cross-backend equivalence suite in
 ``tests/test_backends.py`` and the CI smoke in
 ``benchmarks/bench_extension_backend.py``).
 
-Capabilities: tracing spans, end-of-run metrics and periodic telemetry
-sampling are supported -- sampled runs emit the same per-router sample
-events as the reference backend (buffer occupancies are captured from
-the flat state arrays at the same pipeline instant, and whole-mesh idle
-stretches the kernel fast-forwards over are back-filled with the idle
-samples the reference would have taken).  Fault schedules, dynamic
-gating policies and adaptive routing are declined with a
-:class:`~repro.noc.backends.base.BackendCapabilityError`.
+The full capability set is supported:
+
+- **fault schedules** -- boundary cycles tear the flat arrays down and
+  rebuild them on the reconfigured convex region computed by the shared
+  :func:`repro.core.faults.reconfigured_topology`, replaying the
+  reference's drop-and-retransmit policy (surviving packets re-enter
+  their source NI in pid order, stranded ones are dropped) and the same
+  ``dropped`` / ``retransmitted`` / ``rerouted`` / ``reconfigurations``
+  / ``min_region_level`` counters;
+- **dynamic gating policies** -- the policy drives a duck-typed network
+  view over the flat arrays (:class:`_FlatNetworkView`) exposing exactly
+  the surface :class:`~repro.noc.power_gating.TimeoutGatingPolicy`
+  documents, and the kernel replays the reference's wake/gate timing
+  (wake requests on arrivals, NI pressure and blocked nominations;
+  wakeups finishing before the cycle's allocation passes);
+- **adaptive routing** -- multi-candidate routes from the shared
+  :func:`repro.noc.routing.build_table` are resolved at VC-allocation
+  time with the reference's credit-based selection;
+- tracing spans, end-of-run metrics and periodic telemetry sampling --
+  sampled runs emit the same per-router sample events as the reference
+  backend (buffer occupancies are captured from the flat state arrays at
+  the same pipeline instant, gated routers are charged the sampling
+  interval identically, and whole-mesh idle stretches the kernel
+  fast-forwards over are back-filled with the idle samples the reference
+  would have taken).
+
+The compiled C kernel (:mod:`repro.noc.backends.native`) is used when it
+covers the run -- including fault schedules, which it executes as a
+chain of per-region kernel segments with the boundary policy replayed in
+Python between invocations.  Only gated runs stay in the pure-Python
+flat engine here (the policy is an arbitrary Python object the kernel
+cannot call back into every cycle), which is still far faster than the
+reference object model.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.faults import reconfigured_topology
 from repro.noc.activity import NetworkActivity
-from repro.noc.backends.base import CAP_SAMPLING, CAP_TRACING, check_capabilities
+from repro.noc.backends.base import (
+    ALL_CAPABILITIES,
+    check_capabilities,
+    required_capabilities,
+)
 from repro.noc.backends.reference import _record_sim_metrics
 from repro.noc.result import SimulationResult
 from repro.noc.routing import (
     PORT_COUNT,
     PORT_TO_DIRECTION,
     REVERSE_PORT,
+    build_table,
 )
 from repro.noc.spec import SimulationSpec
 from repro.noc.traffic import TrafficGenerator
@@ -56,6 +87,8 @@ from repro.telemetry import active as _active_telemetry
 from repro.util.stats import RunningStats, percentile
 
 _CHUNK = 1024  # cycles of traffic pre-generated per batch
+_WAKEUP_LATENCY = 8  # matches Network's default; policies read it off the view
+_NEVER = 1 << 60
 
 
 class _PacketSchedule:
@@ -115,11 +148,98 @@ class _PacketSchedule:
             cycle = max(cycle, self._upto - _CHUNK)
 
 
+class _FlatRouterView:
+    """Duck-typed ``Router`` stand-in over the flat arrays.
+
+    Exposes exactly the surface the gating policies document: ``gated``,
+    ``wake_at``, ``buffered_flits``, ``last_active_cycle`` and
+    :meth:`gate`.  Wake requests and wake completion stay inside the
+    kernel (as they do inside ``Network.step`` for the reference).
+    """
+
+    __slots__ = ("_net", "_i")
+
+    def __init__(self, net: "_FlatNetworkView", i: int):
+        self._net = net
+        self._i = i
+
+    @property
+    def gated(self) -> bool:
+        return self._net._gated[self._i]
+
+    @property
+    def wake_at(self) -> int | None:
+        return self._net._wake_at[self._i]
+
+    @property
+    def buffered_flits(self) -> int:
+        return self._net._buffered[self._i]
+
+    @property
+    def last_active_cycle(self) -> int:
+        return self._net._last_active[self._i]
+
+    def gate(self) -> bool:
+        """Power-gate this router; refuses if any flit is buffered."""
+        net, i = self._net, self._i
+        if net._buffered[i] > 0:
+            return False
+        net._gated[i] = True
+        net._wake_at[i] = None
+        return True
+
+
+class _FlatNetworkView:
+    """What a gating policy sees of the flat engine.
+
+    Mirrors the :class:`~repro.noc.network.Network` attributes the
+    policies read (``cycle``, ``routers``, ``wakeup_latency``,
+    ``ni_busy``, ``powered_routers``) over the kernel's shared state
+    lists, so the *same policy object* drives both backends identically.
+    """
+
+    def __init__(
+        self, nodes, index_of, gated, wake_at, last_active, buffered,
+        ni_state, ni_queue, ni_qhead,
+    ):
+        self.cycle = 0
+        self.wakeup_latency = _WAKEUP_LATENCY
+        self._index_of = index_of
+        self._gated = gated
+        self._wake_at = wake_at
+        self._last_active = last_active
+        self._buffered = buffered
+        self._ni_state = ni_state
+        self._ni_queue = ni_queue
+        self._ni_qhead = ni_qhead
+        self.routers = {
+            node: _FlatRouterView(self, i) for i, node in enumerate(nodes)
+        }
+
+    def ni_busy(self, node: int) -> bool:
+        """True while the node's NI is mid-packet or has queued packets."""
+        i = self._index_of[node]
+        return (
+            self._ni_state[i] is not None
+            or len(self._ni_queue[i]) > self._ni_qhead[i]
+        )
+
+    def powered_routers(self) -> int:
+        return sum(1 for g in self._gated if not g)
+
+
 class VectorizedBackend:
     """Flat-array exact replica of the reference pipeline."""
 
     name = "vectorized"
-    capabilities = frozenset({CAP_TRACING, CAP_SAMPLING})
+    capabilities = ALL_CAPABILITIES
+    # backend="auto" picks the supporting backend with the highest rank;
+    # the flat engine outruns the reference on everything it covers
+    speed_rank = 10
+
+    def supports(self, spec, *, gating_policy=None, telemetry=None) -> bool:
+        """The flat engine replicates every declared capability."""
+        return required_capabilities(spec, gating_policy, telemetry) <= self.capabilities
 
     def run(
         self, spec: SimulationSpec, *, gating_policy=None, telemetry=None
@@ -127,37 +247,46 @@ class VectorizedBackend:
         check_capabilities(self, spec, gating_policy, telemetry)
         # the compiled kernel produces the same bits, faster; telemetry
         # runs ride it too -- the kernel batches per-interval activity
-        # captures and the driver replays them as spans/samples/metrics
-        from repro.noc.backends import native
+        # captures and the driver replays them as spans/samples/metrics.
+        # Gated runs stay in Python: the policy is an arbitrary Python
+        # object the C kernel cannot call back into every cycle.
+        if gating_policy is None:
+            from repro.noc.backends import native
 
-        if native.available():
-            result = native.execute(spec, telemetry=telemetry)
-            if result is not None:
-                return result
-        return _execute_vectorized(spec, telemetry)
+            if native.available():
+                result = native.execute(spec, telemetry=telemetry)
+                if result is not None:
+                    return result
+        return _execute_vectorized(spec, gating_policy, telemetry)
 
 
 def _emit_flat_sample(
-    tel, span_id, cycle, nodes, occ_list, in_flight, inj_flits, ej_flits
+    tel, span_id, cycle, nodes, occ_list, in_flight, inj_flits, ej_flits,
+    gated=None, gated_cycles=None, interval=0,
 ) -> None:
     """One periodic sample from flat-array state, byte-compatible with the
     reference backend's :func:`_emit_router_sample` payload.
 
     ``occ_list`` is the per-router buffered-flit counts at the sample
     instant (``None`` for whole-mesh idle instants the kernel skipped);
-    ``gated`` is always 0 -- specs with a gating policy never reach the
-    fast path.
+    ``gated`` is the per-router gating flags when a policy is active
+    (``None`` otherwise -- every router reads as powered), and a gated
+    router is charged the whole ``interval`` into ``gated_cycles``
+    exactly like the reference sampler.
     """
     routers = {}
     buffered_total = 0
     for i, node in enumerate(nodes):
         occupancy = occ_list[i] if occ_list is not None else 0
         buffered_total += occupancy
+        is_gated = 1 if gated is not None and gated[i] else 0
+        if is_gated:
+            gated_cycles[node] = gated_cycles.get(node, 0) + interval
         routers[str(node)] = {
             "inj": inj_flits.get(node, 0),
             "ej": ej_flits.get(node, 0),
             "occ": occupancy,
-            "gated": 0,
+            "gated": is_gated,
         }
     tel.metrics.histogram(
         "noc_buffer_occupancy_flits",
@@ -185,25 +314,30 @@ def _emit_idle_samples(
         _emit_flat_sample(tel, span_id, c, nodes, None, 0, inj_flits, ej_flits)
 
 
-def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResult:
-    from repro.noc.routing import build_routing_table
+def _region_state(topology, cfg, routing):
+    """Fresh flat router/NI state for one topology (initial or reconfigured).
 
-    topology = spec.topology
-    cfg = spec.config
+    Mirrors ``Network.__init__``: wired links, full credit counts,
+    un-allocated VCs, zeroed round-robin pointers.  Adaptive routes keep
+    their candidate tuples except singletons, which are scalarized so the
+    hot path stays integer-only for forced hops.
+    """
     vcs = cfg.vcs_per_port
     depth = cfg.buffers_per_vc
     slots = PORT_COUNT * vcs
-    vmask = (1 << vcs) - 1
 
     nodes = list(topology.active_nodes)
     count = len(nodes)
     index_of = {node: i for i, node in enumerate(nodes)}
 
-    table = build_routing_table(topology, spec.routing)
-    # route[i] maps a destination *node id* to the output port at router i
+    table = build_table(topology, routing)
+    # route[i] maps a destination *node id* to the output port (or the
+    # adaptive candidate tuple) at router i
     mesh_size = topology.width * topology.height
-    route: list[list[int]] = [[0] * mesh_size for _ in range(count)]
+    route: list[list] = [[0] * mesh_size for _ in range(count)]
     for (current, dest), port in table.items():
+        if type(port) is tuple and len(port) == 1:
+            port = port[0]
         route[index_of[current]][dest] = port
 
     # neighbor[i][port] -> router index on that side (-1 when unconnected)
@@ -237,25 +371,79 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
     va_pending = [0] * count  # bit s set <=> buf[i][s] non-empty, no out-VC
     buffered = [0] * count
     # wake[i]: earliest cycle router i's allocation pass could possibly do
-    # anything.  A pass that grants or traverses nothing leaves the router
-    # state frozen until an external event (arrival, credit, NI write --
-    # which all reset wake) or a pipeline-timing threshold collected during
-    # the failed pass, so skipping the pass until then is exact.
-    _NEVER = 1 << 60
+    # anything (see the kernel loop)
     wake = [0] * count
-
-    # activity counters (measure window only); cycles_powered is analytic
-    writes = [0] * count
-    reads = [0] * count  # == crossbar traversals == switch arbitrations
-    links_used = [0] * count
-    va_grants = [0] * count
 
     # network interfaces
     ni_queue: list[list] = [[] for _ in range(count)]
     ni_qhead = [0] * count
     ni_state: list[list | None] = [None] * count
     ni_ptr = [0] * count
+
+    return (
+        nodes, count, index_of, route, neighbor, buf, head, vc_out, vc_elig,
+        out_owner, credits, va_ptr, sa_in_ptr, sa_out_ptr, occ, va_pending,
+        buffered, wake, ni_queue, ni_qhead, ni_state, ni_ptr,
+    )
+
+
+def _fold_activity(activity, nodes, writes, reads, links_used, va_grants):
+    """Accumulate one region segment's flat counters into the shared
+    :class:`NetworkActivity` (buffer reads double as crossbar traversals
+    and switch arbitrations, exactly as in ``Network._traverse``)."""
+    for i, node in enumerate(nodes):
+        ra = activity.router(node)
+        ra.buffer_writes += writes[i]
+        ra.buffer_reads += reads[i]
+        ra.crossbar_traversals += reads[i]
+        ra.switch_arbitrations += reads[i]
+        ra.link_traversals += links_used[i]
+        ra.vc_allocations += va_grants[i]
+
+
+def _execute_vectorized(
+    spec: SimulationSpec, gating_policy=None, telemetry=None
+) -> SimulationResult:
+    planned = spec.topology
+    cfg = spec.config
+    vcs = cfg.vcs_per_port
+    depth = cfg.buffers_per_vc
+    slots = PORT_COUNT * vcs
+    vmask = (1 << vcs) - 1
+
+    (
+        nodes, count, index_of, route, neighbor, buf, head, vc_out, vc_elig,
+        out_owner, credits, va_ptr, sa_in_ptr, sa_out_ptr, occ, va_pending,
+        buffered, wake, ni_queue, ni_qhead, ni_state, ni_ptr,
+    ) = _region_state(planned, cfg, spec.routing)
     ni_active: dict[int, None] = {}
+
+    # activity persists across fault reconfigurations (the reference hands
+    # one NetworkActivity from network to network); every region's routers
+    # get an entry even if they never move a flit
+    activity = NetworkActivity()
+    for node in nodes:
+        activity.router(node)
+
+    # activity counters for the current region segment (measure window only)
+    writes = [0] * count
+    reads = [0] * count  # == crossbar traversals == switch arbitrations
+    links_used = [0] * count
+    va_grants = [0] * count
+
+    # dynamic power gating state; when no policy runs, cycles_powered is
+    # analytic (whole-window) instead of per-cycle
+    gating_on = gating_policy is not None
+    gated = [False] * count
+    wake_at_l: list[int | None] = [None] * count
+    last_active = [0] * count
+    powered = [0] * count
+    view = None
+    if gating_on:
+        view = _FlatNetworkView(
+            nodes, index_of, gated, wake_at_l, last_active, buffered,
+            ni_state, ni_queue, ni_qhead,
+        )
 
     # event buckets keyed by delivery cycle
     arrivals: dict[int, list] = {}
@@ -274,15 +462,27 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
     interval = tel.sample_interval if tel is not None else 0
     inj_flits: dict[int, int] = {}
     ej_flits: dict[int, int] = {}
+    gated_cycles: dict[int, int] = {}
     if tracer is not None:
         sim_span = tracer.span(
             "simulate",
-            level=topology.level,
+            level=planned.level,
             routing=spec.routing,
             rate=round(traffic.injection_rate, 6),
         )
         phase_span = tracer.span("phase:warmup", parent=sim_span.id)
         phase = 0  # 0 warmup, 1 measure, 2 drain
+
+    faults = spec.faults
+    boundaries = faults.boundaries() if faults else []
+    next_boundary = 0
+    counters = {
+        "dropped": 0, "retransmitted": 0, "rerouted": 0,
+        "lost_measured": 0, "reconfigurations": 0,
+    }
+    degraded_now = False
+    min_level = planned.level if boundaries else 0
+    seg_start = 0  # first cycle of the current region segment
 
     latency = RunningStats()
     hops_stats = RunningStats()
@@ -301,11 +501,22 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
 
         # whole-mesh idle fast-forward: with nothing buffered, queued or
         # in the air, state can only change at the next scheduled packet
-        if not in_flight and not arrivals and not credit_events:
+        # or fault boundary.  Gated runs never fast-forward: the policy
+        # observes (and bills) every cycle.
+        if (
+            not gating_on
+            and not in_flight and not arrivals and not credit_events
+        ):
+            nb = (
+                boundaries[next_boundary]
+                if next_boundary < len(boundaries)
+                else None
+            )
             nxt = schedule.next_busy(cycle, measure_end)
-            if nxt is None:
-                # no further packet before the measurement window closes:
-                # the reference loop idles to measure_end and exits there
+            if nxt is None and (nb is None or nb > measure_end):
+                # no further packet or boundary before the measurement
+                # window closes: the reference loop idles to measure_end
+                # and exits there (boundaries beyond it stay unprocessed)
                 cycles_run = measure_end + 1 if deadline > measure_end else deadline
                 if tracer is not None:
                     # walk the remaining phase boundaries the reference
@@ -330,16 +541,23 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                         tel, sim_span.id, cycle, measure_end, interval,
                         nodes, inj_flits, ej_flits,
                     )
-                if tel is not None and deadline > measure_end:
+                if deadline > measure_end:
                     # the reference loop still visits measure_end before
                     # its drained exit and creates that cycle's
-                    # (unmeasured) packets; mirror its injection
+                    # (unmeasured) packets; mirror its drop and injection
                     # accounting so samples and final counters agree
                     tail_flits = 0
                     for packet in schedule.take(measure_end):
-                        inj_flits[packet.source] = (
-                            inj_flits.get(packet.source, 0) + packet.length
-                        )
+                        if degraded_now and (
+                            packet.source not in index_of
+                            or packet.destination not in index_of
+                        ):
+                            counters["dropped"] += 1
+                            continue
+                        if tel is not None:
+                            inj_flits[packet.source] = (
+                                inj_flits.get(packet.source, 0) + packet.length
+                            )
                         tail_flits += packet.length
                     if interval and measure_end % interval == 0:
                         _emit_flat_sample(
@@ -347,12 +565,130 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                             tail_flits, inj_flits, ej_flits,
                         )
                 break
-            if interval:
-                _emit_idle_samples(
-                    tel, sim_span.id, cycle, nxt, interval,
-                    nodes, inj_flits, ej_flits,
+            if nxt is None:
+                jump = nb
+            elif nb is None:
+                jump = nxt
+            else:
+                jump = nxt if nxt < nb else nb
+            if jump > cycle:
+                if interval:
+                    _emit_idle_samples(
+                        tel, sim_span.id, cycle, jump, interval,
+                        nodes, inj_flits, ej_flits,
+                    )
+                cycle = jump
+                continue  # re-run the deadline check at the landing cycle
+
+        # fault boundary: tear the region down and rebuild it around the
+        # fault set now active (drop-and-retransmit, shared region helper)
+        if next_boundary < len(boundaries) and boundaries[next_boundary] == cycle:
+            next_boundary += 1
+            if tracer is not None:
+                reconf_span = tracer.span(
+                    "reconfigure", parent=phase_span.id, cycle=cycle
                 )
-            cycle = nxt
+            # fold the finished segment's counters before teardown
+            _fold_activity(activity, nodes, writes, reads, links_used, va_grants)
+            if gating_on:
+                for i in range(count):
+                    if powered[i]:
+                        activity.router(nodes[i]).cycles_powered += powered[i]
+            else:
+                span = min(cycle, measure_end) - max(seg_start, warmup)
+                if span > 0:
+                    for node in nodes:
+                        activity.router(node).cycles_powered += span
+            seg_start = cycle
+
+            # collect every in-flight packet with its entered flag,
+            # mirroring Network.extract_in_flight (pid order, entered
+            # means at least one flit left the source NI)
+            seen: dict[int, list] = {}
+            for i in range(count):
+                state = ni_state[i]
+                if state is not None:
+                    packet = state[0]
+                    prev = seen.get(packet.pid)
+                    if prev is None:
+                        seen[packet.pid] = [packet, state[1] > 0]
+                    elif state[1] > 0:
+                        prev[1] = True
+                queue = ni_queue[i]
+                for k in range(ni_qhead[i], len(queue)):
+                    packet = queue[k]
+                    if packet.pid not in seen:
+                        seen[packet.pid] = [packet, False]
+                buf_i = buf[i]
+                head_i = head[i]
+                for s in range(slots):
+                    q = buf_i[s]
+                    for k in range(head_i[s], len(q)):
+                        packet = q[k][2]
+                        prev = seen.get(packet.pid)
+                        if prev is None:
+                            seen[packet.pid] = [packet, True]
+                        else:
+                            prev[1] = True
+            for events in arrivals.values():
+                for _i, _s, entry in events:
+                    packet = entry[2]
+                    prev = seen.get(packet.pid)
+                    if prev is None:
+                        seen[packet.pid] = [packet, True]
+                    else:
+                        prev[1] = True
+
+            region = reconfigured_topology(planned, faults, cycle)
+            degraded_now = region is not planned
+            # CDOR is the only routing that is sound on an arbitrary
+            # convex region (and equals XY on the full mesh), so
+            # reconfigured regions always route CDOR -- including when a
+            # recovery restores the planned region
+            (
+                nodes, count, index_of, route, neighbor, buf, head, vc_out,
+                vc_elig, out_owner, credits, va_ptr, sa_in_ptr, sa_out_ptr,
+                occ, va_pending, buffered, wake, ni_queue, ni_qhead,
+                ni_state, ni_ptr,
+            ) = _region_state(region, cfg, "cdor")
+            for node in nodes:
+                activity.router(node)
+            writes = [0] * count
+            reads = [0] * count
+            links_used = [0] * count
+            va_grants = [0] * count
+            if gating_on:
+                gated = [False] * count
+                wake_at_l = [None] * count
+                last_active = [0] * count
+                powered = [0] * count
+                view = _FlatNetworkView(
+                    nodes, index_of, gated, wake_at_l, last_active, buffered,
+                    ni_state, ni_queue, ni_qhead,
+                )
+            arrivals = {}
+            credit_events = {}
+            in_flight = 0
+
+            for pid in sorted(seen):
+                packet, entered = seen[pid]
+                si = index_of.get(packet.source)
+                di = index_of.get(packet.destination)
+                if si is not None and di is not None:
+                    packet.hops = 0
+                    ni_queue[si].append(packet)
+                    in_flight += packet.length
+                    counters["retransmitted" if entered else "rerouted"] += 1
+                else:
+                    counters["dropped"] += 1
+                    if packet.measured:
+                        counters["lost_measured"] += 1
+            ni_active = {i: None for i in range(count) if ni_queue[i]}
+            counters["reconfigurations"] += 1
+            min_level = min(min_level, region.level)
+            if tracer is not None:
+                reconf_span.annotate(level=region.level)
+                reconf_span.end()
 
         if tracer is not None:
             if phase == 0 and cycle >= warmup:
@@ -370,39 +706,20 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                     "phase:drain", parent=sim_span.id, start_cycle=measure_end
                 )
 
-        take_sample = interval and cycle % interval == 0
-        if take_sample:
-            # the reference samples buffer state as left by the previous
-            # cycle's step: capture occupancies before this cycle's link
-            # arrivals are delivered
-            sample_occ = buffered[:]
-
         win = warmup <= cycle < measure_end
 
-        # credits scheduled for this cycle
-        events = credit_events.pop(cycle, None)
-        if events:
-            for i, s in events:
-                credits[i][s] += 1
-                wake[i] = cycle
-
-        # link arrivals scheduled for this cycle
-        events = arrivals.pop(cycle, None)
-        if events:
-            for i, s, entry in events:
-                buf[i][s].append(entry)
-                buffered[i] += 1
-                occ[i] |= 1 << s
-                if vc_out[i][s] < 0:
-                    va_pending[i] |= 1 << s
-                wake[i] = cycle
-                if win:
-                    writes[i] += 1
-
-        # new packets enter their source NI queues
+        # new packets enter their source NI queues (a degraded region
+        # drops packets whose endpoint router fell dark before they are
+        # ever created, exactly like the reference NI)
         packets = schedule.take(cycle)
         if packets:
             for packet in packets:
+                if degraded_now and (
+                    packet.source not in index_of
+                    or packet.destination not in index_of
+                ):
+                    counters["dropped"] += 1
+                    continue
                 i = index_of[packet.source]
                 ni_queue[i].append(packet)
                 ni_active[i] = None
@@ -414,18 +731,70 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                         inj_flits.get(packet.source, 0) + packet.length
                     )
 
-        if take_sample:
+        if interval and cycle % interval == 0:
             # emitted at the reference's sample point: after this cycle's
-            # packet creations, before the step that moves any flit
+            # packet creations and before the step that moves any flit,
+            # so occupancies are the state the previous cycle left behind
             _emit_flat_sample(
-                tel, sim_span.id, cycle, nodes, sample_occ,
-                in_flight, inj_flits, ej_flits,
+                tel, sim_span.id, cycle, nodes, buffered, in_flight,
+                inj_flits, ej_flits,
+                gated if gating_on else None, gated_cycles, interval,
             )
+
+        if gating_on:
+            # the policy observes the pre-step state (reference order:
+            # policy.step then network.step), then wakeups due this cycle
+            # complete before any allocation pass, and powered-cycle
+            # accounting matches the reference's per-cycle accrual
+            view.cycle = cycle
+            gating_policy.step(view)
+            for i in range(count):
+                if gated[i]:
+                    wa = wake_at_l[i]
+                    if wa is not None and cycle >= wa:
+                        gated[i] = False
+                        wake_at_l[i] = None
+                        last_active[i] = cycle
+                        wake[i] = cycle
+                        if win:
+                            powered[i] += 1
+                elif win:
+                    powered[i] += 1
+
+        # credits scheduled for this cycle
+        events = credit_events.pop(cycle, None)
+        if events:
+            for i, s in events:
+                credits[i][s] += 1
+                wake[i] = cycle
+
+        # link arrivals scheduled for this cycle (delivered into gated
+        # routers too, which then request a demand wake)
+        events = arrivals.pop(cycle, None)
+        if events:
+            for i, s, entry in events:
+                buf[i][s].append(entry)
+                buffered[i] += 1
+                occ[i] |= 1 << s
+                if vc_out[i][s] < 0:
+                    va_pending[i] |= 1 << s
+                wake[i] = cycle
+                if gating_on:
+                    last_active[i] = cycle
+                    if gated[i] and wake_at_l[i] is None:
+                        wake_at_l[i] = cycle + _WAKEUP_LATENCY
+                if win:
+                    writes[i] += 1
 
         # NI injection: one flit per node per cycle into a claimed LOCAL VC
         if ni_active:
             done = None
             for i in ni_active:
+                if gating_on and gated[i]:
+                    # NI pressure on a gated router requests a demand wake
+                    if wake_at_l[i] is None:
+                        wake_at_l[i] = cycle + _WAKEUP_LATENCY
+                    continue
                 state = ni_state[i]
                 buf_i = buf[i]
                 if state is None:
@@ -480,7 +849,7 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
         # writes router-local state and SA's cross-router effects are all
         # scheduled >= one cycle ahead, so fusing the passes is exact)
         for i in range(count):
-            if not buffered[i] or wake[i] > cycle:
+            if not buffered[i] or wake[i] > cycle or (gating_on and gated[i]):
                 continue
             acted = False
             min_wait = _NEVER
@@ -489,6 +858,8 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
             head_i = head[i]
             vco_i = vc_out[i]
             owner_i = out_owner[i]
+            credits_i = credits[i]
+            neighbor_i = neighbor[i]
 
             # --- VA: heads of unallocated, occupied VCs request out-VCs
             requests = None
@@ -506,6 +877,30 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                             min_wait = ready
                         continue
                     out_p = route_i[entry[2].destination]
+                    if type(out_p) is tuple:
+                        # adaptive route: credit-based selection among the
+                        # candidates, replicating Network._select_adaptive
+                        # (free out-VC first, then most credits; ties to
+                        # the first candidate)
+                        best = out_p[0]
+                        best_free = -1
+                        best_creds = -1
+                        for cand in out_p:
+                            base_c = cand * vcs
+                            free = 0
+                            creds = 0
+                            for v in range(vcs):
+                                sc = base_c + v
+                                if owner_i[sc] < 0:
+                                    free = 1
+                                creds += credits_i[sc]
+                            if free > best_free or (
+                                free == best_free and creds > best_creds
+                            ):
+                                best_free = free
+                                best_creds = creds
+                                best = cand
+                        out_p = best
                     if requests is None:
                         requests = {out_p: [s]}
                     elif out_p in requests:
@@ -537,7 +932,6 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
 
             # --- SA stage 1: each input port nominates one ready VC
             nominations = None
-            credits_i = credits[i]
             elig_i = vc_elig[i]
             sa_in_i = sa_in_ptr[i]
             for in_p in range(PORT_COUNT):
@@ -569,6 +963,18 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                         continue
                     if credits_i[os_] <= 0:
                         continue
+                    if gating_on and os_ >= vcs:
+                        down = neighbor_i[os_ // vcs]
+                        if gated[down]:
+                            # blocked on a gated next hop: demand-wake it
+                            # and try the input port's next VC, exactly
+                            # like the reference nomination pass
+                            if wake_at_l[down] is None:
+                                wake_at_l[down] = cycle + _WAKEUP_LATENCY
+                            wa = wake_at_l[down]
+                            if wa < min_wait:
+                                min_wait = wa
+                            continue
                     if nominations is None:
                         nominations = [(in_p, v, s, os_, entry)]
                     else:
@@ -597,7 +1003,6 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                         cands.sort(key=lambda c: (c[0] - ptr) % PORT_COUNT)
                     winners.append(cands[0])
             sa_out_i = sa_out_ptr[i]
-            neighbor_i = neighbor[i]
             for in_p, v, s, os_, entry in winners:
                 hd = head_i[s] + 1
                 queue = buf_i[s]
@@ -659,35 +1064,41 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                         bucket.append(item)
                 sa_in_i[in_p] = v + 1 if v + 1 < vcs else 0
                 sa_out_i[os_ // vcs] = (in_p + 1) % PORT_COUNT
+            if gating_on:
+                last_active[i] = cycle
             wake[i] = cycle + 1
 
         cycle += 1
-        if cycle > measure_end and measured_ejected >= created_measured:
+        if cycle > measure_end and (
+            measured_ejected >= created_measured - counters["lost_measured"]
+        ):
             cycles_run = cycle
             break
 
-    saturated = measured_ejected < created_measured
+    saturated = (
+        measured_ejected < created_measured - counters["lost_measured"]
+    )
     endpoints = len(traffic.endpoints)
 
-    activity = NetworkActivity()
-    # every counted cycle powers every (never-gated) router, so the
-    # per-router powered-cycle count is exactly the measurement window
-    for i, node in enumerate(nodes):
-        router_activity = activity.router(node)
-        router_activity.buffer_writes = writes[i]
-        router_activity.buffer_reads = reads[i]
-        router_activity.crossbar_traversals = reads[i]
-        router_activity.switch_arbitrations = reads[i]
-        router_activity.link_traversals = links_used[i]
-        router_activity.vc_allocations = va_grants[i]
-        router_activity.cycles_powered = measure_cycles
+    # fold the final region segment's counters and powered cycles
+    _fold_activity(activity, nodes, writes, reads, links_used, va_grants)
+    if gating_on:
+        for i in range(count):
+            if powered[i]:
+                activity.router(nodes[i]).cycles_powered += powered[i]
+    else:
+        # every counted cycle powers every (never-gated) router of the
+        # segment's region, so the accrual is the window overlap
+        span = measure_end - max(seg_start, warmup)
+        if span > 0:
+            for node in nodes:
+                activity.router(node).cycles_powered += span
 
     if tel is not None:
         _record_sim_metrics(
             tel, cycles_run, created_measured,
             {"measured": measured_ejected, "measured_flits": measured_flits},
-            {"dropped": 0, "retransmitted": 0, "reconfigurations": 0},
-            saturated, inj_flits, ej_flits, {},
+            counters, saturated, inj_flits, ej_flits, gated_cycles,
         )
         if tracer is not None:
             phase_span.annotate(end_cycle=cycles_run)
@@ -696,7 +1107,7 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
                 cycles=cycles_run,
                 packets=created_measured,
                 saturated=saturated,
-                reconfigurations=0,
+                reconfigurations=counters["reconfigurations"],
             )
             sim_span.end()
 
@@ -720,6 +1131,11 @@ def _execute_vectorized(spec: SimulationSpec, telemetry=None) -> SimulationResul
         measure_cycles=measure_cycles,
         activity=activity,
         endpoint_count=endpoints,
+        packets_dropped=counters["dropped"],
+        packets_retransmitted=counters["retransmitted"],
+        packets_rerouted=counters["rerouted"],
+        reconfigurations=counters["reconfigurations"],
+        min_region_level=min_level,
     )
 
 

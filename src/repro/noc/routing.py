@@ -40,6 +40,24 @@ REVERSE_PORT = {
 }
 
 
+def build_table(
+    topology: SprintTopology, algorithm: str = "cdor"
+) -> dict[tuple[int, int], int] | dict[tuple[int, int], tuple[int, ...]]:
+    """The routing table for *any* supported algorithm, one source of truth.
+
+    Deterministic algorithms (``"cdor"``, ``"xy"``) yield integer output
+    ports; adaptive turn models (``"west_first"``, ``"negative_first"``)
+    yield candidate-port tuples that the engines resolve at VC-allocation
+    time with credit-based selection.  Every backend builds its tables
+    through this dispatcher so the engines can never disagree on a route.
+    """
+    if algorithm in ("cdor", "xy"):
+        return build_routing_table(topology, algorithm)
+    from repro.noc.adaptive import build_adaptive_table
+
+    return build_adaptive_table(topology, algorithm)
+
+
 def build_routing_table(
     topology: SprintTopology, algorithm: str = "cdor"
 ) -> dict[tuple[int, int], int]:

@@ -56,9 +56,21 @@ def simulate(
     phase spans, periodic per-router samples and run counters; it never
     influences the simulation itself, so results stay bit-identical with
     telemetry on, off, or absent.
+
+    ``backend="auto"`` (in the spec or the override) picks the fastest
+    registered backend whose capabilities cover this run, via
+    :func:`repro.noc.backends.resolve_backend`.
     """
-    engine = get_backend(backend if backend is not None else spec.backend)
-    check_capabilities(engine, spec, gating_policy, telemetry)
+    name = backend if backend is not None else spec.backend
+    if name == "auto":
+        from repro.noc.backends import resolve_backend
+
+        engine = resolve_backend(
+            spec, gating_policy=gating_policy, telemetry=telemetry
+        )
+    else:
+        engine = get_backend(name)
+        check_capabilities(engine, spec, gating_policy, telemetry)
     return engine.run(spec, gating_policy=gating_policy, telemetry=telemetry)
 
 

@@ -209,7 +209,9 @@ class SimulationSpec:
     # repro.noc.backends).  Omitted from the canonical form at its default,
     # so every pre-existing cache key is preserved; a non-default backend
     # keys separately, as two engines are only *required* to agree on the
-    # feature set both support.
+    # feature set both support.  The sentinel "auto" defers the choice to
+    # the registry (fastest backend covering the spec's requirements) and
+    # canonicalizes to the *resolved* name in cache keys.
     backend: str = field(default="reference", metadata={"omit_when_default": True})
 
     def __post_init__(self) -> None:
@@ -248,9 +250,35 @@ class SimulationSpec:
                 if abs(ca.x - cb.x) + abs(ca.y - cb.y) != 1:
                     raise ValueError(f"fault link {event.link} is not a mesh link")
 
+    def resolved_backend(self) -> str:
+        """The concrete engine name this spec will execute on.
+
+        Explicit backends resolve to themselves; ``"auto"`` asks the
+        registry for the fastest backend whose declared capabilities
+        cover this spec's requirements (the public
+        :func:`repro.noc.backends.requirements` /
+        :func:`repro.noc.backends.supports` API).
+        """
+        if self.backend != "auto":
+            return self.backend
+        from repro.noc.backends import resolve_backend
+
+        return resolve_backend(self).name
+
     def cache_key(self) -> str:
-        """Canonical content hash of the full run description."""
-        return stable_key(("simulate", self))
+        """Canonical content hash of the full run description.
+
+        ``backend="auto"`` hashes as the *resolved* engine name, so cache
+        entries and ledger records are unambiguous about which engine
+        produced them -- and an auto spec that resolves to the default
+        engine shares the default spec's key (backends that agree bit-for-
+        bit may share results; the omit-when-default rule already makes
+        the explicit default and the omitted field identical).
+        """
+        spec = self
+        if self.backend == "auto":
+            spec = dataclasses.replace(self, backend=self.resolved_backend())
+        return stable_key(("simulate", spec))
 
     def with_seed(self, seed: int) -> "SimulationSpec":
         """The same run under a different traffic seed."""

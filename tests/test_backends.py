@@ -1,12 +1,16 @@
 """Tests for the pluggable simulation-backend registry and its engines.
 
 Covers the registry contract (register / look up / list), the capability
-model that lets a fast path decline runs it cannot simulate, cache-key
-stability across the backend field's introduction, and -- most
-importantly -- cross-backend equivalence: the vectorized engine must be
-*bit-identical* to the reference simulator on every spec both support.
+model that lets a limited engine decline runs it cannot simulate, the
+``backend="auto"`` selection API built on :func:`requirements` /
+:func:`supports`, cache-key stability across the backend field's
+introduction, and -- most importantly -- cross-backend equivalence: the
+vectorized engine must be *bit-identical* to the reference simulator on
+every capability, fault schedules, gating policies and adaptive routing
+included.
 """
 
+import contextlib
 import dataclasses
 
 import pytest
@@ -29,6 +33,9 @@ from repro.noc.backends import (
     list_backends,
     register_backend,
     required_capabilities,
+    requirements,
+    resolve_backend,
+    supports,
 )
 from repro.noc.sim import simulate, run_simulation, zero_load_cache, zero_load_latency
 from repro.noc.spec import (
@@ -49,6 +56,31 @@ def make_spec(level=4, rate=0.1, pattern="uniform", seed=0, routing="cdor",
                           CFG.packet_length_flits, pattern=pattern, seed=seed)
     return SimulationSpec(topo, traffic, CFG, routing=routing,
                           warmup_cycles=warmup, measure_cycles=measure, **kwargs)
+
+
+@contextlib.contextmanager
+def scratch_backend(name="limited", capabilities=frozenset({CAP_TRACING,
+                                                            CAP_SAMPLING}),
+                    speed_rank=50):
+    """Register a throwaway backend (delegates to the reference engine)."""
+    from repro.noc.backends.base import _REGISTRY
+
+    class Scratch:
+        def __init__(self):
+            self.name = name
+            self.capabilities = capabilities
+            self.speed_rank = speed_rank
+
+        def run(self, spec, *, gating_policy=None, telemetry=None):
+            check_capabilities(self, spec, gating_policy, telemetry)
+            return get_backend("reference").run(
+                spec, gating_policy=gating_policy, telemetry=telemetry)
+
+    backend = register_backend(Scratch())
+    try:
+        yield backend
+    finally:
+        _REGISTRY.pop(name, None)
 
 
 class TestRegistry:
@@ -104,10 +136,10 @@ class TestRegistry:
             register_backend(BadCaps())
 
     def test_declared_capability_sets(self):
+        # both built-in engines now cover the full feature set; capability
+        # checks exist for third-party backends that do not
         assert get_backend("reference").capabilities == ALL_CAPABILITIES
-        assert get_backend("vectorized").capabilities == frozenset(
-            {CAP_TRACING, CAP_SAMPLING}
-        )
+        assert get_backend("vectorized").capabilities == ALL_CAPABILITIES
 
 
 class TestCapabilities:
@@ -136,17 +168,42 @@ class TestCapabilities:
             make_spec(), telemetry=Telemetry(sample_interval=50))
         assert CAP_SAMPLING in sampling
 
-    def test_vectorized_declines_faults_with_hint(self):
-        spec = make_spec(level=16, faults=FaultSchedule(
-            (FaultEvent(cycle=100, node=5),)), backend="vectorized")
-        with pytest.raises(BackendCapabilityError, match="reference"):
-            simulate(spec)
-
-    def test_vectorized_declines_adaptive_routing(self):
+    def test_vectorized_accepts_full_capability_runs(self):
         engine = get_backend("vectorized")
-        spec = make_spec(level=16, routing="negative_first")
-        with pytest.raises(BackendCapabilityError, match="adaptive_routing"):
-            check_capabilities(engine, spec)
+        faulted = make_spec(level=16, faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        check_capabilities(engine, faulted, gating_policy=object())
+        check_capabilities(engine, make_spec(level=16, routing="negative_first"))
+
+    def test_limited_backend_declines_with_structured_payload(self):
+        spec = make_spec(level=16, faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        with scratch_backend() as backend:
+            with pytest.raises(BackendCapabilityError) as excinfo:
+                check_capabilities(backend, spec, gating_policy=object())
+        err = excinfo.value
+        assert err.backend == backend.name
+        assert err.missing == frozenset({CAP_FAULTS, CAP_GATING})
+        # both capable engines are offered as alternatives, plus the hint
+        assert set(err.alternatives) >= {"reference", "vectorized"}
+        assert "backend='auto'" in str(err)
+
+    def test_supports_uses_declared_capabilities(self):
+        spec = make_spec(level=16, routing="west_first")
+        assert supports(get_backend("vectorized"), spec)
+        assert supports(get_backend("reference"), spec)
+        with scratch_backend() as backend:
+            assert not supports(backend, spec)
+            assert supports(backend, make_spec())
+
+    def test_requirements_public_api(self):
+        spec = make_spec(level=16, faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        need = requirements(spec, gating_policy=object())
+        assert need == frozenset({CAP_FAULTS, CAP_GATING})
+        adaptive = requirements(make_spec(level=16, routing="west_first"))
+        assert adaptive == frozenset({CAP_ADAPTIVE_ROUTING})
+        assert requirements(make_spec()) == frozenset()
 
     def test_vectorized_accepts_sampling(self):
         from repro.telemetry import Telemetry
@@ -219,6 +276,69 @@ class TestCacheKeys:
             ("zero_load_latency", "vectorized", topo, CFG, "cdor"))) == fast
 
 
+class TestAutoBackend:
+    """``backend="auto"`` resolves through the public requirements/supports
+    API to the fastest capable engine, without perturbing cache keys."""
+
+    def test_auto_resolves_to_fastest_capable(self):
+        assert make_spec(backend="auto").resolved_backend() == "vectorized"
+        assert resolve_backend(make_spec()).name == "vectorized"
+
+    def test_auto_covers_the_full_capability_grid(self):
+        faulted = make_spec(level=16, backend="auto", faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        adaptive = make_spec(level=16, backend="auto", routing="west_first")
+        assert faulted.resolved_backend() == "vectorized"
+        assert adaptive.resolved_backend() == "vectorized"
+
+    def test_auto_prefers_higher_speed_rank(self):
+        with scratch_backend(name="turbo", capabilities=ALL_CAPABILITIES,
+                             speed_rank=99):
+            assert make_spec(backend="auto").resolved_backend() == "turbo"
+
+    def test_auto_skips_backends_missing_a_capability(self):
+        spec = make_spec(level=16, backend="auto", faults=FaultSchedule(
+            (FaultEvent(cycle=100, node=5),)))
+        with scratch_backend(name="turbo", speed_rank=99):  # no faults token
+            assert spec.resolved_backend() == "vectorized"
+
+    def test_auto_resolution_failure_is_structured(self):
+        from repro.noc.backends.base import _REGISTRY
+
+        saved = dict(_REGISTRY)
+        try:
+            _REGISTRY.clear()
+            with scratch_backend():  # tracing/sampling only
+                spec = make_spec(level=16, backend="auto", faults=FaultSchedule(
+                    (FaultEvent(cycle=100, node=5),)))
+                with pytest.raises(BackendCapabilityError, match="auto"):
+                    spec.resolved_backend()
+        finally:
+            _REGISTRY.clear()
+            _REGISTRY.update(saved)
+
+    def test_auto_cache_key_is_the_resolved_engines(self):
+        auto = make_spec(backend="auto")
+        assert auto.cache_key() == make_spec(
+            backend=auto.resolved_backend()).cache_key()
+
+    def test_auto_never_changes_explicit_backend_keys(self):
+        explicit = make_spec(backend="vectorized")
+        default = make_spec()
+        keys = (explicit.cache_key(), default.cache_key())
+        with scratch_backend(name="turbo", capabilities=ALL_CAPABILITIES,
+                             speed_rank=999):
+            assert (explicit.cache_key(), default.cache_key()) == keys
+
+    def test_simulate_accepts_auto(self):
+        spec = make_spec(level=8, rate=0.2, seed=5)
+        auto = simulate(spec, backend="auto")
+        fast = simulate(spec, backend="vectorized")
+        assert_identical(auto, fast, "auto override")
+        via_field = run_simulation(spec.with_backend("auto"))
+        assert_identical(via_field, fast, "auto spec field")
+
+
 class TestResultCompat:
     def test_pickled_results_keep_their_import_path(self):
         import repro.noc.result
@@ -245,6 +365,9 @@ EQUIV_CASES = [
     (4, 0.45, "hotspot", "cdor"),
     (2, 0.25, "neighbor", "cdor"),
     (1, 0.20, "uniform", "cdor"),
+    # adaptive turn models (full mesh only)
+    (16, 0.30, "transpose", "west_first"),
+    (16, 0.40, "uniform", "negative_first"),
 ]
 
 
@@ -286,6 +409,87 @@ class TestCrossBackendEquivalence:
         assert_identical(via_field, via_override, "selection")
 
 
+FAULT_CASES = [
+    # (label, level, rate, routing, events)
+    ("permanent router", 16, 0.12, "cdor",
+     (FaultEvent(cycle=300, node=5),)),
+    ("transient router", 16, 0.15, "xy",
+     (FaultEvent(cycle=300, node=5, duration=400),)),
+    ("two faults", 16, 0.20, "cdor",
+     (FaultEvent(cycle=250, node=5),
+      FaultEvent(cycle=500, node=10, duration=400))),
+    ("link fault", 16, 0.10, "cdor",
+     (FaultEvent(cycle=400, kind="link", link=(5, 6)),)),
+    ("degraded region", 9, 0.15, "cdor",
+     (FaultEvent(cycle=350, node=5),)),
+]
+
+
+class TestFullCapabilityEquivalence:
+    """The tentpole bar: the fast path must match the reference bit for bit
+    on faulted, gated and adaptively-routed runs -- counters, latency
+    distribution and gating statistics included."""
+
+    @pytest.mark.parametrize("label,level,rate,routing,events",
+                             FAULT_CASES, ids=[c[0] for c in FAULT_CASES])
+    def test_faulted_runs_bit_identical(self, label, level, rate, routing,
+                                        events):
+        spec = make_spec(level=level, rate=rate, routing=routing, seed=level,
+                         faults=FaultSchedule(events))
+        ref = simulate(spec, backend="reference")
+        fast = simulate(spec, backend="vectorized")
+        assert ref.reconfigurations >= 1  # the schedule actually fired
+        assert_identical(ref, fast, label)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_faulted_runs_deterministic_across_seeds(self, seed):
+        """Seed-swept fault schedules: every seed reproduces exactly on
+        re-run and agrees across engines."""
+        spec = make_spec(level=16, rate=0.15, warmup=200, measure=400,
+                         faults=FaultSchedule(
+                             (FaultEvent(cycle=300, node=5, duration=300),))
+                         ).with_seed(seed)
+        first = simulate(spec, backend="vectorized")
+        again = simulate(spec, backend="vectorized")
+        assert_identical(first, again, f"rerun seed={seed}")
+        assert_identical(simulate(spec, backend="reference"), first,
+                         f"cross-engine seed={seed}")
+
+    @staticmethod
+    def _gated_pair(spec):
+        from repro.noc.power_gating import TimeoutGatingPolicy
+
+        ref_policy = TimeoutGatingPolicy(idle_timeout=16)
+        fast_policy = TimeoutGatingPolicy(idle_timeout=16)
+        ref = simulate(spec, gating_policy=ref_policy, backend="reference")
+        fast = simulate(spec, gating_policy=fast_policy, backend="vectorized")
+        return ref, fast, ref_policy.stats, fast_policy.stats
+
+    @pytest.mark.parametrize("level,rate", [(16, 0.05), (16, 0.30), (9, 0.08)])
+    def test_gated_runs_bit_identical(self, level, rate):
+        spec = make_spec(level=level, rate=rate, seed=level)
+        ref, fast, ref_stats, fast_stats = self._gated_pair(spec)
+        assert ref_stats.gate_events > 0  # the policy actually gated
+        assert_identical(ref, fast, f"gated L{level} r{rate}")
+        assert dataclasses.asdict(ref_stats) == dataclasses.asdict(fast_stats)
+
+    def test_gated_faulted_run_bit_identical(self):
+        spec = make_spec(level=16, rate=0.05, seed=3, faults=FaultSchedule(
+            (FaultEvent(cycle=300, node=5, duration=300),)))
+        ref, fast, ref_stats, fast_stats = self._gated_pair(spec)
+        assert ref.reconfigurations == 2
+        assert_identical(ref, fast, "gated+faulted")
+        assert dataclasses.asdict(ref_stats) == dataclasses.asdict(fast_stats)
+
+    def test_faulted_counters_surface_drops(self):
+        spec = make_spec(level=16, rate=0.25, seed=5, faults=FaultSchedule(
+            (FaultEvent(cycle=400, node=5),)))
+        ref = simulate(spec, backend="reference")
+        fast = simulate(spec, backend="vectorized")
+        assert fast.packets_dropped == ref.packets_dropped > 0
+        assert fast.min_region_level == ref.min_region_level < 16
+
+
 class TestSamplingParity:
     """Sampled telemetry runs must produce identical sample streams and
     metrics on every backend -- the fast path earns its ``sampling``
@@ -307,6 +511,10 @@ class TestSamplingParity:
         dict(level=4, rate=0.15, seed=3),
         dict(level=4, rate=0.001, seed=9),  # mostly idle: back-filled rows
         dict(level=1, rate=0.20, seed=7),
+        # the tentpole capabilities must sample identically too
+        dict(level=16, rate=0.25, seed=4, routing="west_first"),
+        dict(level=16, rate=0.12, seed=5,
+             faults=FaultSchedule((FaultEvent(cycle=300, node=5),))),
     ]
 
     @pytest.mark.parametrize("case", SAMPLED_CASES)
@@ -335,6 +543,33 @@ class TestSamplingParity:
         assert ref_spans == spans
         assert ref_metrics == metrics
 
+    @pytest.mark.parametrize("events", [
+        (FaultEvent(cycle=300, node=5, duration=300),),
+        (FaultEvent(cycle=300, node=5), FaultEvent(cycle=500, node=9)),
+        # boundary landing in the drain window, after the measure flip
+        (FaultEvent(cycle=300, node=5, duration=450),),
+    ], ids=["transient", "two-permanent", "recovery-in-drain"])
+    def test_faulted_span_stream_ordered_identically(self, events):
+        """Reconfigure spans must interleave with the phase transitions in
+        the reference's exact order (boundary processing precedes the
+        phase check at the same cycle), with identical payloads."""
+        from repro.telemetry import Telemetry
+
+        spec = make_spec(level=16, rate=0.12, seed=6,
+                         faults=FaultSchedule(events))
+        streams = {}
+        for backend in ("reference", "vectorized"):
+            tel = Telemetry(sample_interval=100)
+            simulate(spec, backend=backend, telemetry=tel)
+            streams[backend] = [
+                (e["name"],
+                 {k: v for k, v in e.items() if k not in ("id", "parent", "ts")})
+                for e in tel.tracer.drain() if e["ev"] == "begin"
+            ]
+        assert streams["reference"] == streams["vectorized"]
+        assert [n for n, _ in streams["reference"]].count("reconfigure") \
+            == len(FaultSchedule(events).boundaries())
+
     def test_saturated_sampled_run_agrees(self, monkeypatch):
         monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
         spec = make_spec(level=16, rate=1.8, routing="xy",
@@ -343,6 +578,29 @@ class TestSamplingParity:
         fast, samples, _, _ = self._run(spec, "vectorized")
         assert ref.saturated and fast.saturated
         assert ref_samples == samples
+
+    def test_gated_sampled_run_agrees(self, monkeypatch):
+        from repro.noc.power_gating import TimeoutGatingPolicy
+        from repro.telemetry import Telemetry
+
+        monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
+        spec = make_spec(level=16, rate=0.05, seed=3)
+        streams = {}
+        for backend in ("reference", "vectorized"):
+            tel = Telemetry(sample_interval=100)
+            result = simulate(spec, gating_policy=TimeoutGatingPolicy(
+                idle_timeout=16), telemetry=tel, backend=backend)
+            events = tel.tracer.drain()
+            streams[backend] = (
+                dataclasses.asdict(result),
+                [e["data"] for e in events if e["ev"] == "sample"],
+                tel.metrics.snapshot(),
+            )
+        assert streams["reference"] == streams["vectorized"]
+        # gated routers are visible in the sample payloads
+        assert any(stats["gated"]
+                   for _, samples, _ in [streams["reference"]]
+                   for data in samples for stats in data["routers"].values())
 
     def test_sample_payload_shape(self, monkeypatch):
         monkeypatch.setenv("REPRO_NOC_NATIVE", "0")
@@ -407,12 +665,39 @@ class TestDriverPlumbing:
                      "--backend", "vectorized"]) == 0
         assert "grid sweep" in capsys.readouterr().out
 
-    def test_cli_rejects_backend_capability_mismatch(self, capsys):
+    def test_cli_sweep_accepts_auto_backend(self, capsys):
         from repro.cli import main
 
         assert main(["sweep", "--levels", "16", "--rates", "0.1",
-                     "--backend", "vectorized", "--fault", "5@100"]) == 2
-        assert "invalid sweep grid" in capsys.readouterr().out
+                     "--warmup", "100", "--measure", "300", "--drain", "600",
+                     "--backend", "auto", "--fault", "5@200"]) == 0
+        out = capsys.readouterr().out
+        assert "grid sweep" in out and "min lvl" in out
+
+    def test_cli_rejects_backend_capability_mismatch(self, capsys):
+        """Eager grid validation reports *every* incompatible point."""
+        from repro.cli import main
+
+        with scratch_backend() as backend:  # no faults capability
+            code = main(["sweep", "--levels", "16", "--rates", "0.1", "0.2",
+                         "--patterns", "uniform", "transpose",
+                         "--backend", backend.name, "--fault", "5@100"])
+        out = capsys.readouterr().out
+        assert code == 2
+        # one line per bad point (4) plus the closing summary line
+        assert out.count("invalid sweep grid") == 5
+        assert "4 of 4 points" in out
+        assert "does not support: faults" in out
+
+    def test_cli_backends_matrix(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out and "vectorized" in out
+        for token in sorted(ALL_CAPABILITIES):
+            assert token in out
+        assert "auto" in out
 
     def test_system_backend_parameter(self):
         from repro.core.system import NoCSprintingSystem
