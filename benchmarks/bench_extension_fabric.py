@@ -1,0 +1,166 @@
+"""Extension: the lease-based sweep fabric under churn vs the process pool.
+
+The fabric (docs/robustness.md) decouples scheduling from execution: the
+coordinator persists the point set as a durable lease table and workers
+-- local or externally joined ``repro worker`` processes -- claim points
+under heartbeat-renewed leases.  This bench measures what that buys and
+what it costs:
+
+- ``pool``      -- the classic in-process ``SweepRunner`` dispatch;
+- ``fabric``    -- the same grid through the lease fabric (results must
+  be bit-identical to the pool run);
+- ``fabric+kill9`` -- the same fabric while every worker SIGKILLs itself
+  0.25-0.55 s after starting: leases expire, points re-let, and the
+  sweep still completes every point with the audit invariants holding.
+
+Worker processes cost ~1 s each to spawn, so the fabric is expected to
+*lose* the wall-clock race on a small grid; the gates here are about
+survival (zero lost points, clean audit), not speed.  The table is
+mirrored to ``BENCH_fabric.json`` for CI to archive.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.exec import FabricConfig, ResultCache, SweepRunner, audit_queue
+from repro.noc.spec import SimulationSpec, TrafficSpec
+from repro.util.tables import format_table
+
+from benchmarks.common import once, report
+
+CFG = NoCConfig()
+OUTPUT = "BENCH_fabric.json"
+LEVELS = (2, 4, 8, 16)
+RATES = (0.1, 0.2, 0.3)
+
+
+def _grid():
+    specs = []
+    for level in LEVELS:
+        topo = SprintTopology.for_level(CFG.mesh_width, CFG.mesh_height, level)
+        for rate in RATES:
+            specs.append(SimulationSpec(
+                topology=topo,
+                traffic=TrafficSpec(tuple(topo.active_nodes), rate,
+                                    CFG.packet_length_flits, "uniform", seed=0),
+                config=CFG,
+                routing="cdor" if level < 16 else "xy",
+                warmup_cycles=200,
+                measure_cycles=800,
+                drain_cycles=1500,
+                backend="reference",  # slow enough that kill-9 lands mid-lease
+            ))
+    return specs
+
+
+def _fabric_run(specs, root, name, chaos=None, workers=4):
+    previous = os.environ.pop("REPRO_SWEEP_CHAOS", None)
+    if chaos is not None:
+        os.environ["REPRO_SWEEP_CHAOS"] = chaos
+    try:
+        config = FabricConfig(queue_dir=os.path.join(root, name, "queue"),
+                              workers=workers, lease_ttl_s=3.0,
+                              quarantine_after=100)
+        cache = ResultCache(directory=os.path.join(root, name, "cache"))
+        runner = SweepRunner(workers=workers, fabric=config, cache=cache)
+        start = time.perf_counter()
+        rep = runner.run(specs)
+        wall_s = time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_SWEEP_CHAOS", None)
+        if previous is not None:
+            os.environ["REPRO_SWEEP_CHAOS"] = previous
+    audit = audit_queue(config.queue_dir)
+    return rep, wall_s, audit
+
+
+def contest():
+    specs = _grid()
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-fabric-") as root:
+        runner = SweepRunner(workers=2, cache=ResultCache())
+        start = time.perf_counter()
+        pool = runner.run(specs)
+        rows.append(("pool", pool, time.perf_counter() - start, None))
+
+        clean, wall_s, audit = _fabric_run(specs, root, "clean")
+        rows.append(("fabric", clean, wall_s, audit))
+
+        churn, wall_s, audit = _fabric_run(specs, root, "churn",
+                                           chaos="kill9:0.3:0.4")
+        rows.append(("fabric+kill9", churn, wall_s, audit))
+
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump({
+            "grid": {"levels": LEVELS, "rates": RATES,
+                     "points": len(specs), "backend": "reference"},
+            "modes": {
+                name: {
+                    "wall_s": wall_s,
+                    "ok": rep.ok,
+                    "points_done": len(rep.points),
+                    "failures": len(rep.failures),
+                    "fabric": None if rep.fabric is None else {
+                        "workers_spawned": rep.fabric.workers_spawned,
+                        "worker_deaths": rep.fabric.worker_deaths,
+                        "claims": rep.fabric.claims,
+                        "expired": rep.fabric.expired,
+                        "requeued": rep.fabric.requeued,
+                        "duplicates": rep.fabric.duplicates,
+                    },
+                    "audit_ok": None if audit is None else audit.ok,
+                }
+                for name, rep, wall_s, audit in rows
+            },
+        }, handle, indent=1, sort_keys=True)
+    return rows
+
+
+def _render(rows):
+    table = []
+    for name, rep, wall_s, audit in rows:
+        fab = rep.fabric
+        table.append([
+            name, wall_s, len(rep.points), len(rep.failures),
+            "-" if fab is None else fab.workers_spawned,
+            "-" if fab is None else fab.worker_deaths,
+            "-" if fab is None else fab.requeued,
+            "-" if audit is None else ("ok" if audit.ok else "VIOLATED"),
+        ])
+    return format_table(
+        ["mode", "wall s", "done", "failed", "spawned", "deaths",
+         "requeued", "audit"],
+        table, float_format="{:.2f}",
+    )
+
+
+def test_extension_sweep_fabric(benchmark):
+    rows = once(benchmark, contest)
+    report("Extension: lease-based sweep fabric vs process pool", _render(rows))
+    results = {name: rep for name, rep, _, _ in rows}
+    audits = {name: audit for name, _, _, audit in rows}
+    total = len(LEVELS) * len(RATES)
+
+    # every mode completes the full grid with zero lost points
+    for name, rep in results.items():
+        assert rep.ok, f"{name}: {rep.summary()}"
+        assert rep.total_points == total, name
+        assert len(rep.points) == total and not rep.failures, name
+
+    # the fabric changes scheduling, never results: bit-for-bit parity
+    for mine, theirs in zip(results["fabric"].points, results["pool"].points):
+        assert mine.result == theirs.result
+
+    # churn really happened, and the lease ledger still balances: a lease
+    # only requeues when it expired, and every point records done once
+    fab = results["fabric+kill9"].fabric
+    assert fab.workers_spawned >= 4
+    assert fab.worker_deaths >= 1
+    assert fab.requeued <= fab.expired
+    for name in ("fabric", "fabric+kill9"):
+        assert audits[name].ok, audits[name].summary()
+        assert audits[name].done == total, name

@@ -18,6 +18,13 @@ Commands map onto the paper's evaluation axes:
   exits 4 on regression (the CI regression observatory)
 - ``cache stats``            counters and on-disk footprint of a result cache
 - ``backends``               the live simulation-backend capability matrix
+- ``worker --queue DIR``     join a ``sweep --fabric DIR`` run as an external
+  lease-based worker (spawnable mid-sweep, survives coordinator churn)
+- ``fabric audit DIR``       replay a fabric queue's event log and verify the
+  no-lost/no-double-counted invariants
+
+``sweep`` handles SIGINT/SIGTERM by draining: in-flight points finish and
+are checkpointed, a resume hint is printed, and the exit code is 5.
 """
 
 from __future__ import annotations
@@ -73,7 +80,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             or args.resume or args.cache_dir or args.max_retries
             or args.point_timeout is not None or args.trace
             or args.metrics or args.backend != "reference"
-            or args.ledger_dir or args.ledger_label):
+            or args.ledger_dir or args.ledger_label or args.fabric):
         return _cmd_sweep_grid(args)
     system = NoCSprintingSystem()
     rows = []
@@ -155,6 +162,28 @@ def _grid_specs(levels, rates, patterns, seed, warmup, measure, drain,
     return specs
 
 
+def _resume_hint(args: argparse.Namespace) -> str:
+    """The exact command that resumes this sweep from its checkpoint."""
+    if not args.cache_dir:
+        return ("completed points are checkpointed in memory only; re-run "
+                "with --cache-dir to make interrupted sweeps resumable")
+    parts = ["python -m repro sweep"]
+    if args.levels:
+        parts.append("--levels " + " ".join(str(v) for v in args.levels))
+    if args.rates:
+        parts.append("--rates " + " ".join(f"{v:g}" for v in args.rates))
+    if args.patterns:
+        parts.append("--patterns " + " ".join(args.patterns))
+    if args.backend != "reference":
+        parts.append(f"--backend {args.backend}")
+    if args.workers != 1:
+        parts.append(f"--workers {args.workers}")
+    if args.fabric:
+        parts.append(f"--fabric {args.fabric}")
+    parts.append(f"--cache-dir {args.cache_dir} --resume")
+    return "resume with: " + " ".join(parts)
+
+
 def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     """Parallel, cached grid sweep (rate x pattern x level) via repro.exec."""
     from repro.exec import ResultCache, SweepRunner
@@ -210,6 +239,20 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         return 2
     from repro.telemetry import Ledger
 
+    fabric_config = None
+    if args.fabric:
+        from repro.exec import FabricConfig
+
+        try:
+            fabric_config = FabricConfig(
+                queue_dir=args.fabric,
+                workers=args.workers,
+                lease_ttl_s=args.lease_ttl,
+                quarantine_after=args.quarantine_after,
+            )
+        except ValueError as err:
+            print(f"invalid sweep grid: {err}")
+            return 2
     try:
         runner = SweepRunner(workers=args.workers,
                              cache=ResultCache(directory=args.cache_dir),
@@ -217,13 +260,54 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
                              point_timeout=args.point_timeout,
                              telemetry=telemetry,
                              ledger=Ledger(directory=args.ledger_dir),
-                             ledger_label=args.ledger_label)
+                             ledger_label=args.ledger_label,
+                             fabric=fabric_config)
     except ValueError as err:
         print(f"invalid sweep grid: {err}")
         return 2
-    report = runner.run(specs)
-    for _ in range(args.repeat - 1):
-        report = runner.run(specs)
+
+    # SIGINT/SIGTERM drain gracefully: the first signal stops dispatching
+    # and lets in-flight points finish + checkpoint; a second aborts hard
+    import signal as _signal
+
+    signal_state = {"count": 0}
+
+    def _drain_handler(signum, frame):
+        signal_state["count"] += 1
+        if signal_state["count"] == 1:
+            print("\ninterrupt: draining in-flight points "
+                  "(interrupt again to abort immediately)...", flush=True)
+            runner.request_stop()
+        else:
+            raise KeyboardInterrupt
+
+    previous_handlers = {}
+    try:
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            previous_handlers[signum] = _signal.signal(signum, _drain_handler)
+    except ValueError:
+        previous_handlers = {}  # not the main thread (in-process tests)
+
+    try:
+        from repro.exec import QueueError
+
+        try:
+            report = runner.run(specs)
+            for _ in range(args.repeat - 1):
+                if report.interrupted:
+                    break
+                report = runner.run(specs)
+        except QueueError as err:
+            print(f"sweep fabric: {err}")
+            return 2
+        except KeyboardInterrupt:
+            print("sweep aborted before the drain completed; points already "
+                  "finished are checkpointed")
+            print(_resume_hint(args))
+            return 5
+    finally:
+        for signum, handler in previous_handlers.items():
+            _signal.signal(signum, handler)
     if telemetry is not None:
         telemetry.save(trace_path=args.trace, metrics_path=args.metrics)
         if args.trace:
@@ -261,11 +345,29 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     if report.run_record is not None:
         print(f"run recorded: {report.run_record.run_id} "
               f"(ledger: {runner.ledger.path}; diff with `repro compare`)")
+    audit_ok = True
+    if args.fabric and report.fabric is not None and not report.interrupted:
+        from repro.exec import QueueError, audit_queue
+
+        try:
+            audit = audit_queue(args.fabric, expect_complete=report.ok)
+        except QueueError as err:
+            print(f"fabric audit: {err}")
+            audit_ok = False
+        else:
+            print(audit.summary())
+            audit_ok = audit.ok
     if report.failures:
-        for line in report.failure_lines():
-            print(f"sweep failure: {line}")
+        for failure in report.failures:
+            print(f"sweep failure: {failure.describe()}")
+            for line in failure.history_lines():
+                print(f"    {line}")
+    if report.interrupted:
+        print(_resume_hint(args))
+        return 5
+    if report.failures:
         return 3
-    return 0
+    return 0 if audit_ok else 3
 
 
 def _cmd_network(args: argparse.Namespace) -> int:
@@ -435,6 +537,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ledger-label", default=None, metavar="NAME",
                        help="label the recorded run (e.g. 'nightly') so "
                             "`repro regress --baseline NAME` can find it")
+    sweep.add_argument("--fabric", default=None, metavar="QUEUE_DIR",
+                       help="run through the lease-based work-queue fabric: "
+                            "--workers local worker processes (0 = external "
+                            "only) plus any `repro worker --queue QUEUE_DIR` "
+                            "joined from elsewhere; survives worker churn")
+    sweep.add_argument("--lease-ttl", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="fabric lease lifetime; a worker that stops "
+                            "heartbeating for this long forfeits its point "
+                            "(default 10)")
+    sweep.add_argument("--quarantine-after", type=int, default=3, metavar="N",
+                       help="quarantine a point after N distinct fabric "
+                            "workers died or errored on it (default 3)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a `sweep --fabric` run as an external lease-based worker "
+             "(start any number, any time; SIGINT/SIGTERM drain gracefully)",
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="the queue directory passed to `sweep --fabric`")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker name in events and logs (default: "
+                             "w<pid>)")
+    worker.add_argument("--poll", type=float, default=0.05, metavar="SECONDS",
+                        help="idle scan period while every point is leased")
+    worker.add_argument("--wait", type=float, default=10.0, metavar="SECONDS",
+                        help="how long to wait for the queue to be seeded "
+                             "before giving up (exit 2)")
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="inspect a fabric queue (`fabric audit DIR` replays the event "
+             "log and verifies the no-lost/no-double-counted invariants)",
+    )
+    fabric.add_argument("action", choices=["audit"])
+    fabric.add_argument("queue", metavar="QUEUE_DIR")
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
@@ -656,6 +795,27 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one fabric worker until the queue drains (or we are told to)."""
+    from repro.exec import worker_main
+
+    return worker_main(args.queue, worker_id=args.id,
+                       poll_s=args.poll, wait_s=args.wait)
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    """``fabric audit``: verify a queue's invariants from its event log."""
+    from repro.exec import QueueError, audit_queue
+
+    try:
+        audit = audit_queue(args.queue)
+    except QueueError as err:
+        print(f"fabric audit: {err}")
+        return 2
+    print(audit.summary())
+    return 0 if audit.ok else 1
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     """Print the live capability matrix of the registered backends."""
     from repro.noc.backends import get_backend, list_backends
@@ -717,6 +877,8 @@ _HANDLERS = {
     "regress": _cmd_regress,
     "cache": _cmd_cache,
     "backends": _cmd_backends,
+    "worker": _cmd_worker,
+    "fabric": _cmd_fabric,
     "figure": _cmd_figure,
 }
 

@@ -12,20 +12,41 @@ such sweeps fast and reproducibly:
 - :class:`~repro.exec.runner.SweepReport` -- per-point timing, cache
   statistics, failure records and a human-readable summary;
 - :class:`~repro.exec.runner.FailedPoint` -- a point that exhausted its
-  retries (error / timeout / worker crash), with the captured traceback.
+  retries (error / timeout / worker crash / quarantine), with the captured
+  traceback and, for fabric sweeps, the per-attempt history;
+- :mod:`repro.exec.fabric` -- a durable, lease-based work queue
+  (:class:`~repro.exec.fabric.FabricConfig` +
+  :class:`~repro.exec.fabric.FabricCoordinator`, ``repro worker``) that
+  decouples scheduling from execution so sweeps survive worker churn,
+  with :func:`~repro.exec.fabric.audit_queue` proving the invariants.
 
 See ``docs/execution.md`` for cache-key semantics and worker guidance,
-and ``docs/robustness.md`` for the failure-isolation model.
+and ``docs/robustness.md`` for the failure-isolation model and the
+fabric's lease lifecycle.
 """
 
 from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.fabric import (
+    FabricAudit,
+    FabricConfig,
+    FabricStats,
+    QueueError,
+    audit_queue,
+    worker_main,
+)
 from repro.exec.runner import FailedPoint, SweepPoint, SweepReport, SweepRunner
 
 __all__ = [
     "CacheStats",
+    "FabricAudit",
+    "FabricConfig",
+    "FabricStats",
     "FailedPoint",
+    "QueueError",
     "ResultCache",
     "SweepPoint",
     "SweepReport",
     "SweepRunner",
+    "audit_queue",
+    "worker_main",
 ]

@@ -125,7 +125,16 @@ class ResultCache:
         return None
 
     def put(self, key: str, value) -> None:
-        """Store a value under ``key`` in every layer."""
+        """Store a value under ``key`` in every layer.
+
+        The disk write is *crash-atomic*: the pickle is written to a temp
+        file in the same directory, flushed and fsynced, then published
+        with ``os.replace``.  A writer killed (even SIGKILLed) at any
+        instant leaves either the previous entry or the complete new one
+        -- never a truncated pickle for the corrupt-entry counter to
+        find.  An unwritable disk degrades to memory-only (the sweep
+        continues); non-I/O errors (an unpicklable value) propagate.
+        """
         self._memory[key] = value
         self.counters.stores += 1
         if self.directory is not None:
@@ -133,6 +142,8 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 self.counters.bytes_written += os.path.getsize(tmp)
                 os.replace(tmp, self._path(key))
             except OSError:
@@ -140,6 +151,14 @@ class ResultCache:
                     os.unlink(tmp)
                 except OSError:
                     pass
+            except BaseException:
+                # e.g. an unpicklable value: don't leak the temp file,
+                # but do surface the caller's bug
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     # ------------------------------------------------------------------
     # JSON side-records (sweep checkpoint manifests): human-readable
@@ -164,19 +183,28 @@ class ResultCache:
         return None
 
     def put_json(self, name: str, value) -> None:
-        """Store a JSON side-record (atomically when disk-backed)."""
+        """Store a JSON side-record (crash-atomically when disk-backed,
+        same temp-file + fsync + ``os.replace`` discipline as :meth:`put`)."""
         self._memory[f"__json__:{name}"] = value
         if self.directory is not None:
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(value, handle, indent=1, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, os.path.join(self.directory, f"{name}.json"))
             except OSError:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

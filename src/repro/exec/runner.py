@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import inspect
 import os
+import signal
+import threading
 import time
 import traceback as _tb
 from collections import deque
@@ -160,6 +162,20 @@ def _progress_accepts_outcome(progress) -> bool:
     return positional >= 4
 
 
+def _ignore_sigint() -> None:
+    """Pool-worker initializer: the parent owns Ctrl-C.
+
+    A terminal SIGINT goes to the whole foreground process group; if the
+    pool children raised ``KeyboardInterrupt`` mid-simulation the graceful
+    drain (finish in-flight points, checkpoint, resume hint) would race a
+    pile of broken futures.  Workers ignore the signal; the parent decides.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass  # not the main thread of the worker (exotic start methods)
+
+
 def _kill_pool(pool) -> None:
     """Tear a process pool down *now*, including hung workers.
 
@@ -199,10 +215,14 @@ class FailedPoint:
 
     index: int
     spec: SimulationSpec
-    kind: str  # "error" | "timeout" | "crash"
+    kind: str  # "error" | "timeout" | "crash" | "quarantined"
     error: str
     traceback: str | None
     attempts: int
+    #: Per-attempt event trail (fabric sweeps): dicts with at least an
+    #: ``event`` ("claim"/"error"/"expired"/...) and a ``worker``, so a
+    #: quarantined point is diagnosable from the terminal.
+    history: tuple = ()
 
     @property
     def key(self) -> str:
@@ -214,6 +234,26 @@ class FailedPoint:
             f"point {self.index} [{self.kind}] after {self.attempts} "
             f"attempt(s): {self.error}"
         )
+
+    def history_lines(self) -> list[str]:
+        """One line per recorded attempt event (empty for pool sweeps)."""
+        lines = []
+        for entry in self.history:
+            event = entry.get("event", "?")
+            worker = entry.get("worker", "?")
+            if event == "claim":
+                lines.append(f"leased to {worker} "
+                             f"(attempt {entry.get('attempt', '?')})")
+            elif event == "expired":
+                lines.append(f"lease expired on {worker} "
+                             f"(worker died or stalled)")
+            elif event == "error":
+                lines.append(f"{worker} raised: {entry.get('error')}")
+            elif event == "abandon":
+                lines.append(f"{worker} abandoned the point (fenced out)")
+            else:
+                lines.append(f"{event} on {worker}")
+        return lines
 
 
 @dataclass
@@ -232,6 +272,8 @@ class SweepReport:
     failures: list[FailedPoint] = field(default_factory=list)
     resumed: int = 0  # cache hits recognized as a resumed earlier sweep
     run_record: RunRecord | None = field(default=None, repr=False)
+    interrupted: bool = False  # drained early on SIGINT/SIGTERM
+    fabric: object | None = field(default=None, repr=False)  # FabricStats
 
     @property
     def results(self) -> list[SimulationResult]:
@@ -271,6 +313,15 @@ class SweepReport:
         ]
         if self.resumed:
             lines.append(f"resumed: {self.resumed} points from an earlier run")
+        if self.fabric is not None:
+            lines.append(self.fabric.summary())
+        if self.interrupted:
+            finished = len(self.points) + len(self.failures)
+            lines.append(
+                f"INTERRUPTED: drained after {finished} point(s); "
+                f"checkpoint written -- re-run against the same cache to "
+                f"resume the remainder"
+            )
         timed = [p.wall_time_s for p in self.points if not p.cached]
         if timed:
             lines.append(
@@ -325,8 +376,15 @@ class SweepRunner:
         telemetry: Telemetry | None = None,
         ledger: Ledger | None = None,
         ledger_label: str | None = None,
+        fabric=None,
     ):
-        if workers < 1:
+        # fabric mode (a FabricConfig): execution is delegated to the
+        # lease-based work queue, whose local worker count lives on the
+        # config -- `workers=0` is then legal (external workers only)
+        if fabric is not None:
+            if workers < 0:
+                raise ValueError("workers must be >= 0 in fabric mode")
+        elif workers < 1:
             raise ValueError("workers must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -349,12 +407,25 @@ class SweepRunner:
         # a nested runner whose owner records the enclosing run instead)
         self.ledger = ledger if ledger is not None else Ledger()
         self.ledger_label = ledger_label
+        self.fabric = fabric
+        self._stop = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask the in-flight :meth:`run` to drain gracefully.
+
+        Safe to call from a signal handler or another thread: no more
+        points are dispatched, in-flight points are finished and
+        checkpointed, and the returned report carries
+        ``interrupted=True``.  A no-op when nothing is running.
+        """
+        self._stop.set()
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[SimulationSpec]) -> SweepReport:
         """Run every spec, returning surviving points in input order."""
         start = time.perf_counter()
         cpu_start = time.process_time()
+        self._stop.clear()
         specs = list(specs)
         total = len(specs)
         keys = [spec.cache_key() for spec in specs]
@@ -370,8 +441,7 @@ class SweepRunner:
         tracer = tel.tracer if tel is not None else None
         sweep_span = None
         if tel is not None:
-            for name, help_text in _SWEEP_COUNTER_HELP.items():
-                tel.metrics.counter(name, help_text)
+            tel.metrics.preregister(_SWEEP_COUNTER_HELP)
             tel.metrics.histogram(
                 "sweep_point_sim_seconds",
                 "Per-point simulation wall time (successful attempts).",
@@ -456,7 +526,7 @@ class SweepRunner:
                 notify(done, total, point, "cached" if extra else "simulated")
 
         def fail(key: str, kind: str, error: str, tb, attempts: int,
-                 payload=None) -> None:
+                 payload=None, history=()) -> None:
             nonlocal done
             absorb(key, payload)
             if tel is not None:
@@ -467,7 +537,8 @@ class SweepRunner:
                     span.end()
             for index in pending[key]:
                 failed = FailedPoint(
-                    index, specs[index], kind, error, tb, attempts
+                    index, specs[index], kind, error, tb, attempts,
+                    history=tuple(history),
                 )
                 failures[index] = failed
                 done += 1
@@ -483,16 +554,31 @@ class SweepRunner:
             if retrying:
                 tel.metrics.counter("sweep_retries_total").inc()
 
-        parallel = self.workers > 1 and len(unique) > 1
-        if parallel:
-            if not self._run_parallel(unique, complete, fail, worker_ctx,
-                                      absorb, attempt_failed):
-                parallel = False  # pool unavailable: transparent fallback
+        fabric_stats = None
+        if self.fabric is not None and unique:
+            parallel = True  # separate worker processes, even when external
+            fabric_stats = self._run_fabric(unique, complete, fail, tel,
+                                            stable_key(tuple(keys)))
+        else:
+            parallel = self.workers > 1 and len(unique) > 1
+            if parallel:
+                if not self._run_parallel(unique, complete, fail, worker_ctx,
+                                          absorb, attempt_failed):
+                    parallel = False  # pool unavailable: transparent fallback
+                    self._run_serial(unique, complete, fail, worker_ctx,
+                                     absorb, attempt_failed)
+            else:
                 self._run_serial(unique, complete, fail, worker_ctx,
                                  absorb, attempt_failed)
-        else:
-            self._run_serial(unique, complete, fail, worker_ctx,
-                             absorb, attempt_failed)
+
+        interrupted = self._stop.is_set() and done < total
+        if interrupted:
+            # re-stamp the manifest so a later run (and a human reading the
+            # cache directory) can see the sweep was drained mid-flight
+            self.cache.put_json(manifest_name, {
+                "total": total, "keys": keys, "interrupted": True,
+                "completed": done,
+            })
 
         dedup_served = sum(len(pending[k]) - 1 for k in succeeded)
         if tel is not None:
@@ -532,6 +618,8 @@ class SweepRunner:
             cache_stats=self.cache.stats(),
             failures=[failures[i] for i in sorted(failures)],
             resumed=hits if prior_manifest is not None else 0,
+            interrupted=interrupted,
+            fabric=fabric_stats,
         )
         report.run_record = self._record_run(
             report, specs, keys, tel, time.process_time() - cpu_start
@@ -573,12 +661,27 @@ class SweepRunner:
     def _backoff(self, attempts: int) -> float:
         return self.retry_backoff_s * (2 ** max(0, attempts - 1))
 
+    def _run_fabric(self, unique, complete, fail, tel, fingerprint):
+        """Delegate execution to the lease-based work-queue fabric.
+
+        The fingerprint covers the *full* spec list (it matches the
+        checkpoint manifest), so a resume whose pending set has shrunk
+        still adopts the same queue directory.
+        """
+        from repro.exec.fabric import FabricCoordinator
+
+        coordinator = FabricCoordinator(self.fabric, telemetry=tel)
+        return coordinator.execute(unique, self.cache, complete, fail,
+                                   self._stop, fingerprint=fingerprint)
+
     def _run_serial(self, unique, complete, fail, worker_ctx,
                     absorb, attempt_failed) -> None:
         # in-process execution cannot preempt a hung simulation, so
         # point_timeout is not enforced here; exceptions are still
         # isolated and retried per point
         for key, spec in unique:
+            if self._stop.is_set():
+                return  # graceful drain: unfinished points stay pending
             attempts = 0
             while True:
                 attempts += 1
@@ -604,7 +707,8 @@ class SweepRunner:
         except ImportError:
             return False
         try:
-            pool = cf.ProcessPoolExecutor(max_workers=self.workers)
+            pool = cf.ProcessPoolExecutor(max_workers=self.workers,
+                                          initializer=_ignore_sigint)
         except (ImportError, OSError, ValueError, RuntimeError):
             return False  # e.g. no os.fork / sem_open on this platform
 
@@ -616,7 +720,8 @@ class SweepRunner:
         def rebuild_pool():
             nonlocal pool
             _kill_pool(pool)
-            pool = cf.ProcessPoolExecutor(max_workers=self.workers)
+            pool = cf.ProcessPoolExecutor(max_workers=self.workers,
+                                          initializer=_ignore_sigint)
 
         def retry_or_fail(key: str, kind: str, error: str, tb,
                           payload=None) -> None:
@@ -642,7 +747,8 @@ class SweepRunner:
             collateral damage (and its result is used, uncharged).
             """
             task = tasks[key]
-            iso = cf.ProcessPoolExecutor(max_workers=1)
+            iso = cf.ProcessPoolExecutor(max_workers=1,
+                                         initializer=_ignore_sigint)
             try:
                 future = iso.submit(
                     _simulate_guarded, task["spec"],
@@ -680,6 +786,13 @@ class SweepRunner:
 
         try:
             while ready or delayed or running:
+                if self._stop.is_set():
+                    # graceful drain: dispatch nothing more, but let every
+                    # in-flight point finish and checkpoint normally
+                    ready.clear()
+                    delayed = []
+                    if not running:
+                        break
                 now = time.monotonic()
                 if delayed:  # promote backoffs whose delay has elapsed
                     still = [(t, k) for t, k in delayed if t > now]

@@ -154,6 +154,17 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get(Histogram, name, help, labels, buckets=buckets)
 
+    def preregister(self, counters: dict[str, str]) -> None:
+        """Eagerly register a ``name -> help`` batch of counters.
+
+        Subsystems call this at the start of an instrumented run so every
+        declared counter renders (as zero) in the Prometheus dump even
+        when the run never incremented it -- an absent metric is
+        indistinguishable from a broken one, a zero is an answer.
+        """
+        for name, help_text in counters.items():
+            self.counter(name, help_text)
+
     def __len__(self) -> int:
         return len(self._instruments)
 

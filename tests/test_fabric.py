@@ -1,0 +1,546 @@
+"""Tests for the lease-based sweep fabric: leases, churn, chaos, resume.
+
+Covers the :mod:`repro.exec.fabric` primitives directly (lease table,
+chaos coin, audit) and the full stack end to end: fabric sweeps equal to
+serial sweeps bit for bit, kill-9 worker churn, poisoned-point
+quarantine, external ``repro worker`` processes joining mid-sweep,
+SIGKILL-the-coordinator resume, and graceful SIGINT drain with the
+distinct exit code.
+"""
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.config import NoCConfig
+from repro.core.topological import SprintTopology
+from repro.exec import (
+    FabricConfig,
+    QueueError,
+    ResultCache,
+    SweepRunner,
+    audit_queue,
+)
+from repro.exec.fabric import ChaosPlan, LeaseTable, chaos_coin
+from repro.noc.spec import SimulationSpec, TrafficSpec
+
+CFG = NoCConfig()
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def small_spec(level=4, rate=0.1, seed=0, **overrides) -> SimulationSpec:
+    topo = SprintTopology.for_level(4, 4, level)
+    kwargs = dict(
+        topology=topo,
+        traffic=TrafficSpec(tuple(topo.active_nodes), rate,
+                            CFG.packet_length_flits, "uniform", seed=seed),
+        config=CFG,
+        routing="cdor" if level < 16 else "xy",
+        warmup_cycles=100,
+        measure_cycles=300,
+        drain_cycles=600,
+        backend="vectorized",
+    )
+    kwargs.update(overrides)
+    return SimulationSpec(**kwargs)
+
+
+def grid(levels=(2, 4), rates=(0.1, 0.2), **overrides):
+    return [small_spec(level=lv, rate=r, **overrides)
+            for lv in levels for r in rates]
+
+
+def seeded_table(tmp_path, specs=None, ttl=5.0) -> LeaseTable:
+    specs = specs if specs is not None else grid()
+    table = LeaseTable(tmp_path / "queue")
+    table.seed(
+        [(s.cache_key(), s) for s in specs],
+        fingerprint="fp-test",
+        results_dir=str(tmp_path / "results"),
+        settings={"lease_ttl_s": ttl, "heartbeat_s": None,
+                  "quarantine_after": 3},
+    )
+    return table
+
+
+def run_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.pop("REPRO_SWEEP_CHAOS", None)
+    return env
+
+
+class TestLeaseTable:
+    def test_seed_load_specs_round_trip(self, tmp_path):
+        specs = grid()
+        table = seeded_table(tmp_path, specs)
+        meta = LeaseTable(table.directory)
+        assert meta.load()["total"] == len(specs)
+        loaded = meta.specs()
+        assert set(loaded) == {s.cache_key() for s in specs}
+        assert loaded[specs[0].cache_key()] == specs[0]
+
+    def test_adopt_same_fingerprint_reject_other(self, tmp_path):
+        specs = grid()
+        table = seeded_table(tmp_path, specs)
+        pending = [(s.cache_key(), s) for s in specs]
+        again = LeaseTable(table.directory)
+        assert again.seed(pending, fingerprint="fp-test",
+                          results_dir=str(tmp_path / "results"),
+                          settings={}) is True  # adopted, not re-seeded
+        with pytest.raises(QueueError):
+            LeaseTable(table.directory).seed(
+                pending, fingerprint="fp-other",
+                results_dir=str(tmp_path / "results"), settings={})
+        events, _ = table.read_events()
+        assert sum(1 for e in events if e["ev"] == "seed") == 1
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        table = seeded_table(tmp_path)
+        key = table.meta["keys"][0]
+        lease = table.claim(key, "alpha", 1)
+        assert lease is not None and lease["worker"] == "alpha"
+        assert table.claim(key, "beta", 1) is None
+        table.release(key, "alpha", lease["nonce"])
+        assert table.claim(key, "beta", 1) is not None
+
+    def test_heartbeat_extends_and_fences(self, tmp_path):
+        table = seeded_table(tmp_path, ttl=2.0)
+        key = table.meta["keys"][0]
+        lease = table.claim(key, "alpha", 1)
+        before = table.read_lease(key)["deadline"]
+        time.sleep(0.05)
+        assert table.heartbeat(key, "alpha", lease["nonce"])
+        assert table.read_lease(key)["deadline"] > before
+        # another worker's claim (after a reclaim) fences the old holder
+        os.unlink(table.lease_path(key))
+        other = table.claim(key, "beta", 2)
+        assert not table.heartbeat(key, "alpha", lease["nonce"])
+        assert table.read_lease(key)["nonce"] == other["nonce"]
+        # a fenced release must not drop the new holder's lease
+        table.release(key, "alpha", lease["nonce"])
+        assert table.lease_exists(key)
+
+    def test_reclaim_expired_and_by_worker(self, tmp_path):
+        table = seeded_table(tmp_path, ttl=0.2)
+        keys = table.meta["keys"]
+        table.claim(keys[0], "alpha", 1)
+        table.claim(keys[1], "beta", 1)
+        assert table.reclaim_expired() == []  # nothing expired yet
+        time.sleep(0.3)
+        reclaimed = table.reclaim_expired()
+        assert {lease["worker"] for lease in reclaimed} == {"alpha", "beta"}
+        assert table.active_leases() == 0
+        # fast reclaim by worker id, without waiting for the deadline
+        table.claim(keys[0], "gamma", 2)
+        assert [lease["key"] for lease in table.reclaim_worker("gamma")] == [keys[0]]
+        events, _ = table.read_events()
+        assert sum(1 for e in events if e["ev"] == "expired") == 3
+
+    def test_read_events_tolerates_torn_tail(self, tmp_path):
+        table = seeded_table(tmp_path)
+        table.append({"ev": "claim", "key": "k", "worker": "w", "attempt": 1})
+        whole, offset = table.read_events()
+        with open(table.events_path, "ab") as fh:
+            fh.write(b'{"ev": "done", "key": "k", "wor')  # torn mid-append
+        events, new_offset = table.read_events(offset)
+        assert events == [] and new_offset == offset
+        with open(table.events_path, "ab") as fh:
+            fh.write(b'ker": "w"}\n')  # the append completes
+        events, _ = table.read_events(new_offset)
+        assert [e["ev"] for e in events] == ["done"]
+        assert len(whole) >= 2  # seed + claim
+
+
+class TestChaos:
+    def test_coin_deterministic_uniform(self):
+        assert chaos_coin("k", 1) == chaos_coin("k", 1)
+        assert chaos_coin("k", 1) != chaos_coin("k", 2)
+        assert 0.0 <= chaos_coin("key", 3) <= 1.0
+
+    def test_plan_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CHAOS", raising=False)
+        assert ChaosPlan.from_env() is None
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "kill9:0.3:0.5")
+        plan = ChaosPlan.from_env()
+        assert plan.mode == "kill9"
+        assert plan.num(0, 9.0) == 0.3 and plan.num(1, 9.0) == 0.5
+        assert plan.num(2, 7.0) == 7.0  # absent arg: default
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self, tmp_path):
+        with pytest.raises(ValueError):
+            FabricConfig(queue_dir=str(tmp_path), workers=-1)
+        with pytest.raises(ValueError):
+            FabricConfig(queue_dir=str(tmp_path), lease_ttl_s=0)
+        with pytest.raises(ValueError):
+            FabricConfig(queue_dir=str(tmp_path), quarantine_after=0)
+
+    def test_runner_workers_zero_needs_fabric(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=0)
+        assert SweepRunner(workers=0, fabric=config).workers == 0
+
+
+class TestFabricSweep:
+    def test_matches_serial_results_bit_for_bit(self, tmp_path):
+        specs = grid()
+        serial = SweepRunner(workers=1).run(specs)
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=2,
+                              lease_ttl_s=10.0)
+        runner = SweepRunner(workers=2, fabric=config,
+                             cache=ResultCache(directory=str(tmp_path / "c")))
+        report = runner.run(specs)
+        assert report.ok and report.total_points == len(specs)
+        assert report.fabric is not None
+        assert report.fabric.workers_spawned >= 1
+        for mine, theirs in zip(report.points, serial.points):
+            assert mine.result == theirs.result
+        audit = audit_queue(tmp_path / "q")
+        assert audit.ok, audit.summary()
+        assert audit.done == len(specs)
+
+    def test_quarantines_poisoned_point_with_history(self, tmp_path,
+                                                     monkeypatch):
+        # every attempt errors (chaos 'raise' fires inside the simulation
+        # guard in each worker), so distinct workers keep dying on the
+        # same points until the circuit breaker trips
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "raise")
+        specs = grid(levels=(2,), rates=(0.1,))
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=2,
+                              lease_ttl_s=10.0, quarantine_after=2)
+        report = SweepRunner(workers=2, fabric=config).run(specs)
+        assert not report.ok
+        assert report.total_points == len(specs)
+        failure = report.failures[0]
+        assert failure.kind == "quarantined"
+        assert "2 distinct worker(s)" in failure.error
+        events = [entry["event"] for entry in failure.history]
+        assert "claim" in events and "error" in events
+        lines = failure.history_lines()
+        assert any("leased to" in line for line in lines)
+        assert any("raised:" in line for line in lines)
+        audit = audit_queue(tmp_path / "q")
+        assert audit.ok and audit.quarantined == len(specs)
+
+    def test_survives_kill9_worker_churn(self, tmp_path, monkeypatch):
+        # workers SIGKILL themselves 0.2-0.5s after starting; the reference
+        # backend keeps points slow enough that deaths land mid-lease, and
+        # the sweep must still complete every point exactly once
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "kill9:0.2:0.3")
+        specs = grid(levels=(2, 4, 8), rates=(0.1, 0.3),
+                     backend="reference", warmup_cycles=200,
+                     measure_cycles=800, drain_cycles=1500)
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=3,
+                              lease_ttl_s=3.0, quarantine_after=100)
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        report = SweepRunner(workers=3, fabric=config, cache=cache).run(specs)
+        assert report.ok, report.summary()
+        assert report.total_points == len(specs)
+        assert len(report.points) + len(report.failures) == len(specs)
+        assert report.fabric.workers_spawned >= 3
+        audit = audit_queue(tmp_path / "q")
+        assert audit.ok, audit.summary()
+        assert audit.done == len(specs)
+
+    def test_external_worker_joins_and_drains(self, tmp_path):
+        # coordinator with zero local workers: only an externally spawned
+        # `repro worker` can finish the sweep, proving mid-sweep joins
+        specs = grid()
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=0,
+                              lease_ttl_s=10.0)
+        runner = SweepRunner(workers=0, fabric=config)
+        box = {}
+
+        def coordinate():
+            box["report"] = runner.run(specs)
+
+        thread = threading.Thread(target=coordinate)
+        thread.start()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--queue", str(tmp_path / "q"), "--id", "joiner", "--wait", "30"],
+            env=run_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        out, _ = proc.communicate(timeout=120)
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        assert proc.returncode == 0, out
+        report = box["report"]
+        assert report.ok and report.total_points == len(specs)
+        assert report.fabric.workers_spawned == 0
+        assert report.fabric.per_worker.get("joiner") == len(specs)
+        assert f"{len(specs)} point(s) done" in out
+
+    def test_worker_gives_up_without_a_queue(self, tmp_path, capsys):
+        from repro.exec import worker_main
+
+        code = worker_main(str(tmp_path / "nowhere"), wait_s=0.2)
+        assert code == 2
+        assert "no sweep queue" in capsys.readouterr().out
+
+
+class TestChaosModes:
+    def test_torn_write_is_survived(self, tmp_path, monkeypatch):
+        # a worker emulates a pre-atomic writer: truncated pickle straight
+        # into the cache slot, then SIGKILL.  The corrupt-entry path must
+        # swallow it and the point must be re-leased and completed.
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "torn-write:0.5")
+        specs = grid()
+        torn = [s.cache_key() for s in specs
+                if chaos_coin(s.cache_key(), 1) < 0.5]
+        assert torn, "grid must contain at least one torn-write victim"
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=2,
+                              lease_ttl_s=2.0, quarantine_after=100)
+        report = SweepRunner(workers=2, fabric=config,
+                             cache=ResultCache(directory=str(tmp_path / "c"))
+                             ).run(specs)
+        assert report.ok, report.summary()
+        assert report.fabric.worker_deaths >= 1
+        audit = audit_queue(tmp_path / "q")
+        assert audit.ok, audit.summary()
+
+    def test_stall_heartbeat_expires_and_relets(self, tmp_path, monkeypatch):
+        # a stalled worker stops heartbeating: its lease must expire, the
+        # point must be re-leased elsewhere, and the staller must fence
+        # itself out instead of double-reporting
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "stall-heartbeat:0.6:3.0")
+        specs = grid()
+        stalled = [s.cache_key() for s in specs
+                   if chaos_coin(s.cache_key(), 1) < 0.6]
+        assert stalled, "grid must contain at least one stalled victim"
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=2,
+                              lease_ttl_s=1.0, quarantine_after=100)
+        report = SweepRunner(workers=2, fabric=config).run(specs)
+        assert report.ok, report.summary()
+        assert report.fabric.expired >= 1
+        audit = audit_queue(tmp_path / "q")
+        assert audit.ok, audit.summary()
+        assert audit.expired >= 1
+
+    def test_slow_worker_heartbeat_keeps_lease(self, tmp_path, monkeypatch):
+        # a slow-but-alive worker sleeps well past the lease ttl while
+        # heartbeating: the lease must be renewed, never expired
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "slow:1.0:2.5")
+        specs = grid(levels=(2,), rates=(0.1, 0.2))
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=2,
+                              lease_ttl_s=1.0, quarantine_after=3)
+        report = SweepRunner(workers=2, fabric=config).run(specs)
+        assert report.ok, report.summary()
+        assert report.fabric.expired == 0
+        assert audit_queue(tmp_path / "q").ok
+
+
+class TestResumeAndDrain:
+    def sweep_cmd(self, tmp_path, extra=()):
+        return [sys.executable, "-m", "repro", "sweep",
+                "--levels", "2", "4", "8", "--rates", "0.1", "0.2", "0.3",
+                "--backend", "reference", "--warmup", "200",
+                "--measure", "800", "--drain", "1500",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--ledger-dir", str(tmp_path / "ledger"), *extra]
+
+    def ledger_runs(self, tmp_path):
+        path = tmp_path / "ledger" / "runs.jsonl"
+        if not path.exists():
+            return []
+        return [json.loads(line)
+                for line in path.read_text().splitlines() if line.strip()]
+
+    def test_sigkilled_fabric_sweep_resumes_with_zero_reruns(self, tmp_path):
+        # kill -9 the whole sweep mid-flight, then re-run the identical
+        # command: completed points must come back as cache hits (zero
+        # re-simulations of finished work) and the queue must be adopted,
+        # not rejected as a different sweep
+        cmd = self.sweep_cmd(
+            tmp_path, ["--workers", "2", "--fabric", str(tmp_path / "q"),
+                       "--lease-ttl", "3"])
+        proc = subprocess.Popen(cmd, env=run_env(), stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL,
+                                start_new_session=True)
+        deadline = time.monotonic() + 60
+        cache_dir = tmp_path / "cache"
+        while time.monotonic() < deadline:  # wait for >= 1 checkpointed point
+            if cache_dir.is_dir() and any(
+                    name.endswith(".pkl") for name in os.listdir(cache_dir)):
+                break
+            time.sleep(0.1)
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        done_before = sum(1 for name in os.listdir(cache_dir)
+                          if name.endswith(".pkl"))
+        assert done_before >= 1
+        second = subprocess.run(
+            self.sweep_cmd(
+                tmp_path, ["--workers", "2", "--fabric", str(tmp_path / "q"),
+                           "--lease-ttl", "3", "--resume"]),
+            env=run_env(), capture_output=True, text=True, timeout=240)
+        assert second.returncode == 0, second.stdout + second.stderr
+        assert f"resumed: {done_before} points" in second.stdout
+        assert "invariants hold" in second.stdout
+        # exactly one sweep record per completed run in the ledger (the
+        # killed run never reached its record)
+        runs = [r for r in self.ledger_runs(tmp_path) if r["kind"] == "sweep"]
+        assert len(runs) == 1
+
+    def test_sigint_drains_checkpoints_and_exits_5(self, tmp_path):
+        proc = subprocess.Popen(
+            self.sweep_cmd(tmp_path, ["--workers", "2"]),
+            env=run_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, start_new_session=True)
+        deadline = time.monotonic() + 60
+        cache_dir = tmp_path / "cache"
+        while time.monotonic() < deadline:  # let >= 1 point checkpoint
+            if cache_dir.is_dir() and any(
+                    name.endswith(".pkl") for name in os.listdir(cache_dir)):
+                break
+            time.sleep(0.1)
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 5, out + err
+        assert "draining in-flight points" in out
+        assert "INTERRUPTED" in out
+        assert "resume with:" in out
+        assert "--resume" in out
+        assert "Traceback" not in err
+        # the drained sweep resumes: finished points are recognized, the
+        # remainder simulates, and the second run exits clean
+        second = subprocess.run(
+            self.sweep_cmd(tmp_path, ["--workers", "2", "--resume"]),
+            env=run_env(), capture_output=True, text=True, timeout=240)
+        assert second.returncode == 0, second.stdout + second.stderr
+        assert "resumed:" in second.stdout
+
+    def test_request_stop_interrupts_serial_run(self, tmp_path):
+        specs = grid(levels=(2, 4), rates=(0.1, 0.2, 0.3))
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        runner = SweepRunner(workers=1, cache=cache)
+
+        def stop_after_first(done, total, point):
+            runner.request_stop()
+
+        runner.progress = stop_after_first
+        report = runner.run(specs)
+        assert report.interrupted
+        assert len(report.points) < len(specs)
+        assert "INTERRUPTED" in report.summary()
+        manifest = [value for key, value in cache._memory.items()
+                    if key.startswith("__json__:sweep-")]
+        assert manifest and manifest[0]["interrupted"] is True
+        # a fresh run with the same runner is not poisoned by the old stop
+        runner.progress = None
+        report = runner.run(specs)
+        assert not report.interrupted and report.total_points == len(specs)
+
+
+class TestCrashAtomicCache:
+    def test_put_killed_midway_never_leaves_truncated_entry(self, tmp_path):
+        # hammer put() in a child and SIGKILL it at a random moment: every
+        # published entry must load; at worst a stray *.tmp file remains
+        script = (
+            "import os, sys\n"
+            "from repro.exec import ResultCache\n"
+            "cache = ResultCache(directory=sys.argv[1])\n"
+            "blob = list(range(50_000))\n"
+            "i = 0\n"
+            "while True:\n"
+            "    cache.put(f'key{i % 7}', (i, blob))\n"
+            "    i += 1\n"
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script,
+                                 str(tmp_path / "cache")], env=run_env())
+        time.sleep(1.5)
+        proc.kill()
+        proc.wait(timeout=30)
+        entries = [name for name in os.listdir(tmp_path / "cache")
+                   if name.endswith(".pkl")]
+        assert entries, "child never published an entry"
+        for name in entries:
+            with open(tmp_path / "cache" / name, "rb") as fh:
+                index, blob = pickle.load(fh)  # must never raise
+            assert blob[-1] == 49_999
+
+    def test_put_unpicklable_raises_and_leaks_no_tmp(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "cache"))
+        with pytest.raises(Exception):
+            cache.put("bad", lambda: None)
+        leftovers = os.listdir(tmp_path / "cache")
+        assert leftovers == []
+
+
+class TestFabricCLI:
+    def test_audit_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["fabric", "audit", str(tmp_path / "missing")]) == 2
+        assert "no sweep queue" in capsys.readouterr().out
+        specs = grid(levels=(2,), rates=(0.1,))
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=1,
+                              lease_ttl_s=10.0)
+        report = SweepRunner(workers=1, fabric=config).run(specs)
+        assert report.ok
+        capsys.readouterr()
+        assert main(["fabric", "audit", str(tmp_path / "q")]) == 0
+        assert "invariants hold" in capsys.readouterr().out
+
+    def test_sweep_fabric_flag_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--levels", "2", "--rates", "0.1", "0.2",
+                     "--workers", "2", "--backend", "vectorized",
+                     "--warmup", "100", "--measure", "300", "--drain", "400",
+                     "--fabric", str(tmp_path / "q"),
+                     "--cache-dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fabric:" in out
+        assert "invariants hold" in out
+
+    def test_sweep_rejects_foreign_queue(self, tmp_path, capsys):
+        from repro.cli import main
+
+        first = main(["sweep", "--levels", "2", "--rates", "0.1",
+                      "--backend", "vectorized", "--warmup", "100",
+                      "--measure", "300", "--drain", "400",
+                      "--fabric", str(tmp_path / "q")])
+        assert first == 0
+        capsys.readouterr()
+        second = main(["sweep", "--levels", "4", "--rates", "0.3",
+                       "--backend", "vectorized", "--warmup", "100",
+                       "--measure", "300", "--drain", "400",
+                       "--fabric", str(tmp_path / "q")])
+        assert second == 2
+        assert "different sweep" in capsys.readouterr().out
+
+
+class TestFabricMetrics:
+    def test_churn_counters_reach_registry(self, tmp_path, monkeypatch):
+        from repro.telemetry import Telemetry
+
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "stall-heartbeat:0.6:3.0")
+        telemetry = Telemetry(sample_interval=0)
+        specs = grid()
+        config = FabricConfig(queue_dir=str(tmp_path / "q"), workers=2,
+                              lease_ttl_s=1.0, quarantine_after=100)
+        report = SweepRunner(workers=2, fabric=config,
+                             telemetry=telemetry).run(specs)
+        assert report.ok
+        metrics = telemetry.metrics
+        assert metrics.value("fabric_lease_claims_total") >= len(specs)
+        assert metrics.value("fabric_lease_expired_total") >= 1
+        assert metrics.value("fabric_requeued_total") >= 1
+        # pre-registered counters render even when untouched
+        text = metrics.render_prometheus()
+        assert "fabric_quarantined_total 0" in text
+        assert "fabric_workers_alive" in text
