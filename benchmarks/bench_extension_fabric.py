@@ -11,23 +11,38 @@ what it costs:
   be bit-identical to the pool run);
 - ``fabric+kill9`` -- the same fabric while every worker SIGKILLs itself
   0.25-0.55 s after starting: leases expire, points re-let, and the
-  sweep still completes every point with the audit invariants holding.
+  sweep still completes every point with the audit invariants holding;
+- ``fabric+watch`` -- the clean fabric again with the full observability
+  plane attached mid-flight (``QueueWatcher`` refresh loop + Prometheus
+  exporter + HTML dashboard writes): the watcher's accumulated busy time
+  must stay under 2% of the sweep wall (the live plane is read-only --
+  event-log tailing and lease-dir scans -- so it must be near free), and
+  its final view must agree with the ``SweepReport`` exactly.
 
 Worker processes cost ~1 s each to spawn, so the fabric is expected to
 *lose* the wall-clock race on a small grid; the gates here are about
-survival (zero lost points, clean audit), not speed.  The table is
-mirrored to ``BENCH_fabric.json`` for CI to archive.
+survival (zero lost points, clean audit) and observability overhead,
+not speed.  The table is mirrored to ``BENCH_fabric.json`` for CI to
+archive.
 """
 
 import json
 import os
 import tempfile
+import threading
 import time
 
 from repro.config import NoCConfig
 from repro.core.topological import SprintTopology
-from repro.exec import FabricConfig, ResultCache, SweepRunner, audit_queue
+from repro.exec import FabricConfig, QueueError, ResultCache, SweepRunner, audit_queue
 from repro.noc.spec import SimulationSpec, TrafficSpec
+from repro.telemetry.live import (
+    LiveMetricsExporter,
+    MetricsServer,
+    QueueWatcher,
+    render_html,
+    write_html_atomic,
+)
 from repro.util.tables import format_table
 
 from benchmarks.common import once, report
@@ -55,6 +70,71 @@ def _grid():
                 backend="reference",  # slow enough that kill-9 lands mid-lease
             ))
     return specs
+
+
+class _Watcher:
+    """The full live plane on a background thread, accounting its cost.
+
+    Mirrors what ``repro watch --serve`` attaches to a running sweep:
+    incremental event tailing, lease scans, Prometheus exposition, and
+    atomic HTML dashboard rewrites.  ``busy_s`` accumulates only the
+    time the thread spends *working* (not sleeping), so the <2% overhead
+    gate is deterministic even when worker churn makes raw sweep walls
+    noisy.
+    """
+
+    def __init__(self, queue_dir, html_path, interval_s=1.0):
+        # interval_s matches the `repro watch` default refresh cadence
+        self.queue_dir = queue_dir
+        self.html_path = html_path
+        self.interval_s = interval_s
+        self.busy_s = 0.0
+        self.refreshes = 0
+        self.view = None
+        self.scrapes = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _refresh(self, watcher, exporter):
+        begin = time.perf_counter()
+        try:
+            view = watcher.refresh()
+        except QueueError:
+            view = None  # coordinator has not seeded the queue yet
+        if view is not None:
+            exporter.update(view)
+            write_html_atomic(self.html_path, render_html(view))
+            self.view = view
+            self.refreshes += 1
+        self.busy_s += time.perf_counter() - begin
+        return exporter
+
+    def _run(self):
+        exporter = LiveMetricsExporter()
+        server = MetricsServer(exporter.render).start()
+        watcher = QueueWatcher(self.queue_dir)
+        try:
+            import urllib.request
+            while not self._stop.is_set():
+                self._refresh(watcher, exporter)
+                if self.refreshes and self.scrapes < 3:  # a live scraper
+                    begin = time.perf_counter()
+                    urllib.request.urlopen(
+                        f"http://{server.address}/metrics", timeout=5).read()
+                    self.scrapes += 1
+                    self.busy_s += time.perf_counter() - begin
+                self._stop.wait(self.interval_s)
+            self._refresh(watcher, exporter)  # final post-sweep snapshot
+        finally:
+            server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=30)
 
 
 def _fabric_run(specs, root, name, chaos=None, workers=4):
@@ -94,10 +174,35 @@ def contest():
                                            chaos="kill9:0.3:0.4")
         rows.append(("fabric+kill9", churn, wall_s, audit))
 
+        # the same clean sweep with the live plane attached mid-flight
+        watch_dir = os.path.join(root, "watched")
+        os.makedirs(watch_dir, exist_ok=True)
+        with _Watcher(os.path.join(watch_dir, "queue"),
+                      os.path.join(watch_dir, "dashboard.html")) as watcher:
+            watched, wall_s, audit = _fabric_run(specs, root, "watched")
+        rows.append(("fabric+watch", watched, wall_s, audit))
+        view = watcher.view
+        watch_info = {
+            "busy_s": round(watcher.busy_s, 4),
+            "busy_pct": round(100.0 * watcher.busy_s / wall_s, 3),
+            "refreshes": watcher.refreshes,
+            "scrapes": watcher.scrapes,
+            "wall_s": wall_s,
+            "unwatched_wall_s": rows[1][2],
+            "totals_match": (
+                view is not None
+                and view.total == watched.total_points
+                and view.done == len(watched.points)
+                and view.failed == len(watched.failures)
+                and view.complete
+            ),
+        }
+
     with open(OUTPUT, "w", encoding="utf-8") as handle:
         json.dump({
             "grid": {"levels": LEVELS, "rates": RATES,
                      "points": len(specs), "backend": "reference"},
+            "watch": watch_info,
             "modes": {
                 name: {
                     "wall_s": wall_s,
@@ -117,7 +222,7 @@ def contest():
                 for name, rep, wall_s, audit in rows
             },
         }, handle, indent=1, sort_keys=True)
-    return rows
+    return rows, watch_info
 
 
 def _render(rows):
@@ -139,8 +244,16 @@ def _render(rows):
 
 
 def test_extension_sweep_fabric(benchmark):
-    rows = once(benchmark, contest)
+    rows, watch_info = once(benchmark, contest)
     report("Extension: lease-based sweep fabric vs process pool", _render(rows))
+    report(
+        "Extension: live observability plane overhead",
+        f"watcher busy {watch_info['busy_s']:.3f}s over "
+        f"{watch_info['wall_s']:.2f}s sweep wall "
+        f"({watch_info['busy_pct']:.2f}%), {watch_info['refreshes']} "
+        f"refreshes, {watch_info['scrapes']} scrapes, totals_match="
+        f"{watch_info['totals_match']}",
+    )
     results = {name: rep for name, rep, _, _ in rows}
     audits = {name: audit for name, _, _, audit in rows}
     total = len(LEVELS) * len(RATES)
@@ -152,8 +265,10 @@ def test_extension_sweep_fabric(benchmark):
         assert len(rep.points) == total and not rep.failures, name
 
     # the fabric changes scheduling, never results: bit-for-bit parity
-    for mine, theirs in zip(results["fabric"].points, results["pool"].points):
-        assert mine.result == theirs.result
+    # (watched or not -- the live plane is read-only)
+    for mode in ("fabric", "fabric+watch"):
+        for mine, theirs in zip(results[mode].points, results["pool"].points):
+            assert mine.result == theirs.result
 
     # churn really happened, and the lease ledger still balances: a lease
     # only requeues when it expired, and every point records done once
@@ -161,6 +276,14 @@ def test_extension_sweep_fabric(benchmark):
     assert fab.workers_spawned >= 4
     assert fab.worker_deaths >= 1
     assert fab.requeued <= fab.expired
-    for name in ("fabric", "fabric+kill9"):
+    for name in ("fabric", "fabric+kill9", "fabric+watch"):
         assert audits[name].ok, audits[name].summary()
         assert audits[name].done == total, name
+
+    # the observability plane is near free: the watcher thread (tailing,
+    # lease scans, HTML writes, Prometheus scrapes) spends <2% of the
+    # sweep wall actually working, and its final view agrees with the
+    # SweepReport exactly
+    assert watch_info["refreshes"] >= 1
+    assert watch_info["totals_match"], watch_info
+    assert watch_info["busy_pct"] < 2.0, watch_info

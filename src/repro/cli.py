@@ -21,7 +21,13 @@ Commands map onto the paper's evaluation axes:
 - ``worker --queue DIR``     join a ``sweep --fabric DIR`` run as an external
   lease-based worker (spawnable mid-sweep, survives coordinator churn)
 - ``fabric audit DIR``       replay a fabric queue's event log and verify the
-  no-lost/no-double-counted invariants
+  no-lost/no-double-counted invariants; ``--json`` emits the machine
+  verdict.  Exit codes: 0 invariants hold, 1 violations, 2 no queue
+- ``watch QUEUE_DIR``        live dashboard over a running (or finished)
+  fabric sweep: ANSI terminal repaint, ``--once``/``--json`` for scripts,
+  ``--html PATH`` atomic single-file dashboard, ``--serve [HOST]:PORT``
+  Prometheus scrape endpoint.  Exit codes: 0 (running, or complete and
+  clean), 3 complete with failures, 2 no queue
 
 ``sweep`` handles SIGINT/SIGTERM by draining: in-flight points finish and
 are checkpointed, a resume hint is printed, and the exit code is 5.
@@ -253,9 +259,20 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
         except ValueError as err:
             print(f"invalid sweep grid: {err}")
             return 2
+    # the live progress line (rate + ETA off the watch estimator); only
+    # when stderr is an interactive terminal, so scripted runs and CI
+    # greps see byte-identical output
+    import sys as _sys
+
+    progress_line = None
+    if _sys.stderr.isatty():
+        from repro.telemetry.live import ProgressLine
+
+        progress_line = ProgressLine(total=len(specs))
     try:
         runner = SweepRunner(workers=args.workers,
                              cache=ResultCache(directory=args.cache_dir),
+                             progress=progress_line,
                              max_retries=args.max_retries,
                              point_timeout=args.point_timeout,
                              telemetry=telemetry,
@@ -308,6 +325,8 @@ def _cmd_sweep_grid(args: argparse.Namespace) -> int:
     finally:
         for signum, handler in previous_handlers.items():
             _signal.signal(signum, handler)
+        if progress_line is not None:
+            progress_line.finish()
     if telemetry is not None:
         telemetry.save(trace_path=args.trace, metrics_path=args.metrics)
         if args.trace:
@@ -566,14 +585,53 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--wait", type=float, default=10.0, metavar="SECONDS",
                         help="how long to wait for the queue to be seeded "
                              "before giving up (exit 2)")
+    worker.add_argument("--generation", type=int, default=0, metavar="N",
+                        help="respawn generation recorded in worker-start "
+                             "events (the coordinator sets this; external "
+                             "workers default to 0)")
 
     fabric = sub.add_parser(
         "fabric",
         help="inspect a fabric queue (`fabric audit DIR` replays the event "
-             "log and verifies the no-lost/no-double-counted invariants)",
+             "log and verifies the no-lost/no-double-counted invariants; "
+             "exits 0 when they hold, 1 on violations, 2 when DIR is not "
+             "a queue)",
     )
     fabric.add_argument("action", choices=["audit"])
     fabric.add_argument("queue", metavar="QUEUE_DIR")
+    fabric.add_argument("--json", action="store_true",
+                        help="emit the audit verdict as one JSON document "
+                             "(same exit codes)")
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a fabric queue: progress, per-worker and "
+             "per-shard rates, lease health, ETA; exits 0 while running or "
+             "when complete and clean, 3 when complete with failures, 2 "
+             "when QUEUE_DIR never becomes a queue",
+    )
+    watch.add_argument("queue", metavar="QUEUE_DIR",
+                       help="the directory passed to `sweep --fabric`")
+    watch.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit (for scripts/CI)")
+    watch.add_argument("--json", action="store_true",
+                       help="emit snapshots as JSON documents (one per "
+                            "refresh; one total with --once)")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="refresh period of the live dashboard "
+                            "(default 1.0)")
+    watch.add_argument("--html", default=None, metavar="PATH",
+                       help="write a self-refreshing HTML dashboard "
+                            "atomically on every refresh (default: "
+                            "QUEUE_DIR/dashboard.html when following, "
+                            "off with --once)")
+    watch.add_argument("--serve", default=None, metavar="[HOST]:PORT",
+                       help="also serve the view as a Prometheus /metrics "
+                            "endpoint while watching")
+    watch.add_argument("--wait", type=float, default=10.0, metavar="SECONDS",
+                       help="how long to wait for the queue to appear "
+                            "before giving up (exit 2)")
 
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
@@ -800,20 +858,114 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.exec import worker_main
 
     return worker_main(args.queue, worker_id=args.id,
-                       poll_s=args.poll, wait_s=args.wait)
+                       poll_s=args.poll, wait_s=args.wait,
+                       generation=args.generation)
 
 
 def _cmd_fabric(args: argparse.Namespace) -> int:
     """``fabric audit``: verify a queue's invariants from its event log."""
+    import json
+
     from repro.exec import QueueError, audit_queue
 
     try:
         audit = audit_queue(args.queue)
     except QueueError as err:
-        print(f"fabric audit: {err}")
+        if args.json:
+            print(json.dumps({"ok": False, "error": str(err)},
+                             sort_keys=True))
+        else:
+            print(f"fabric audit: {err}")
         return 2
-    print(audit.summary())
+    if args.json:
+        print(json.dumps(audit.to_dict(), sort_keys=True))
+    else:
+        print(audit.summary())
     return 0 if audit.ok else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``watch``: live dashboard over a fabric queue."""
+    import json
+    import os
+    import sys
+    import time
+
+    from repro.exec import QueueError
+    from repro.telemetry.live import (
+        LiveMetricsExporter,
+        MetricsServer,
+        QueueWatcher,
+        parse_serve_address,
+        render_html,
+        render_terminal,
+        write_html_atomic,
+    )
+
+    interval = max(0.05, float(args.interval))
+    watcher = QueueWatcher(args.queue)
+
+    # Wait (bounded) for the coordinator to seed the queue, so
+    # `repro watch` can be started before/alongside the sweep.
+    deadline = time.monotonic() + max(0.0, float(args.wait))
+    view = None
+    while True:
+        try:
+            view = watcher.refresh()
+            break
+        except QueueError as err:
+            if time.monotonic() >= deadline:
+                print(f"watch: {err}", file=sys.stderr)
+                return 2
+            time.sleep(min(0.2, interval))
+
+    server = None
+    exporter = None
+    if args.serve is not None:
+        host, port = parse_serve_address(args.serve)
+        exporter = LiveMetricsExporter()
+        server = MetricsServer(exporter.render, host=host, port=port).start()
+        print(f"watch: serving Prometheus metrics on "
+              f"http://{server.address}/metrics", file=sys.stderr)
+
+    html_path = args.html
+    if html_path is None and not args.once:
+        html_path = os.path.join(args.queue, "dashboard.html")
+
+    interactive = (not args.once and not args.json
+                   and sys.stdout.isatty())
+    try:
+        while True:
+            if exporter is not None:
+                exporter.update(view)
+            if html_path:
+                write_html_atomic(
+                    html_path,
+                    render_html(view, refresh_s=max(1.0, interval)),
+                )
+            if args.json:
+                print(json.dumps(view.to_dict(), sort_keys=True), flush=True)
+            elif interactive:
+                sys.stdout.write("\x1b[H\x1b[J" + render_terminal(view))
+                sys.stdout.flush()
+            else:
+                print(render_terminal(view, color=False), flush=True)
+            if args.once or view.complete:
+                break
+            time.sleep(interval)
+            try:
+                view = watcher.refresh()
+            except QueueError as err:  # queue deleted mid-watch
+                print(f"watch: {err}", file=sys.stderr)
+                return 2
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if server is not None:
+            server.stop()
+        if interactive:
+            sys.stdout.write("\n")
+    return 3 if (view.complete and view.failed) else 0
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
@@ -879,6 +1031,7 @@ _HANDLERS = {
     "backends": _cmd_backends,
     "worker": _cmd_worker,
     "fabric": _cmd_fabric,
+    "watch": _cmd_watch,
     "figure": _cmd_figure,
 }
 

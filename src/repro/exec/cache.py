@@ -26,6 +26,20 @@ import pickle
 import tempfile
 from dataclasses import dataclass, field
 
+#: Gauge names exported by :meth:`ResultCache.export_metrics`,
+#: pre-registered on instrumented sweeps so a hit-free run still renders
+#: the full series (zeros), keeping snapshot merges shape-stable.
+CACHE_GAUGE_HELP = {
+    "result_cache_hits": "Result-cache lookups served from cache.",
+    "result_cache_misses": "Result-cache lookups that missed.",
+    "result_cache_stores": "Results written to the cache.",
+    "result_cache_corrupt_entries": "Unreadable on-disk entries dropped "
+                                    "and re-run.",
+    "result_cache_bytes_read": "Pickle bytes served from disk.",
+    "result_cache_bytes_written": "Pickle bytes persisted to disk.",
+    "result_cache_hit_rate": "Fraction of lookups served from cache.",
+}
+
 
 @dataclass
 class CacheStats:
@@ -61,6 +75,20 @@ class CacheStats:
             bytes_written=self.bytes_written,
         )
 
+    def as_dict(self) -> dict:
+        """A JSON-ready rendering, including the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
 
 @dataclass
 class ResultCache:
@@ -82,6 +110,25 @@ class ResultCache:
     def stats(self) -> CacheStats:
         """A point-in-time snapshot of the hit/miss/bytes counters."""
         return self.counters.snapshot()
+
+    def export_metrics(self, registry) -> CacheStats:
+        """Set the ``result_cache_*`` gauges on a metrics registry.
+
+        Returns the :class:`CacheStats` snapshot the gauges were read
+        from, so callers (the sweep runner, the watch exporter) reuse
+        one consistent reading instead of sampling twice.
+        """
+        stats = self.stats()
+        registry.preregister(gauges=CACHE_GAUGE_HELP)
+        gauge = registry.gauge
+        gauge("result_cache_hits").set(stats.hits)
+        gauge("result_cache_misses").set(stats.misses)
+        gauge("result_cache_stores").set(stats.stores)
+        gauge("result_cache_corrupt_entries").set(stats.corrupt)
+        gauge("result_cache_bytes_read").set(stats.bytes_read)
+        gauge("result_cache_bytes_written").set(stats.bytes_written)
+        gauge("result_cache_hit_rate").set(round(stats.hit_rate, 6))
+        return stats
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -219,4 +266,4 @@ class ResultCache:
         self._memory.clear()
 
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CACHE_GAUGE_HELP", "CacheStats", "ResultCache"]

@@ -83,6 +83,7 @@ from pathlib import Path
 
 from repro.exec.cache import ResultCache
 from repro.exec.runner import CHAOS_ENV, _simulate_guarded
+from repro.telemetry.live import shard_of
 
 QUEUE_META = "queue.json"
 SPECS_FILE = "specs.pkl"
@@ -112,6 +113,15 @@ FABRIC_COUNTER_HELP = {
                               "(done event lost with its worker).",
 }
 
+#: Fabric gauges, pre-registered alongside the counters so they render
+#: (as zeros) before their first ``set`` -- without this a churn-free
+#: sweep's snapshot is missing the series a churny one has, and merged
+#: snapshots change shape run to run.
+FABRIC_GAUGE_HELP = {
+    "fabric_workers_alive": "Live local fabric worker processes.",
+    "fabric_leases_active": "Leases currently held by workers.",
+}
+
 
 class QueueError(RuntimeError):
     """The queue directory is absent, foreign, or belongs to another sweep."""
@@ -129,6 +139,7 @@ class FabricConfig:
     poll_s: float = 0.05              # coordinator/worker scan period
     respawn: bool = True              # keep the local pool at `workers`
     drain_timeout_s: float = 30.0     # grace for in-flight points on drain
+    shards: int = 8                   # content-derived buckets for live views
 
     def __post_init__(self):
         if self.workers < 0:
@@ -137,6 +148,8 @@ class FabricConfig:
             raise ValueError("lease_ttl_s must be positive")
         if self.quarantine_after < 1:
             raise ValueError("quarantine_after must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +333,10 @@ class LeaseTable:
     def settings(self) -> dict:
         return (self.meta or {}).get("settings", {})
 
+    def shard(self, key: str) -> int:
+        """The content-derived shard id of one point (for live views)."""
+        return shard_of(key, int(self.settings.get("shards") or 0))
+
     # event log ---------------------------------------------------------
     def append(self, event: dict) -> None:
         """Append one event as a whole line (O_APPEND, single write)."""
@@ -381,7 +398,8 @@ class LeaseTable:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         self.append({"ev": "claim", "key": key, "worker": worker,
-                     "attempt": attempt, "nonce": payload["nonce"]})
+                     "attempt": attempt, "nonce": payload["nonce"],
+                     "shard": self.shard(key)})
         return payload
 
     def read_lease(self, key: str) -> dict | None:
@@ -542,7 +560,7 @@ def _torn_write(cache: ResultCache, key: str) -> None:
 
 def worker_main(queue_dir: str, worker_id: str | None = None,
                 poll_s: float = 0.05, wait_s: float = 10.0,
-                log=None) -> int:
+                log=None, generation: int = 0) -> int:
     """The fabric worker loop (``repro worker --queue DIR``).
 
     Joins the queue (waiting up to ``wait_s`` for a coordinator to seed
@@ -586,7 +604,8 @@ def worker_main(queue_dir: str, worker_id: str | None = None,
     except ValueError:
         restore = {}  # not the main thread (in-process tests)
 
-    table.append({"ev": "worker-start", "worker": worker, "pid": os.getpid()})
+    table.append({"ev": "worker-start", "worker": worker, "pid": os.getpid(),
+                  "generation": int(generation)})
     keys = list(meta["keys"])
     if keys:  # scan from a worker-specific offset to spread claim attempts
         start = int(hashlib.sha256(worker.encode()).hexdigest()[:8], 16)
@@ -644,6 +663,7 @@ def _run_point(table: LeaseTable, cache: ResultCache, specs: dict,
                heartbeat_s: float, ttl: float) -> int:
     """Execute one leased point end to end; returns 1 on a ``done``."""
     key, worker, attempt = lease["key"], lease["worker"], lease["attempt"]
+    shard = table.shard(key)
 
     # stall-heartbeat chaos: no renewals + a stall longer than the ttl,
     # so the lease expires mid-flight and the worker must find itself
@@ -665,9 +685,12 @@ def _run_point(table: LeaseTable, cache: ResultCache, specs: dict,
         # `done` event: recover the orphaned result instead of re-running
         orphan = cache.get(key)
         if orphan is not None:
+            # cache-hit provenance: the result pre-existed (an orphaned
+            # write, or a shared cache warmed by another sweep)
             table.append({"ev": "done", "key": key, "worker": worker,
                           "attempt": attempt, "elapsed": 0.0,
-                          "recovered": True})
+                          "recovered": True, "cached": True,
+                          "shard": shard})
             return 1
         if chaos is not None and chaos.mode == "slow":
             if chaos_coin(key, attempt) < chaos.num(0, 1.0):
@@ -681,12 +704,13 @@ def _run_point(table: LeaseTable, cache: ResultCache, specs: dict,
             cache.put(key, result)  # crash-atomic: whole entry or nothing
             table.append({"ev": "done", "key": key, "worker": worker,
                           "attempt": attempt,
-                          "elapsed": round(elapsed, 6)})
+                          "elapsed": round(elapsed, 6),
+                          "shard": shard})
             return 1
         _, message, traceback_text, _elapsed, _payload = status
         table.append({"ev": "error", "key": key, "worker": worker,
                       "attempt": attempt, "error": message,
-                      "tb": traceback_text})
+                      "tb": traceback_text, "shard": shard})
         return 0
     finally:
         heartbeat.stop()
@@ -771,7 +795,8 @@ class FabricCoordinator:
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "worker", "--queue", str(queue),
-             "--id", worker_id, "--wait", "30"],
+             "--id", worker_id, "--wait", "30",
+             "--generation", str(generation)],
             stdout=log, stderr=subprocess.STDOUT, env=env,
         )
         self.stats.workers_spawned += 1
@@ -807,6 +832,7 @@ class FabricCoordinator:
                 "lease_ttl_s": config.lease_ttl_s,
                 "heartbeat_s": config.heartbeat_s,
                 "quarantine_after": config.quarantine_after,
+                "shards": config.shards,
             },
         )
         if adopted:
@@ -815,7 +841,8 @@ class FabricCoordinator:
             table.reclaim_expired()
         transport = ResultCache(directory=table.meta["results_dir"])
         if self.telemetry is not None:
-            self.telemetry.metrics.preregister(FABRIC_COUNTER_HELP)
+            self.telemetry.metrics.preregister(FABRIC_COUNTER_HELP,
+                                               gauges=FABRIC_GAUGE_HELP)
 
         pending_keys = set(keys)
         completed: set[str] = set()
@@ -1015,6 +1042,19 @@ class FabricAudit:
     def ok(self) -> bool:
         return not self.problems
 
+    def to_dict(self) -> dict:
+        """The machine-readable verdict (``repro fabric audit --json``)."""
+        return {
+            "ok": self.ok,
+            "total": self.total,
+            "done": self.done,
+            "quarantined": self.quarantined,
+            "duplicates": self.duplicates,
+            "expired": self.expired,
+            "active_leases": self.active_leases,
+            "problems": list(self.problems),
+        }
+
     def summary(self) -> str:
         lines = [
             f"fabric audit: {self.total} point(s), {self.done} done, "
@@ -1099,6 +1139,7 @@ def audit_queue(queue_dir: str | Path,
 __all__ = [
     "ChaosPlan",
     "FABRIC_COUNTER_HELP",
+    "FABRIC_GAUGE_HELP",
     "FabricAudit",
     "FabricConfig",
     "FabricCoordinator",

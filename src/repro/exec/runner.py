@@ -584,21 +584,7 @@ class SweepRunner:
         if tel is not None:
             tel.metrics.counter("sweep_cache_hits_total").inc(hits + dedup_served)
             tel.metrics.counter("sweep_cache_misses_total").inc(len(unique))
-            cache_stats = self.cache.stats()
-            gauge = tel.metrics.gauge
-            gauge("result_cache_hits",
-                  "Result-cache lookups served from cache.").set(cache_stats.hits)
-            gauge("result_cache_misses",
-                  "Result-cache lookups that missed.").set(cache_stats.misses)
-            gauge("result_cache_stores",
-                  "Results written to the cache.").set(cache_stats.stores)
-            gauge("result_cache_corrupt_entries",
-                  "Unreadable on-disk entries dropped and re-run.",
-                  ).set(cache_stats.corrupt)
-            gauge("result_cache_bytes_read",
-                  "Pickle bytes served from disk.").set(cache_stats.bytes_read)
-            gauge("result_cache_bytes_written",
-                  "Pickle bytes persisted to disk.").set(cache_stats.bytes_written)
+            self.cache.export_metrics(tel.metrics)
             sweep_span.annotate(
                 cache_hits=hits + dedup_served,
                 simulated=len(succeeded),

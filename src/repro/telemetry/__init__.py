@@ -34,6 +34,15 @@ from pathlib import Path
 
 from repro.telemetry.compare import Comparison, MetricPolicy, compare_runs
 from repro.telemetry.ledger import Ledger, RunRecord
+from repro.telemetry.live import (
+    LiveAggregator,
+    LiveMetricsExporter,
+    MetricsServer,
+    ProgressLine,
+    QueueWatcher,
+    RateEstimator,
+    SweepView,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -142,12 +151,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Ledger",
+    "LiveAggregator",
+    "LiveMetricsExporter",
     "MetricPolicy",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_INSTRUMENT",
     "NULL_SPAN",
+    "ProgressLine",
+    "QueueWatcher",
+    "RateEstimator",
     "RunRecord",
     "Span",
+    "SweepView",
     "Telemetry",
     "TelemetryContext",
     "Tracer",

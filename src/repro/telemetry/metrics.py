@@ -154,16 +154,24 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get(Histogram, name, help, labels, buckets=buckets)
 
-    def preregister(self, counters: dict[str, str]) -> None:
-        """Eagerly register a ``name -> help`` batch of counters.
+    def preregister(self, counters: dict[str, str] | None = None, *,
+                    gauges: dict[str, str] | None = None,
+                    histograms: dict[str, str] | None = None) -> None:
+        """Eagerly register ``name -> help`` batches of instruments.
 
         Subsystems call this at the start of an instrumented run so every
-        declared counter renders (as zero) in the Prometheus dump even
-        when the run never incremented it -- an absent metric is
-        indistinguishable from a broken one, a zero is an answer.
+        declared series renders (as zero) in the Prometheus dump even
+        when the run never touched it -- an absent metric is
+        indistinguishable from a broken one, a zero is an answer.  This
+        is also what keeps snapshot/merge consistent across runs: a
+        churn-free sweep and a churny one export the same series set.
         """
-        for name, help_text in counters.items():
+        for name, help_text in (counters or {}).items():
             self.counter(name, help_text)
+        for name, help_text in (gauges or {}).items():
+            self.gauge(name, help_text)
+        for name, help_text in (histograms or {}).items():
+            self.histogram(name, help_text)
 
     def __len__(self) -> int:
         return len(self._instruments)
