@@ -33,9 +33,14 @@ the declarative :class:`~repro.noc.spec.SimulationSpec` /
 the simulation-backend registry
 (:func:`~repro.noc.backends.register_backend` /
 :func:`~repro.noc.backends.get_backend` /
-:func:`~repro.noc.backends.list_backends`), and the run-history
+:func:`~repro.noc.backends.list_backends`), the run-history
 observatory (:class:`~repro.telemetry.Ledger`,
-:func:`~repro.telemetry.compare_runs`).
+:func:`~repro.telemetry.compare_runs`), and the versioned wire codec
+behind the ``repro serve`` HTTP API
+(:func:`~repro.noc.spec.spec_to_wire` /
+:func:`~repro.noc.spec.spec_from_wire`, with
+:meth:`EvaluationReport.to_wire` for report documents; see
+``docs/service.md``).
 """
 
 from repro.config import NoCConfig, SystemConfig, default_config
@@ -53,6 +58,12 @@ from repro.core.system import EvaluationReport
 from repro.exec import ResultCache, SweepRunner
 from repro.noc import SimulationSpec, TrafficSpec, run_simulation
 from repro.noc.backends import get_backend, list_backends, register_backend
+from repro.noc.spec import (
+    WIRE_VERSION,
+    WireFormatError,
+    spec_from_wire,
+    spec_to_wire,
+)
 from repro.telemetry import Ledger, RunRecord, compare_runs
 
 __version__ = "1.0.0"
@@ -79,6 +90,11 @@ __all__ = [
     "run_simulation",
     "SweepRunner",
     "ResultCache",
+    # the versioned wire codec (the `repro serve` contract)
+    "WIRE_VERSION",
+    "WireFormatError",
+    "spec_to_wire",
+    "spec_from_wire",
     # simulation-backend registry
     "register_backend",
     "get_backend",

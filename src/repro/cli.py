@@ -28,6 +28,19 @@ Commands map onto the paper's evaluation axes:
   ``--html PATH`` atomic single-file dashboard, ``--serve [HOST]:PORT``
   Prometheus scrape endpoint.  Exit codes: 0 (running, or complete and
   clean), 3 complete with failures, 2 no queue
+- ``serve``                  the experiment-as-a-service HTTP front door
+  (:mod:`repro.service`): accepts wire-format spec submissions on
+  ``POST /v1/evaluate`` / ``/v1/sweeps``, coalesces identical concurrent
+  requests onto one simulation, serves results from the shared cache and
+  run ledger, enforces per-client rate limits and simulated-seconds
+  budgets, and exposes ``service_*`` metrics on ``/metrics``
+- ``submit SPEC.json``       the reference client: POST a spec (or batch)
+  to a running ``repro serve`` (``--server URL``) and print the results;
+  ``--local`` evaluates in-process through the identical service engine
+  for bit-for-bit parity testing
+- ``fetch KEY --server URL`` retrieve one result by cache key (exit 3
+  while it is still computing); ``--run`` fetches a run-ledger record by
+  id prefix instead
 
 ``sweep`` handles SIGINT/SIGTERM by draining: in-flight points finish and
 are checkpointed, a resume hint is printed, and the exit code is 5.
@@ -633,6 +646,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how long to wait for the queue to appear "
                             "before giving up (exit 2)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment-as-a-service HTTP API: wire-format spec "
+             "submission, request coalescing, per-client rate limits and "
+             "simulated-seconds budgets, /metrics exposition",
+    )
+    serve.add_argument("--listen", default="127.0.0.1:8451",
+                       metavar="[HOST]:PORT",
+                       help="bind address (default 127.0.0.1:8451; port 0 "
+                            "picks an ephemeral port and prints it)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="simulation worker processes per batch")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist results on disk (shared with `repro "
+                            "sweep --cache-dir` -- submissions of already "
+                            "swept specs are cache hits)")
+    serve.add_argument("--ledger-dir", default=None, metavar="DIR",
+                       help="run-ledger directory (default .repro/ledger or "
+                            "$REPRO_LEDGER_DIR)")
+    serve.add_argument("--fabric", default=None, metavar="QUEUE_DIR",
+                       help="execute batches through the lease-based work "
+                            "fabric rooted here instead of a local pool")
+    serve.add_argument("--rate", type=float, default=50.0, metavar="PER_S",
+                       help="per-client token-bucket refill rate, specs/s "
+                            "(default 50)")
+    serve.add_argument("--burst", type=float, default=200.0, metavar="N",
+                       help="per-client token-bucket capacity (default 200)")
+    serve.add_argument("--budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-client simulated-seconds budget; once a "
+                            "client's completed simulations exceed it, "
+                            "submissions are refused 402 (default: "
+                            "unlimited)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a wire-format spec file (one document or a batch) to "
+             "a running `repro serve` -- or, with --local, evaluate it "
+             "in-process through the identical service engine",
+    )
+    submit.add_argument("spec", metavar="SPEC.json",
+                        help="a spec_to_wire() document, a JSON list of "
+                             "them, or {\"specs\": [...]}")
+    submit.add_argument("--server", default=None, metavar="URL",
+                        help="base URL of a running `repro serve`")
+    submit.add_argument("--local", action="store_true",
+                        help="short-circuit in-process (no server) for "
+                             "parity testing")
+    submit.add_argument("--client", default="cli", metavar="NAME",
+                        help="client identity sent as X-Repro-Client")
+    submit.add_argument("--wait", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="how long to wait for results before exiting "
+                             "3 (still running)")
+    submit.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (--local mode)")
+    submit.add_argument("--workers", type=int, default=1,
+                        help="worker processes (--local mode)")
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="retrieve one result by cache key from a running `repro "
+             "serve` (exit 0 done, 3 still computing, 1 unknown)",
+    )
+    fetch.add_argument("key", metavar="KEY",
+                       help="a spec cache key (or run id with --run)")
+    fetch.add_argument("--server", required=True, metavar="URL",
+                       help="base URL of a running `repro serve`")
+    fetch.add_argument("--run", action="store_true",
+                       help="fetch a run-ledger record by id/prefix "
+                            "instead of a result")
+
     network = sub.add_parser("network", help="injection sweep on a sprint region")
     network.add_argument("--level", type=int, default=4)
     network.add_argument("--pattern", default="uniform",
@@ -1017,6 +1102,172 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                                   "--benchmark-disable-gc", "--benchmark-quiet"])
 
 
+def _service_request(url: str, data: bytes | None = None,
+                     client: str | None = None,
+                     timeout: float = 300.0) -> tuple[int, dict]:
+    """One JSON round trip to a `repro serve` endpoint (stdlib urllib).
+
+    HTTP error statuses are returned, not raised, so callers can print
+    the structured error payload the service sends with them.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    headers = {"Content-Type": "application/json"}
+    if client:
+        headers["X-Repro-Client"] = client
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.getcode(), _json.load(response)
+    except urllib.error.HTTPError as err:
+        try:
+            body = err.read().decode("utf-8", "replace")
+        finally:
+            err.close()
+        try:
+            return err.code, _json.loads(body)
+        except ValueError:
+            return err.code, {"error": {"type": "http", "message": body,
+                                        "missing": [], "alternatives": []}}
+
+
+def _load_wire_documents(path: str) -> list:
+    """SPEC.json -> a list of wire documents (singletons stay a batch of 1)."""
+    import json as _json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = _json.load(handle)
+    if isinstance(payload, dict) and isinstance(payload.get("specs"), list):
+        return payload["specs"]
+    if isinstance(payload, list):
+        return payload
+    return [payload]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.exec.cache import ResultCache
+    from repro.exec.fabric import FabricConfig
+    from repro.service import ClientAccounts, ExperimentServer, ExperimentService
+    from repro.telemetry.ledger import Ledger
+    from repro.telemetry.live import parse_serve_address
+
+    host, port = parse_serve_address(args.listen)
+    fabric = None
+    if args.fabric:
+        fabric = FabricConfig(queue_dir=args.fabric, workers=max(args.workers, 1))
+    service = ExperimentService(
+        cache=ResultCache(directory=args.cache_dir),
+        workers=args.workers,
+        accounts=ClientAccounts(rate_per_s=args.rate, burst=args.burst,
+                                budget_simulated_s=args.budget),
+        ledger=Ledger(directory=args.ledger_dir),
+        fabric=fabric,
+    )
+    server = ExperimentServer(service, host=host, port=port).start()
+    print(f"repro service listening on http://{server.address}", flush=True)
+    print("endpoints: POST /v1/evaluate, POST /v1/sweeps, "
+          "GET /v1/results/KEY, GET /v1/runs/ID, GET /metrics", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        print("draining...", flush=True)
+        server.stop()
+    return 0
+
+
+def _submit_local(args: argparse.Namespace, documents: list) -> int:
+    import json as _json
+
+    from repro.exec.cache import ResultCache
+    from repro.service import ExperimentService
+
+    service = ExperimentService(cache=ResultCache(directory=args.cache_dir),
+                                workers=args.workers)
+    try:
+        ticket = service.submit(documents, client=args.client)
+        results = {}
+        failed = {}
+        for key in dict.fromkeys(ticket.keys):
+            value = service.wait(key, timeout_s=args.wait)
+            if value is not None:
+                results[key] = value.to_wire()
+            else:
+                failed[key] = service.error(key) or service.status(key)
+        doc = ticket.to_dict()
+        doc.update({"results": results, "complete": not failed})
+        if failed:
+            doc["errors"] = failed
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if failed else 0
+    finally:
+        service.close()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    documents = _load_wire_documents(args.spec)
+    if args.local:
+        return _submit_local(args, documents)
+    if not args.server:
+        print("repro submit needs --server URL (or --local)")
+        return 2
+    base = args.server.rstrip("/")
+    if len(documents) == 1:
+        body = _json.dumps({"spec": documents[0], "wait_s": args.wait})
+        status, doc = _service_request(base + "/v1/evaluate",
+                                       data=body.encode("utf-8"),
+                                       client=args.client,
+                                       timeout=args.wait + 30.0)
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if status == 200 else 3 if status == 202 else 1
+    body = _json.dumps({"specs": documents})
+    status, doc = _service_request(base + "/v1/sweeps",
+                                   data=body.encode("utf-8"),
+                                   client=args.client)
+    if status != 202:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 1
+    sweep_id = doc["sweep_id"]
+    deadline = _time.monotonic() + args.wait
+    while True:
+        status, doc = _service_request(f"{base}/v1/sweeps/{sweep_id}",
+                                       client=args.client)
+        if status != 200:
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+            return 1
+        if doc.get("complete"):
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+            return 1 if doc.get("failed") else 0
+        if _time.monotonic() >= deadline:
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+            return 3
+        _time.sleep(0.2)
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    base = args.server.rstrip("/")
+    path = f"/v1/runs/{args.key}" if args.run else f"/v1/results/{args.key}"
+    status, doc = _service_request(base + path)
+    print(_json.dumps(doc, indent=2, sort_keys=True))
+    if status == 200:
+        return 0
+    if status == 202:
+        return 3
+    return 1
+
+
 _HANDLERS = {
     "table1": _cmd_table1,
     "sprint": _cmd_sprint,
@@ -1033,6 +1284,9 @@ _HANDLERS = {
     "fabric": _cmd_fabric,
     "watch": _cmd_watch,
     "figure": _cmd_figure,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "fetch": _cmd_fetch,
 }
 
 

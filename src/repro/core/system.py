@@ -89,6 +89,51 @@ class EvaluationReport:
     peak_temperature_k: float | None = None
     sprint_duration_s: float | None = None
 
+    def to_wire(self) -> dict:
+        """Version-tagged JSON-ready document for the service API.
+
+        Same versioning policy as :func:`repro.noc.spec.spec_to_wire`:
+        the shape is the v1 contract, so removing or renaming a field is
+        a wire break.  Power breakdowns flatten to scalar watts; the
+        network axis embeds :meth:`SimulationResult.to_wire`'s scalar
+        body plus the power totals.
+        """
+        network = None
+        if self.network is not None:
+            network = {
+                "sim": self.network.sim.to_wire()["result"],
+                "power": {
+                    "total_w": self.network.power.total,
+                    "dynamic_w": self.network.power.dynamic,
+                    "leakage_w": self.network.power.leakage,
+                    "powered_router_count": self.network.power.powered_router_count,
+                    "powered_link_count": self.network.power.powered_link_count,
+                },
+            }
+        return {
+            "v": 1,
+            "kind": "evaluation_report",
+            "report": {
+                "benchmark": self.benchmark,
+                "scheme": self.scheme,
+                "level": self.level,
+                "relative_time": self.relative_time,
+                "speedup": self.speedup,
+                "core_power_w": self.core_power_w,
+                "chip_power": {
+                    "cores": self.chip_power.cores,
+                    "l2": self.chip_power.l2,
+                    "memory_controllers": self.chip_power.memory_controllers,
+                    "noc": self.chip_power.noc,
+                    "others": self.chip_power.others,
+                    "total": self.chip_power.total,
+                },
+                "network": network,
+                "peak_temperature_k": self.peak_temperature_k,
+                "sprint_duration_s": self.sprint_duration_s,
+            },
+        }
+
 
 #: Back-compat alias; ``EvaluationReport`` is the current name.
 WorkloadEvaluation = EvaluationReport

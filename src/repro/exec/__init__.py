@@ -25,7 +25,7 @@ and ``docs/robustness.md`` for the failure-isolation model and the
 fabric's lease lifecycle.
 """
 
-from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.cache import CacheClaim, CacheStats, ResultCache
 from repro.exec.fabric import (
     FabricAudit,
     FabricConfig,
@@ -37,6 +37,7 @@ from repro.exec.fabric import (
 from repro.exec.runner import FailedPoint, SweepPoint, SweepReport, SweepRunner
 
 __all__ = [
+    "CacheClaim",
     "CacheStats",
     "FabricAudit",
     "FabricConfig",

@@ -24,6 +24,8 @@ import json
 import os
 import pickle
 import tempfile
+import threading
+import time
 from dataclasses import dataclass, field
 
 #: Gauge names exported by :meth:`ResultCache.export_metrics`,
@@ -90,6 +92,50 @@ class CacheStats:
         }
 
 
+#: A claim file untouched for this long is presumed orphaned (its holder
+#: crashed before releasing) and may be taken over by the next claimant.
+DEFAULT_CLAIM_TTL_S = 600.0
+
+
+@dataclass
+class CacheClaim:
+    """The exclusive right to compute one cache key.
+
+    Returned by :meth:`ResultCache.get_or_begin` to exactly one claimant
+    per key at a time, so request coalescing can never race two writers
+    for the same slot.  The holder must end the claim exactly one way:
+
+    - :meth:`complete` -- publish the computed value and release, or
+    - :meth:`release` -- release without writing (the value was stored
+      through another path, e.g. a sweep runner that writes the cache
+      itself), or
+    - :meth:`abandon` -- the computation failed; release so another
+      claimant may retry.
+
+    All three are idempotent after the first call.
+    """
+
+    cache: "ResultCache"
+    key: str
+    _ended: bool = field(default=False, repr=False)
+
+    def complete(self, value) -> None:
+        """Publish ``value`` under the claimed key and release the claim."""
+        self.cache.put(self.key, value)
+        self.release()
+
+    def release(self) -> None:
+        """End the claim without writing a value."""
+        if self._ended:
+            return
+        self._ended = True
+        self.cache._release_claim(self.key)
+
+    def abandon(self) -> None:
+        """End a failed claim so another claimant may retry the key."""
+        self.release()
+
+
 @dataclass
 class ResultCache:
     """In-memory + optional on-disk store of simulation results by key.
@@ -102,6 +148,10 @@ class ResultCache:
     directory: str | None = None
     counters: CacheStats = field(default_factory=CacheStats)
     _memory: dict = field(default_factory=dict, repr=False)
+    _claims: set = field(default_factory=set, repr=False, compare=False)
+    _claims_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.directory is not None:
@@ -253,6 +303,104 @@ class ResultCache:
                     pass
                 raise
 
+    # ------------------------------------------------------------------
+    # claims (singleflight): at most one computer per key at a time
+    # ------------------------------------------------------------------
+    def _claim_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{key}.claim")
+
+    def get_or_begin(
+        self, key: str, *, claim_ttl_s: float = DEFAULT_CLAIM_TTL_S
+    ) -> tuple:
+        """Look up ``key``; on a miss, try to claim the right to compute it.
+
+        Three-way return contract:
+
+        - ``(value, None)`` -- cache hit, nothing to compute;
+        - ``(None, claim)`` -- miss and *this caller* won the
+          :class:`CacheClaim`: compute the value, then
+          ``claim.complete(value)`` (or :meth:`CacheClaim.abandon` on
+          failure);
+        - ``(None, None)`` -- miss but another claimant (thread or
+          process) already holds the claim: poll :meth:`get` / re-call
+          ``get_or_begin`` until the value lands or the claim clears.
+
+        Disk-backed caches arbitrate across processes with an
+        ``O_CREAT | O_EXCL`` claim file (the same primitive as the sweep
+        fabric's leases); memory-only caches arbitrate across threads
+        with an internal set.  A claim file older than ``claim_ttl_s``
+        is presumed orphaned by a crashed holder and is taken over.
+        """
+        value = self.get(key)
+        if value is not None:
+            return value, None
+        if self.directory is None:
+            with self._claims_lock:
+                if key in self._claims:
+                    return None, None
+                self._claims.add(key)
+            claim = CacheClaim(self, key)
+        else:
+            claim = self._begin_disk_claim(key, claim_ttl_s)
+            if claim is None:
+                return None, None
+        # close the miss -> claim window: a competitor may have completed
+        # (and released) between our miss and our claim win
+        value = self.get(key)
+        if value is not None:
+            claim.release()
+            return value, None
+        return None, claim
+
+    def _begin_disk_claim(self, key: str, claim_ttl_s: float):
+        path = self._claim_path(key)
+        for attempt in (0, 1):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(path)
+                except OSError:
+                    continue  # released between open and stat: retry once
+                if attempt == 0 and age > claim_ttl_s:
+                    # orphaned claim (holder crashed): take it over
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
+                return None
+            except OSError:
+                return None  # unwritable directory: nobody claims
+            try:
+                os.write(fd, json.dumps(
+                    {"pid": os.getpid(), "ts": time.time()}
+                ).encode("utf-8"))
+            finally:
+                os.close(fd)
+            with self._claims_lock:
+                self._claims.add(key)
+            return CacheClaim(self, key)
+        return None
+
+    def _release_claim(self, key: str) -> None:
+        with self._claims_lock:
+            self._claims.discard(key)
+        if self.directory is not None:
+            try:
+                os.unlink(self._claim_path(key))
+            except OSError:
+                pass
+
+    def has_claim(self, key: str) -> bool:
+        """True while some claimant (any thread/process) holds ``key``."""
+        with self._claims_lock:
+            if key in self._claims:
+                return True
+        return (self.directory is not None
+                and os.path.exists(self._claim_path(key)))
+
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
@@ -266,4 +414,10 @@ class ResultCache:
         self._memory.clear()
 
 
-__all__ = ["CACHE_GAUGE_HELP", "CacheStats", "ResultCache"]
+__all__ = [
+    "CACHE_GAUGE_HELP",
+    "CacheClaim",
+    "CacheStats",
+    "DEFAULT_CLAIM_TTL_S",
+    "ResultCache",
+]

@@ -66,6 +66,7 @@ Chaos modes (``REPRO_SWEEP_CHAOS``, on top of the ``raise``/``exit``/
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -150,6 +151,19 @@ class FabricConfig:
             raise ValueError("quarantine_after must be >= 1")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+
+    def for_batch(self, fingerprint: str) -> "FabricConfig":
+        """The same knobs bound to a per-batch queue subdirectory.
+
+        A fabric queue directory belongs to exactly one sweep (the
+        coordinator stamps and audits it), so a long-lived owner -- the
+        service front door dispatching many batches over one configured
+        fabric -- derives a fresh queue per batch from the batch's
+        content fingerprint instead of reusing one directory serially.
+        """
+        return dataclasses.replace(
+            self, queue_dir=os.path.join(self.queue_dir, f"batch-{fingerprint[:16]}")
+        )
 
 
 # ----------------------------------------------------------------------

@@ -376,6 +376,7 @@ class SweepRunner:
         telemetry: Telemetry | None = None,
         ledger: Ledger | None = None,
         ledger_label: str | None = None,
+        ledger_kind: str = "sweep",
         fabric=None,
     ):
         # fabric mode (a FabricConfig): execution is delegated to the
@@ -407,6 +408,9 @@ class SweepRunner:
         # a nested runner whose owner records the enclosing run instead)
         self.ledger = ledger if ledger is not None else Ledger()
         self.ledger_label = ledger_label
+        # what kind the RunRecord is filed under -- "sweep" for direct
+        # runs, "service" when the HTTP front door executes the batch
+        self.ledger_kind = ledger_kind
         self.fabric = fabric
         self._stop = threading.Event()
 
@@ -630,7 +634,7 @@ class SweepRunner:
         # runs are unambiguous about what actually executed them
         backends = {spec.resolved_backend() for spec in specs}
         return self.ledger.record(
-            "sweep",
+            self.ledger_kind,
             label=self.ledger_label,
             backend=(backends.pop() if len(backends) == 1
                      else "mixed" if backends else None),

@@ -52,5 +52,40 @@ class SimulationResult:
         """True when a fault forced the network to reconfigure mid-run."""
         return self.reconfigurations > 0
 
+    def to_wire(self) -> dict:
+        """JSON-ready scalar summary for the service wire format.
+
+        The per-router/per-link :class:`NetworkActivity` ledger is
+        deliberately omitted: it is an in-process power-model input, not
+        part of the result contract clients consume, and it dwarfs the
+        scalars.  Fields mirror the dataclass so two backends that agree
+        bit-for-bit serialize identically.
+        """
+        return {
+            "v": 1,
+            "kind": "simulation_result",
+            "result": {
+                "avg_latency": self.avg_latency,
+                "avg_hops": self.avg_hops,
+                "max_latency": self.max_latency,
+                "p50_latency": self.p50_latency,
+                "p95_latency": self.p95_latency,
+                "p99_latency": self.p99_latency,
+                "packets_measured": self.packets_measured,
+                "packets_ejected": self.packets_ejected,
+                "offered_flits_per_cycle": self.offered_flits_per_cycle,
+                "accepted_flits_per_cycle": self.accepted_flits_per_cycle,
+                "saturated": self.saturated,
+                "cycles_run": self.cycles_run,
+                "measure_cycles": self.measure_cycles,
+                "endpoint_count": self.endpoint_count,
+                "packets_dropped": self.packets_dropped,
+                "packets_retransmitted": self.packets_retransmitted,
+                "packets_rerouted": self.packets_rerouted,
+                "reconfigurations": self.reconfigurations,
+                "min_region_level": self.min_region_level,
+            },
+        }
+
 
 __all__ = ["SimulationResult"]

@@ -70,6 +70,130 @@ def stable_key(obj) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+# ----------------------------------------------------------------------
+# the versioned wire format (the repro.service / `repro serve` contract)
+# ----------------------------------------------------------------------
+#: Wire-format schema version.  The v1 body is *pinned bit-for-bit* to the
+#: omit-when-default canonical form that cache keys and ledger records are
+#: hashed from, so a spec that round-trips through the wire keeps the
+#: exact cache key it had in-process.  Any change to the canonicalization
+#: is therefore a wire-format break and must bump this number.
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A wire payload could not be decoded into a spec.
+
+    Carries the same structured payload shape as
+    :class:`~repro.noc.backends.BackendCapabilityError` (``type`` /
+    ``message`` plus optional detail lists), so HTTP clients can branch on
+    one error schema.  ``code`` distinguishes the failure classes:
+    ``"version"`` (unknown/unsupported ``v``), ``"schema"`` (malformed or
+    drifted payload shape) and ``"value"`` (well-formed payload whose
+    values fail spec validation).
+    """
+
+    def __init__(self, message: str, code: str = "schema"):
+        self.code = code
+        super().__init__(message)
+
+
+def _wire_classes() -> dict:
+    # late import: NoCConfig/SprintTopology are already module-level
+    # imports; the map just names every dataclass legal on the wire
+    return {
+        "SimulationSpec": SimulationSpec,
+        "TrafficSpec": TrafficSpec,
+        "FaultSchedule": FaultSchedule,
+        "FaultEvent": FaultEvent,
+        "SprintTopology": SprintTopology,
+        "NoCConfig": NoCConfig,
+    }
+
+
+def _revive(payload, classes: dict):
+    """Rebuild the canonical-form value tree into live dataclasses.
+
+    Strict by design: an unknown ``__class__`` or an unrecognized field
+    name is a :class:`WireFormatError`, not a silent drop -- schema drift
+    must fail loudly, never decode into a subtly different run.  JSON
+    lists become tuples (every sequence field in the spec tree is a
+    tuple), so a decoded spec compares equal to the original.
+    """
+    if isinstance(payload, dict):
+        cls_name = payload.get("__class__")
+        if cls_name is None:
+            return {key: _revive(value, classes) for key, value in payload.items()}
+        cls = classes.get(cls_name)
+        if cls is None:
+            raise WireFormatError(f"unknown wire class {cls_name!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {}
+        for key, value in payload.items():
+            if key == "__class__":
+                continue
+            if key not in known:
+                raise WireFormatError(
+                    f"unknown field {key!r} on wire class {cls_name!r}"
+                )
+            kwargs[key] = _revive(value, classes)
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as err:
+            raise WireFormatError(
+                f"invalid {cls_name} on the wire: {err}", code="value"
+            ) from err
+    if isinstance(payload, list):
+        return tuple(_revive(item, classes) for item in payload)
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    raise WireFormatError(f"unserializable wire value {type(payload).__name__}")
+
+
+def spec_to_wire(spec: "SimulationSpec") -> dict:
+    """Encode a spec as a version-tagged, JSON-ready wire document.
+
+    The ``"spec"`` body is exactly the canonical form :func:`stable_key`
+    hashes (omit-when-default fields vanish at their defaults), so
+    ``spec_from_wire(spec_to_wire(s)).cache_key() == s.cache_key()`` by
+    construction -- a spec submitted over HTTP hits the same cache and
+    ledger entries as the in-process original.
+    """
+    return {"v": WIRE_VERSION, "kind": "simulation_spec",
+            "spec": _canonical(spec)}
+
+
+def spec_from_wire(payload) -> "SimulationSpec":
+    """Decode a :func:`spec_to_wire` document (strictly validated).
+
+    Raises :class:`WireFormatError` on any malformation: missing or
+    unsupported ``"v"``, a body that is not the canonical form of a
+    :class:`SimulationSpec`, unknown classes or fields (schema drift), or
+    field values the spec constructors reject.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError("wire payload must be a JSON object")
+    version = payload.get("v")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version!r} (this build speaks "
+            f"v{WIRE_VERSION})", code="version",
+        )
+    kind = payload.get("kind", "simulation_spec")
+    if kind != "simulation_spec":
+        raise WireFormatError(f"expected a simulation_spec document, got "
+                              f"kind {kind!r}")
+    body = payload.get("spec")
+    if not isinstance(body, dict):
+        raise WireFormatError('wire payload needs a "spec" object body')
+    if body.get("__class__") != "SimulationSpec":
+        raise WireFormatError('the "spec" body must canonicalize a '
+                              "SimulationSpec")
+    spec = _revive(body, _wire_classes())
+    assert isinstance(spec, SimulationSpec)
+    return spec
+
+
 @dataclass(frozen=True)
 class TrafficSpec:
     """Declarative description of a synthetic traffic process.
@@ -290,5 +414,24 @@ class SimulationSpec:
         """The same run executed by a different simulation engine."""
         return dataclasses.replace(self, backend=backend)
 
+    def to_wire(self) -> dict:
+        """Version-tagged JSON-ready document; see :func:`spec_to_wire`."""
+        return spec_to_wire(self)
 
-__all__ = ["FaultEvent", "FaultSchedule", "SimulationSpec", "TrafficSpec", "stable_key"]
+    @classmethod
+    def from_wire(cls, payload) -> "SimulationSpec":
+        """Decode a wire document; see :func:`spec_from_wire`."""
+        return spec_from_wire(payload)
+
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "SimulationSpec",
+    "TrafficSpec",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "spec_from_wire",
+    "spec_to_wire",
+    "stable_key",
+]

@@ -1,0 +1,196 @@
+"""Multi-tenant admission control for the experiment service.
+
+Two independent meters, both keyed by the caller's ``X-Repro-Client``
+identity:
+
+- a **token bucket** per client bounds the *submission rate* (one token
+  per submitted spec, refilled continuously) -- exceeding it is a
+  transient :class:`RateLimited` refusal carrying the retry-after hint;
+- a **simulated-seconds budget** per client bounds the *total machine
+  time simulated* on the client's behalf.  Charging is post-paid: each
+  newly simulated point costs ``cycles_run / CLOCK_HZ`` seconds once it
+  completes, and a client whose cumulative spend has reached its budget
+  is refused (:class:`BudgetExhausted`) at the next admission.  Cache
+  hits and coalesced requests are free -- resubmitting known work never
+  burns budget, which is exactly the incentive a content-addressed
+  service wants to set.
+
+Both meters surface as ``service_*`` series (per-client labels) on the
+service's :class:`~repro.telemetry.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: The paper's 2 GHz mesh clock: converts a result's ``cycles_run``
+#: into the simulated seconds the budget meter charges for it.
+CLOCK_HZ = 2.0e9
+
+#: Retry-After ceiling: a zero-refill bucket (``rate_per_s=0``) would
+#: otherwise quote an infinite wait, which no HTTP header can carry.
+MAX_RETRY_AFTER_S = 3600.0
+
+#: Counters the service pre-registers so the very first ``/metrics``
+#: scrape renders the full series set (zeros, not absences) -- the same
+#: discipline as ``CACHE_GAUGE_HELP`` and ``WATCH_GAUGE_HELP``.
+SERVICE_COUNTER_HELP = {
+    "service_requests_total": "HTTP requests handled by the front door.",
+    "service_specs_total": "Specs submitted for evaluation.",
+    "service_simulations_total": "Specs this service actually simulated "
+                                 "(not cache- or coalesce-served).",
+    "service_cache_served_total": "Specs answered straight from the "
+                                  "result cache.",
+    "service_coalesced_total": "Specs coalesced onto an identical "
+                               "in-flight computation.",
+    "service_failures_total": "Specs that exhausted retries and failed.",
+    "service_rate_limited_total": "Submissions refused by the per-client "
+                                  "token bucket (HTTP 429).",
+    "service_budget_refusals_total": "Submissions refused on an exhausted "
+                                     "simulated-seconds budget (HTTP 402).",
+    "service_wire_errors_total": "Submissions rejected as malformed or "
+                                 "wrong-version wire payloads (HTTP 400).",
+}
+
+SERVICE_GAUGE_HELP = {
+    "service_inflight": "Specs currently being computed.",
+    "service_budget_spent_seconds": "Simulated seconds charged so far "
+                                    "(per-client series).",
+}
+
+
+class RateLimited(Exception):
+    """The client's token bucket is empty; retry after ``retry_after_s``."""
+
+    def __init__(self, client: str, retry_after_s: float):
+        self.client = client
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"client {client!r} exceeded the submission rate; "
+            f"retry in {retry_after_s:.2f}s"
+        )
+
+
+class BudgetExhausted(Exception):
+    """The client has simulated its whole budget; admission is refused."""
+
+    def __init__(self, client: str, spent_s: float, budget_s: float):
+        self.client = client
+        self.spent_s = spent_s
+        self.budget_s = budget_s
+        super().__init__(
+            f"client {client!r} has spent {spent_s:.3f}s of its "
+            f"{budget_s:.3f}s simulated-seconds budget"
+        )
+
+
+class TokenBucket:
+    """A continuously refilled token bucket (not thread-safe by itself;
+    :class:`ClientAccounts` serializes access under its lock)."""
+
+    def __init__(self, rate_per_s: float, burst: float,
+                 clock=time.monotonic):
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.clock = clock
+        self._updated = clock()
+
+    def try_take(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens; 0.0 on success, else seconds until refill.
+
+        An oversized request (``n > burst``) reports the time to fill
+        the whole bucket rather than an unreachable wait.
+        """
+        now = self.clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._updated) * self.rate_per_s
+        )
+        self._updated = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return 0.0
+        if self.rate_per_s <= 0:
+            return MAX_RETRY_AFTER_S
+        deficit = min(n, self.burst) - self.tokens
+        return min(max(deficit, 0.0) / self.rate_per_s, MAX_RETRY_AFTER_S)
+
+
+class ClientAccounts:
+    """Per-client admission state: token buckets + budget ledgers.
+
+    ``budget_simulated_s=None`` disables the budget meter (rate limiting
+    still applies); ``rate_per_s=0`` with a positive ``burst`` gives
+    every client a fixed allowance and no refill, which is what the
+    refusal tests use.  Thread-safe: every method takes the internal
+    lock, so HTTP handler threads and the executor's charge-back path
+    can hit one instance concurrently.
+    """
+
+    def __init__(self, rate_per_s: float = 50.0, burst: float = 200.0,
+                 budget_simulated_s: float | None = None,
+                 clock=time.monotonic):
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.budget_simulated_s = budget_simulated_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._spent_s: dict[str, float] = {}
+
+    def admit(self, client: str, specs: int = 1) -> None:
+        """Gate one submission of ``specs`` points for ``client``.
+
+        Raises :class:`BudgetExhausted` (checked first: a broke client
+        gets the permanent refusal, not the transient one) or
+        :class:`RateLimited`.  Admission charges the bucket only --
+        simulated seconds are charged post-hoc via :meth:`charge`.
+        """
+        with self._lock:
+            spent = self._spent_s.get(client, 0.0)
+            if (self.budget_simulated_s is not None
+                    and spent >= self.budget_simulated_s):
+                raise BudgetExhausted(client, spent, self.budget_simulated_s)
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_s, self.burst, self.clock)
+                self._buckets[client] = bucket
+            retry_after = bucket.try_take(float(specs))
+            if retry_after > 0.0:
+                raise RateLimited(client, retry_after)
+
+    def charge(self, client: str, simulated_s: float) -> float:
+        """Add post-paid simulated seconds; returns the client's total."""
+        with self._lock:
+            total = self._spent_s.get(client, 0.0) + max(0.0, simulated_s)
+            self._spent_s[client] = total
+            return total
+
+    def spent_s(self, client: str) -> float:
+        with self._lock:
+            return self._spent_s.get(client, 0.0)
+
+    def clients(self) -> tuple[str, ...]:
+        """Every client that has been admitted or charged, sorted."""
+        with self._lock:
+            return tuple(sorted(set(self._buckets) | set(self._spent_s)))
+
+    def export_metrics(self, registry) -> None:
+        """Publish per-client ``service_budget_spent_seconds`` gauges."""
+        with self._lock:
+            spends = dict(self._spent_s)
+        for client, spent in spends.items():
+            registry.gauge("service_budget_spent_seconds",
+                           client=client).set(round(spent, 6))
+
+
+__all__ = [
+    "BudgetExhausted",
+    "CLOCK_HZ",
+    "ClientAccounts",
+    "RateLimited",
+    "SERVICE_COUNTER_HELP",
+    "SERVICE_GAUGE_HELP",
+    "TokenBucket",
+]

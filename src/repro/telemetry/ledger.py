@@ -293,6 +293,20 @@ class Ledger:
                 match = record  # keep scanning: newest prefix match wins
         return match
 
+    def latest_with_point(self, key: str,
+                          kind: str | None = None) -> RunRecord | None:
+        """The newest record whose ``points`` payload contains ``key``.
+
+        The service front door uses this as the durable fallback for
+        ``GET /v1/results/{cache_key}``: even after the result cache is
+        wiped (or the server restarts memory-only), the per-point
+        headline metrics recorded at run time remain retrievable.
+        """
+        for record in reversed(self.query(kind=kind)):
+            if key in record.points:
+                return record
+        return None
+
     def baseline(self, ref: str | None = None,
                  kind: str | None = None) -> RunRecord | None:
         """Resolve a baseline reference to a record.

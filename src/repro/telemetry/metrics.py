@@ -181,6 +181,20 @@ class MetricsRegistry:
         instrument = self._instruments.get((name, _label_key(labels)))
         return None if instrument is None else instrument.value
 
+    def series(self, name: str) -> dict:
+        """Every labelled value of one counter/gauge: label-key -> value.
+
+        Label keys are the sorted ``(label, value)`` tuples the registry
+        stores internally -- ``()`` for the unlabelled series.  Lets
+        per-client accounting (e.g. the service budget meter) enumerate
+        who has been charged without knowing the client set up front.
+        """
+        return {
+            label_key: instrument.value
+            for (metric, label_key), instrument in self._instruments.items()
+            if metric == name and instrument.kind != "histogram"
+        }
+
     # ------------------------------------------------------------------
     # snapshot / merge: the cross-process aggregation contract
     # ------------------------------------------------------------------

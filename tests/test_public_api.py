@@ -13,6 +13,12 @@ PACKAGES = {
         "TrafficSpec", "run_simulation", "SweepRunner", "ResultCache",
         "register_backend", "get_backend", "list_backends",
         "Ledger", "RunRecord", "compare_runs",
+        "WIRE_VERSION", "WireFormatError", "spec_to_wire", "spec_from_wire",
+    ],
+    "repro.service": [
+        "ExperimentService", "ExperimentServer", "SweepTicket",
+        "ClientAccounts", "TokenBucket", "RateLimited", "BudgetExhausted",
+        "error_payload", "SERVICE_COUNTER_HELP", "SERVICE_GAUGE_HELP",
     ],
     "repro.telemetry": [
         "Telemetry", "Ledger", "RunRecord", "compare_runs", "Comparison",
